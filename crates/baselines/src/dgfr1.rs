@@ -1,0 +1,430 @@
+//! Delporte-Gallet et al.'s non-blocking snapshot algorithm — the paper's
+//! Algorithm 1 **without** the boxed self-stabilization additions.
+//!
+//! Differences from `sss_core::Alg1`:
+//!
+//! * no `GOSSIP` traffic (and no gossip handler);
+//! * the `do forever` loop performs no `ts`/`ssn` floors or stale-state
+//!   cleanup — only client-side retransmission;
+//! * the `merge` macro joins register arrays but does not repair `ts`.
+//!
+//! Consequently a transient fault that, e.g., rewinds `ts` makes the node
+//! reuse write timestamps forever — new writes are silently swallowed by
+//! the `max_⪯` merges. The recovery experiments (E5) show this baseline
+//! failing where the self-stabilizing variant recovers.
+
+use rand::RngCore;
+use sss_quorum::AckTracker;
+use sss_types::{
+    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, ProcessSet,
+    ProtoMsg, Protocol, ProtocolStats, RegArray, SnapshotOp, Tagged, Value,
+};
+use std::collections::VecDeque;
+
+/// Wire messages of [`Dgfr1`] (no gossip — this is the point).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Dgfr1Msg {
+    /// Client-side `WRITE(lReg)` broadcast.
+    Write {
+        /// The writer's register array at invocation.
+        reg: RegArray,
+    },
+    /// Server-side `WRITEack(reg)` reply.
+    WriteAck {
+        /// The server's merged register array.
+        reg: RegArray,
+    },
+    /// Client-side `SNAPSHOT(reg, ssn)` broadcast.
+    Snapshot {
+        /// The querier's register array.
+        reg: RegArray,
+        /// The snapshot query index.
+        ssn: u64,
+    },
+    /// Server-side `SNAPSHOTack(reg, ssn)` reply.
+    SnapshotAck {
+        /// The server's merged register array.
+        reg: RegArray,
+        /// Echo of the query index.
+        ssn: u64,
+    },
+}
+
+impl ProtoMsg for Dgfr1Msg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            Dgfr1Msg::Write { .. } => MsgKind::Write,
+            Dgfr1Msg::WriteAck { .. } => MsgKind::WriteAck,
+            Dgfr1Msg::Snapshot { .. } => MsgKind::Snapshot,
+            Dgfr1Msg::SnapshotAck { .. } => MsgKind::SnapshotAck,
+        }
+    }
+
+    fn size_bits(&self, nu: u32) -> u64 {
+        const HDR: u64 = 64;
+        match self {
+            Dgfr1Msg::Write { reg } | Dgfr1Msg::WriteAck { reg } => {
+                HDR + reg_array_bits(reg.n(), nu)
+            }
+            Dgfr1Msg::Snapshot { reg, .. } | Dgfr1Msg::SnapshotAck { reg, .. } => {
+                HDR + 64 + reg_array_bits(reg.n(), nu)
+            }
+        }
+    }
+}
+
+impl ArbitraryMsg for Dgfr1Msg {
+    fn arbitrary(rng: &mut dyn RngCore, n: usize, max_index: u64) -> Self {
+        let arr = |rng: &mut dyn RngCore| -> RegArray {
+            let mut a = RegArray::bottom(n);
+            for k in 0..n {
+                a.set(
+                    NodeId(k),
+                    Tagged {
+                        ts: rng.next_u64() % (max_index + 1),
+                        val: rng.next_u64(),
+                    },
+                );
+            }
+            a
+        };
+        match rng.next_u32() % 4 {
+            0 => Dgfr1Msg::Write { reg: arr(rng) },
+            1 => Dgfr1Msg::WriteAck { reg: arr(rng) },
+            2 => Dgfr1Msg::Snapshot {
+                reg: arr(rng),
+                ssn: rng.next_u64() % (max_index + 1),
+            },
+            _ => Dgfr1Msg::SnapshotAck {
+                reg: arr(rng),
+                ssn: rng.next_u64() % (max_index + 1),
+            },
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct WriteOp {
+    op: OpId,
+    lreg: RegArray,
+    acks: ProcessSet,
+}
+
+#[derive(Clone, Debug)]
+struct SnapOp {
+    op: OpId,
+    prev: RegArray,
+    acks: AckTracker,
+}
+
+#[derive(Clone, Debug)]
+enum Active {
+    Write(WriteOp),
+    Snap(SnapOp),
+}
+
+/// Delporte-Gallet et al.'s non-blocking snapshot object (crash-tolerant,
+/// **not** self-stabilizing). See the module docs above.
+#[derive(Clone, Debug)]
+pub struct Dgfr1 {
+    id: NodeId,
+    n: usize,
+    ts: u64,
+    ssn: u64,
+    reg: RegArray,
+    active: Option<Active>,
+    pending: VecDeque<(OpId, SnapshotOp)>,
+    rounds: u64,
+}
+
+impl Dgfr1 {
+    /// A fresh instance for node `id` in a system of `n` processes.
+    pub fn new(id: NodeId, n: usize) -> Self {
+        assert!(id.index() < n, "node id out of range");
+        Dgfr1 {
+            id,
+            n,
+            ts: 0,
+            ssn: 0,
+            reg: RegArray::bottom(n),
+            active: None,
+            pending: VecDeque::new(),
+            rounds: 0,
+        }
+    }
+
+    /// The node's register array (probes/tests).
+    pub fn reg(&self) -> &RegArray {
+        &self.reg
+    }
+
+    /// Current write index.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    fn start_op(&mut self, op_id: OpId, op: SnapshotOp, fx: &mut Effects<Dgfr1Msg>) {
+        match op {
+            SnapshotOp::Write(v) => self.start_write(op_id, v, fx),
+            SnapshotOp::Snapshot => self.start_snapshot_iteration(op_id, fx),
+        }
+    }
+
+    fn start_write(&mut self, op_id: OpId, v: Value, fx: &mut Effects<Dgfr1Msg>) {
+        self.ts += 1;
+        self.reg.set(self.id, Tagged::new(v, self.ts));
+        let lreg = self.reg.clone();
+        fx.broadcast(self.n, &Dgfr1Msg::Write { reg: lreg.clone() });
+        self.active = Some(Active::Write(WriteOp {
+            op: op_id,
+            lreg,
+            acks: ProcessSet::new(self.n),
+        }));
+    }
+
+    fn start_snapshot_iteration(&mut self, op_id: OpId, fx: &mut Effects<Dgfr1Msg>) {
+        let prev = self.reg.clone();
+        self.ssn += 1;
+        let mut acks = AckTracker::new(self.n);
+        acks.arm(self.ssn);
+        fx.broadcast(
+            self.n,
+            &Dgfr1Msg::Snapshot {
+                reg: self.reg.clone(),
+                ssn: self.ssn,
+            },
+        );
+        self.active = Some(Active::Snap(SnapOp {
+            op: op_id,
+            prev,
+            acks,
+        }));
+    }
+
+    fn finish_active(&mut self, resp: OpResponse, fx: &mut Effects<Dgfr1Msg>) {
+        let op = match self.active.take() {
+            Some(Active::Write(w)) => w.op,
+            Some(Active::Snap(s)) => s.op,
+            None => unreachable!("finish without active op"),
+        };
+        fx.complete(op, resp);
+        if let Some((id, next)) = self.pending.pop_front() {
+            self.start_op(id, next, fx);
+        }
+    }
+}
+
+impl Protocol for Dgfr1 {
+    type Msg = Dgfr1Msg;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Only client-side retransmission: the original algorithm has no
+    /// periodic self-stabilization work.
+    fn on_round(&mut self, fx: &mut Effects<Dgfr1Msg>) {
+        self.rounds += 1;
+        match &self.active {
+            Some(Active::Write(w)) => {
+                let msg = Dgfr1Msg::Write {
+                    reg: w.lreg.clone(),
+                };
+                fx.broadcast(self.n, &msg);
+            }
+            Some(Active::Snap(s)) => {
+                let msg = Dgfr1Msg::Snapshot {
+                    reg: self.reg.clone(),
+                    ssn: s.acks.tag(),
+                };
+                fx.broadcast(self.n, &msg);
+            }
+            None => {}
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Dgfr1Msg, fx: &mut Effects<Dgfr1Msg>) {
+        match msg {
+            Dgfr1Msg::Write { reg } => {
+                self.reg.merge_from(&reg);
+                fx.send(
+                    from,
+                    Dgfr1Msg::WriteAck {
+                        reg: self.reg.clone(),
+                    },
+                );
+            }
+            Dgfr1Msg::Snapshot { reg, ssn } => {
+                self.reg.merge_from(&reg);
+                fx.send(
+                    from,
+                    Dgfr1Msg::SnapshotAck {
+                        reg: self.reg.clone(),
+                        ssn,
+                    },
+                );
+            }
+            Dgfr1Msg::WriteAck { reg } => {
+                let accepted = match &mut self.active {
+                    Some(Active::Write(w)) if w.lreg.le(&reg) => w.acks.insert(from),
+                    _ => false,
+                };
+                if accepted {
+                    // Original merge macro: registers only, no ts repair.
+                    self.reg.merge_from(&reg);
+                    let majority = matches!(
+                        &self.active,
+                        Some(Active::Write(w)) if w.acks.is_majority()
+                    );
+                    if majority {
+                        self.finish_active(OpResponse::WriteDone, fx);
+                    }
+                }
+            }
+            Dgfr1Msg::SnapshotAck { reg, ssn } => {
+                let accepted = match &mut self.active {
+                    Some(Active::Snap(s)) => s.acks.accept(from, ssn),
+                    _ => false,
+                };
+                if accepted {
+                    self.reg.merge_from(&reg);
+                    let majority = match &self.active {
+                        Some(Active::Snap(s)) if s.acks.has_majority() => {
+                            Some((s.op, s.prev.clone()))
+                        }
+                        _ => None,
+                    };
+                    if let Some((op, prev)) = majority {
+                        if prev == self.reg {
+                            let view = (&self.reg).into();
+                            self.finish_active(OpResponse::Snapshot(view), fx);
+                        } else {
+                            self.start_snapshot_iteration(op, fx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn invoke(&mut self, id: OpId, op: SnapshotOp, fx: &mut Effects<Dgfr1Msg>) {
+        if self.active.is_some() {
+            self.pending.push_back((id, op));
+        } else {
+            self.start_op(id, op, fx);
+        }
+    }
+
+    fn is_busy(&self) -> bool {
+        self.active.is_some() || !self.pending.is_empty()
+    }
+
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        const M: u64 = 1 << 20;
+        self.ts = rng.next_u64() % M;
+        self.ssn = rng.next_u64() % M;
+        for k in 0..self.n {
+            self.reg.set(
+                NodeId(k),
+                Tagged {
+                    ts: rng.next_u64() % M,
+                    val: rng.next_u64(),
+                },
+            );
+        }
+        match &mut self.active {
+            Some(Active::Write(w)) => {
+                w.acks.clear();
+                w.lreg = self.reg.clone();
+            }
+            Some(Active::Snap(s)) => {
+                let tag = rng.next_u64() % M;
+                s.acks.arm(tag);
+                s.prev = self.reg.clone();
+            }
+            None => {}
+        }
+    }
+
+    fn restart(&mut self) {
+        let (id, n) = (self.id, self.n);
+        *self = Dgfr1::new(id, n);
+    }
+
+    /// Reports the same invariant the self-stabilizing variant maintains —
+    /// the baseline has no mechanism to restore it, which is what the
+    /// recovery experiments demonstrate.
+    fn local_invariants_hold(&self) -> bool {
+        self.ts >= self.reg.get(self.id).ts
+    }
+
+    fn stats(&self) -> ProtocolStats {
+        ProtocolStats {
+            rounds: self.rounds,
+            write_index: self.ts,
+            snapshot_index: self.ssn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_completes_on_majority() {
+        let mut a = Dgfr1::new(NodeId(0), 3);
+        let mut e = Effects::new();
+        a.invoke(OpId(1), SnapshotOp::Write(4), &mut e);
+        let lreg = a.reg().clone();
+        a.on_message(NodeId(1), Dgfr1Msg::WriteAck { reg: lreg.clone() }, &mut e);
+        a.on_message(NodeId(2), Dgfr1Msg::WriteAck { reg: lreg }, &mut e);
+        assert_eq!(e.take_completions().len(), 1);
+    }
+
+    #[test]
+    fn no_gossip_is_emitted() {
+        let mut a = Dgfr1::new(NodeId(0), 3);
+        let mut e = Effects::new();
+        a.on_round(&mut e);
+        assert!(e.take_sends().is_empty(), "idle baseline is silent");
+    }
+
+    #[test]
+    fn corrupted_ts_is_never_repaired_locally() {
+        let mut a = Dgfr1::new(NodeId(0), 3);
+        // The system believes p0 wrote ts=10.
+        a.reg.set(NodeId(0), Tagged::new(1, 10));
+        a.ts = 0; // transient fault rewound ts
+        let mut e = Effects::new();
+        a.on_round(&mut e);
+        assert_eq!(a.ts(), 0, "no repair mechanism");
+        assert!(!a.local_invariants_hold());
+        // The next write reuses ts=1 and is swallowed by merges.
+        a.invoke(OpId(1), SnapshotOp::Write(99), &mut e);
+        assert_eq!(a.reg().get(NodeId(0)).ts, 1);
+        let mut newer = RegArray::bottom(3);
+        newer.set(NodeId(0), Tagged::new(1, 10));
+        a.reg.merge_from(&newer);
+        assert_eq!(
+            a.reg().get(NodeId(0)).val,
+            1,
+            "stale ts=10 value wins; the write of 99 is lost"
+        );
+    }
+
+    #[test]
+    fn snapshot_double_collect() {
+        let mut a = Dgfr1::new(NodeId(0), 3);
+        let mut e = Effects::new();
+        a.invoke(OpId(5), SnapshotOp::Snapshot, &mut e);
+        let reg = a.reg().clone();
+        a.on_message(NodeId(1), Dgfr1Msg::SnapshotAck { reg: reg.clone(), ssn: 1 }, &mut e);
+        a.on_message(NodeId(2), Dgfr1Msg::SnapshotAck { reg, ssn: 1 }, &mut e);
+        assert_eq!(e.take_completions().len(), 1);
+    }
+}

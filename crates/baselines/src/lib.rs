@@ -1,0 +1,33 @@
+//! Comparison baselines for the self-stabilizing snapshot algorithms.
+//!
+//! Three protocols, all implementing [`sss_types::Protocol`] so the same
+//! simulator, workloads and benches drive them:
+//!
+//! * [`Dgfr1`] — Delporte-Gallet, Fauconnier, Rajsbaum & Raynal's
+//!   **non-blocking** algorithm (the paper's Algorithm 1 *without* the
+//!   boxed self-stabilization additions: no gossip, no index floors, no
+//!   stale-state cleanup). Crash-tolerant but not transient-fault-tolerant.
+//!
+//! * [`Dgfr2`] — their **always-terminating** algorithm (the paper's
+//!   Algorithm 2): snapshot tasks are reliably broadcast, every node helps
+//!   the oldest task, results return via reliably-broadcast `END`
+//!   messages. `O(n²)` messages per snapshot, one task at a time.
+//!
+//! * [`Stacked`] — the "stacking" approach the related-work section costs
+//!   at ~`8n` messages and 4 round trips per snapshot: an ABD-style
+//!   emulation of SWMR registers over message passing, with a
+//!   double-collect snapshot layered on top. Serves experiment E11.
+//!
+//! None of these recover from transient faults — that is the paper's
+//! point — and the recovery experiments demonstrate exactly that failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dgfr1;
+mod dgfr2;
+mod stacked;
+
+pub use dgfr1::{Dgfr1, Dgfr1Msg};
+pub use dgfr2::{Dgfr2, Dgfr2Msg, SnapTask};
+pub use stacked::{Stacked, StackedMsg};

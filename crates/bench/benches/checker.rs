@@ -1,0 +1,43 @@
+//! Benchmark of the polynomial linearizability checker: cost per checked
+//! operation as histories grow.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sss_core::Alg1;
+use sss_sim::{Sim, SimConfig};
+use sss_types::History;
+use sss_workload::{MixedConfig, MixedDriver};
+
+fn history(n: usize, ops_per_node: usize) -> History {
+    let mut sim = Sim::new(SimConfig::small(n).with_seed(1), move |id| Alg1::new(id, n));
+    let mut driver = MixedDriver::new(
+        n,
+        MixedConfig {
+            ops_per_node,
+            write_ratio: 0.6,
+            think: (0, 100),
+            seed: 2,
+            nodes: None,
+        },
+    );
+    sim.run_with_driver(&mut driver, 30_000_000_000);
+    sim.history().clone()
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checker");
+    for &ops in &[25usize, 100, 400] {
+        let n = 4;
+        let h = history(n, ops / n);
+        g.bench_with_input(BenchmarkId::new("poly_check", ops), &ops, |bench, _| {
+            bench.iter(|| {
+                let v = sss_checker::check(black_box(&h), n);
+                assert!(v.is_linearizable());
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Microbenchmarks of the register-array lattice operations — the
+//! innermost hot path of every protocol (executed on each message).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sss_types::{NodeId, RegArray, Tagged};
+
+fn arr(n: usize, base_ts: u64) -> RegArray {
+    let mut a = RegArray::bottom(n);
+    for k in 0..n {
+        a.set(NodeId(k), Tagged::new(k as u64, base_ts + k as u64));
+    }
+    a
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lattice");
+    for &n in &[4usize, 16, 64, 256] {
+        let a = arr(n, 1);
+        let b = arr(n, 5);
+        g.bench_with_input(BenchmarkId::new("merge_from", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut x = a.clone();
+                x.merge_from(black_box(&b));
+                x
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("le", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).le(black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("vector_clock", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).vector_clock())
+        });
+        let vca = a.vector_clock();
+        let vcb = b.vector_clock();
+        g.bench_with_input(BenchmarkId::new("vc_progress", n), &n, |bench, _| {
+            bench.iter(|| black_box(&vcb).progress_since(black_box(&vca)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lattice);
+criterion_main!(benches);

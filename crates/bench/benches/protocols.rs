@@ -1,0 +1,37 @@
+//! Benchmark comparing the per-operation simulation cost of every
+//! protocol: one write + one snapshot on an idle 5-node system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sss_baselines::{Dgfr1, Dgfr2, Stacked};
+use sss_core::{Alg1, Alg3, Alg3Config};
+use sss_sim::{Sim, SimConfig};
+use sss_types::{NodeId, Protocol, SnapshotOp};
+
+fn one_round_trip<P: Protocol>(mk: impl FnMut(NodeId) -> P) {
+    let mut sim = Sim::new(SimConfig::small(5).with_seed(6), mk);
+    sim.invoke_at(0, NodeId(0), SnapshotOp::Write(1));
+    assert!(sim.run_until_idle(200_000_000));
+    let t = sim.now();
+    sim.invoke_at(t, NodeId(1), SnapshotOp::Snapshot);
+    assert!(sim.run_until_idle(400_000_000));
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocols_write_plus_snapshot");
+    g.sample_size(30);
+    let n = 5;
+    g.bench_function("alg1_ss", |b| b.iter(|| one_round_trip(move |id| Alg1::new(id, n))));
+    g.bench_function("alg3_ss_d0", |b| {
+        b.iter(|| one_round_trip(move |id| Alg3::new(id, n, Alg3Config { delta: 0 })))
+    });
+    g.bench_function("alg3_ss_d8", |b| {
+        b.iter(|| one_round_trip(move |id| Alg3::new(id, n, Alg3Config { delta: 8 })))
+    });
+    g.bench_function("dgfr1", |b| b.iter(|| one_round_trip(move |id| Dgfr1::new(id, n))));
+    g.bench_function("dgfr2", |b| b.iter(|| one_round_trip(move |id| Dgfr2::new(id, n))));
+    g.bench_function("stacked", |b| b.iter(|| one_round_trip(move |id| Stacked::new(id, n))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmark of the threaded runtime: blocking-client operation
+//! throughput on real threads (3-node cluster, reliable links).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sss_core::Alg1;
+use sss_runtime::{Cluster, ClusterConfig};
+use sss_types::NodeId;
+use std::time::Duration;
+
+fn bench_runtime(c: &mut Criterion) {
+    let n = 3;
+    let mut cfg = ClusterConfig::new(n);
+    cfg.round_interval = Duration::from_micros(500);
+    let cluster = Cluster::new(cfg, move |id| Alg1::new(id, n));
+    let writer = cluster.client(NodeId(0));
+    let reader = cluster.client(NodeId(1));
+
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(30);
+    let mut v = 0u64;
+    g.bench_function("write", |b| {
+        b.iter(|| {
+            v += 1;
+            writer.write(v).expect("write");
+        })
+    });
+    g.bench_function("snapshot", |b| {
+        b.iter(|| reader.snapshot().expect("snapshot"))
+    });
+    g.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmark of the discrete-event simulator: wall-clock cost of driving
+//! a fixed workload (events processed per second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sss_core::Alg1;
+use sss_sim::{Sim, SimConfig};
+use sss_workload::{MixedConfig, MixedDriver};
+
+fn run_workload(n: usize, ops_per_node: usize) -> usize {
+    let mut sim = Sim::new(SimConfig::small(n).with_seed(3), move |id| Alg1::new(id, n));
+    let mut driver = MixedDriver::new(
+        n,
+        MixedConfig {
+            ops_per_node,
+            write_ratio: 0.5,
+            think: (0, 50),
+            seed: 4,
+            nodes: None,
+        },
+    );
+    sim.run_with_driver(&mut driver, 30_000_000_000);
+    sim.history().completed().count()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    for &n in &[4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("mixed_40ops", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let done = run_workload(n, 40 / n.min(40));
+                assert!(done > 0);
+                done
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

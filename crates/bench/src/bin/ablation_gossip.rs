@@ -1,0 +1,75 @@
+//! Ablation — gossip cadence vs recovery speed vs overhead.
+//!
+//! The paper gossips on *every* `do forever` iteration. This ablation
+//! varies the cadence (every k-th iteration; k = 0 disables gossip) and
+//! measures what the design choice buys: recovery time after a targeted
+//! `ts`-rewind fault, against background traffic.
+//!
+//! Expected: recovery cycles grow ≈ linearly with k; gossip overhead
+//! falls ≈ 1/k; with gossip disabled, a rewound node NEVER recovers —
+//! gossip is not an optimization but the recovery mechanism itself.
+
+use sss_bench::{gossip_per_cycle, Table};
+use sss_core::Alg1;
+use sss_sim::{Sim, SimConfig};
+use sss_types::{NodeId, SnapshotOp};
+use sss_workload::unique_value;
+
+/// Rewinds node 0's state via a detectable restart after real writes,
+/// then counts cycles until its local invariant (`ts ≥ reg[0].ts` at
+/// node 0, with reg restored via gossip) holds and a fresh write becomes
+/// visible system-wide. Returns `None` if it never does.
+fn targeted_recovery(k: u64, budget_cycles: u64) -> Option<u64> {
+    let n = 4;
+    let mut sim = Sim::new(SimConfig::small(n).with_seed(7 + k), move |id| {
+        Alg1::with_gossip_every(id, n, k)
+    });
+    for seq in 1..=4u64 {
+        let t = sim.now() + 1;
+        sim.invoke_at(t, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), seq)));
+        assert!(sim.run_until_idle(100_000_000));
+    }
+    sim.restart_at(sim.now() + 1, NodeId(0));
+    sim.run_until(sim.now() + 2);
+    let start = sim.cycles();
+    loop {
+        // Recovered = node 0 knows its old timestamp again (ts ≥ 4).
+        if sim.node(NodeId(0)).ts() >= 4 {
+            return Some(sim.cycles() - start);
+        }
+        if sim.cycles() - start >= budget_cycles {
+            return None;
+        }
+        if !sim.run_for_cycles(1, 1_000_000_000) {
+            return None;
+        }
+    }
+}
+
+fn main() {
+    println!("Ablation: gossip cadence — recovery speed vs background traffic (n = 4)\n");
+    let n = 4;
+    let mut t = Table::new(&[
+        "gossip every k rounds",
+        "recovery after ts rewind (cycles)",
+        "gossip msgs/cycle",
+    ]);
+    for &k in &[1u64, 2, 4, 8, 0] {
+        let rec = match targeted_recovery(k, 64) {
+            Some(c) => c.to_string(),
+            None => "NEVER".into(),
+        };
+        let (g, _) = gossip_per_cycle(
+            SimConfig::small(n).with_seed(3),
+            move |id| Alg1::with_gossip_every(id, n, k),
+            6,
+        );
+        let label = if k == 0 { "disabled".into() } else { k.to_string() };
+        t.row(vec![label, rec, g.to_string()]);
+    }
+    t.print();
+    println!();
+    println!("expected shape: recovery cycles grow with k while gossip traffic");
+    println!("shrinks ~1/k; with gossip disabled the node never relearns its");
+    println!("own timestamp — gossip IS the recovery mechanism, not a tweak.");
+}

@@ -1,0 +1,52 @@
+//! Runs every experiment (E1–E13) in sequence — the full reproduction of
+//! the paper's quantitative claims. The per-experiment binaries do the
+//! work; this wrapper just invokes their entry points via `cargo run`:
+//! build once with `--release`, then this binary shells out to its
+//! sibling executables, so the output equals running each `eN_*` binary
+//! in turn.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "e1_messages_per_op",
+    "e2_alg2_cost",
+    "e3_alg3_single",
+    "e4_concurrent_snapshots",
+    "e5_alg1_recovery",
+    "e6_alg3_recovery",
+    "e7_delta_latency",
+    "e8_delta_tradeoff",
+    "e9_bounded_reset",
+    "e10_starvation",
+    "e11_stacking",
+    "e12_crash_tolerance",
+    "e13_linearizability",
+    "figures_message_flows",
+    "ablation_gossip",
+];
+
+fn main() {
+    // Sibling binaries live next to this one.
+    let me = std::env::current_exe().expect("own path");
+    let dir: PathBuf = me.parent().expect("bin dir").to_path_buf();
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("{}", "=".repeat(78));
+        println!("== {exp}");
+        println!("{}", "=".repeat(78));
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            failed.push(*exp);
+        }
+        println!();
+    }
+    if failed.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("FAILED experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

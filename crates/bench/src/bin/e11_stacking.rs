@@ -1,0 +1,69 @@
+//! E11 — Stacking vs the integrated approach (paper related work).
+//!
+//! Claim reproduced: emulating registers with ABD and running a
+//! double-collect snapshot on top costs ≈ `8n` messages and 4 round trips
+//! per snapshot, while the integrated (Delporte-Gallet-style) design costs
+//! ≈ `2n` messages and one round trip. Latency on the simulated network
+//! (uniform 1–10 µs one-way delays) serves as the round-trip proxy.
+
+use sss_baselines::{Dgfr1, Stacked};
+use sss_bench::{measure_single_op, Table, N_SWEEP};
+use sss_sim::SimConfig;
+use sss_types::{NodeId, SnapshotOp};
+
+fn main() {
+    println!("E11: stacked ABD + double collect vs integrated snapshot\n");
+    let mut t = Table::new(&[
+        "n",
+        "stacked snap msgs",
+        "stacked /8n",
+        "integrated snap msgs",
+        "integrated /2n",
+        "stacked latency(us)",
+        "integrated latency(us)",
+        "stacked write msgs",
+        "integrated write msgs",
+    ]);
+    for &n in N_SWEEP {
+        let ss = measure_single_op(
+            SimConfig::small(n),
+            move |id| Stacked::new(id, n),
+            NodeId(0),
+            SnapshotOp::Snapshot,
+        );
+        let is = measure_single_op(
+            SimConfig::small(n),
+            move |id| Dgfr1::new(id, n),
+            NodeId(0),
+            SnapshotOp::Snapshot,
+        );
+        let sw = measure_single_op(
+            SimConfig::small(n),
+            move |id| Stacked::new(id, n),
+            NodeId(0),
+            SnapshotOp::Write(1),
+        );
+        let iw = measure_single_op(
+            SimConfig::small(n),
+            move |id| Dgfr1::new(id, n),
+            NodeId(0),
+            SnapshotOp::Write(1),
+        );
+        t.row(vec![
+            n.to_string(),
+            ss.op_msgs.to_string(),
+            format!("{:.2}", ss.op_msgs as f64 / (8 * n) as f64),
+            is.op_msgs.to_string(),
+            format!("{:.2}", is.op_msgs as f64 / (2 * n) as f64),
+            ss.latency_us.to_string(),
+            is.latency_us.to_string(),
+            sw.op_msgs.to_string(),
+            iw.op_msgs.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected shape: stacked/8n and integrated/2n both ≈ 1.0; the");
+    println!("stacked snapshot's latency is ≈ 4× the integrated one (4 round");
+    println!("trips vs 1).");
+}

@@ -1,0 +1,153 @@
+//! E13 — Linearizability (atomicity) under adversarial conditions
+//! (paper §1 task description, §2 fault model).
+//!
+//! Every protocol's recorded histories are checked with the
+//! SWMR-snapshot linearizability checker across: a reliable network, a
+//! lossy/duplicating/reordering network, and minority crash faults. For
+//! the self-stabilizing algorithms the post-recovery suffix after full
+//! state corruption is checked as well (Dijkstra's criterion).
+
+use sss_baselines::{Dgfr1, Dgfr2, Stacked};
+use sss_bench::Table;
+use sss_checker::check;
+use sss_core::{Alg1, Alg3, Alg3Config};
+use sss_sim::{Sim, SimConfig};
+use sss_types::{NodeId, Protocol, SnapshotOp};
+use sss_workload::{FaultPlan, MixedConfig, MixedDriver};
+
+fn verdict<P: Protocol>(
+    cfg: SimConfig,
+    mk: impl FnMut(NodeId) -> P,
+    crash: bool,
+) -> (usize, &'static str) {
+    let n = cfg.n;
+    let mut sim = Sim::new(cfg, mk);
+    if crash {
+        let (plan, _) = FaultPlan::new().crash_random_minority(n, 400, 17);
+        plan.apply(&mut sim);
+    }
+    let mut driver = MixedDriver::new(
+        n,
+        MixedConfig {
+            ops_per_node: 10,
+            write_ratio: 0.6,
+            think: (0, 120),
+            seed: 5,
+            nodes: None,
+        },
+    );
+    // Crashed nodes leave ops pending forever; bound the horizon.
+    let horizon = if crash { 30_000_000 } else { 3_000_000_000 };
+    sim.run_with_driver(&mut driver, horizon);
+    let h = sim.history().clone();
+    let ops = h.completed().count();
+    let v = check(&h, n);
+    (ops, if v.is_linearizable() { "linearizable" } else { "VIOLATION" })
+}
+
+fn main() {
+    println!("E13: linearizability of recorded histories (n = 4, 40 ops each)\n");
+    let n = 4;
+    let mut t = Table::new(&["protocol", "network", "faults", "ops", "verdict"]);
+    let mut add = |name: &str, net: &str, faults: &str, r: (usize, &'static str)| {
+        t.row(vec![
+            name.into(),
+            net.into(),
+            faults.into(),
+            r.0.to_string(),
+            r.1.into(),
+        ]);
+    };
+    let small = SimConfig::small(n);
+    let harsh = SimConfig::harsh(n);
+    add("alg1-ss", "reliable", "none", verdict(small, move |id| Alg1::new(id, n), false));
+    add("alg1-ss", "harsh", "none", verdict(harsh, move |id| Alg1::new(id, n), false));
+    add("alg1-ss", "reliable", "crash", verdict(small, move |id| Alg1::new(id, n), true));
+    for delta in [0u64, 4] {
+        add(
+            &format!("alg3-ss δ={delta}"),
+            "harsh",
+            "none",
+            verdict(harsh, move |id| Alg3::new(id, n, Alg3Config { delta }), false),
+        );
+        add(
+            &format!("alg3-ss δ={delta}"),
+            "reliable",
+            "crash",
+            verdict(small, move |id| Alg3::new(id, n, Alg3Config { delta }), true),
+        );
+    }
+    add("dgfr1", "harsh", "none", verdict(harsh, move |id| Dgfr1::new(id, n), false));
+    add("dgfr2", "reliable", "none", verdict(small, move |id| Dgfr2::new(id, n), false));
+    add("stacked", "harsh", "none", verdict(harsh, move |id| Stacked::new(id, n), false));
+    t.print();
+
+    // Post-recovery suffix check for the self-stabilizing algorithms.
+    println!();
+    println!("post-recovery suffix (full corruption of state + channels):");
+    for label in ["alg1-ss", "alg3-ss δ=2"] {
+        let suffix_ok = post_recovery_ok(label, n);
+        println!("  {label}: {}", if suffix_ok { "linearizable" } else { "VIOLATION" });
+    }
+}
+
+fn post_recovery_ok(which: &str, n: usize) -> bool {
+    // Run, corrupt, recover, flush-barrier, then check the suffix.
+    fn go<P: Protocol>(mut sim: Sim<P>, n: usize) -> bool
+    where
+        P::Msg: sss_types::ArbitraryMsg,
+    {
+        let mut driver = MixedDriver::new(
+            n,
+            MixedConfig {
+                ops_per_node: 6,
+                seed: 3,
+                ..MixedConfig::default()
+            },
+        );
+        sim.run_with_driver(&mut driver, 3_000_000_000);
+        for i in 0..n {
+            sim.corrupt_node_now(NodeId(i));
+        }
+        sim.corrupt_channels_now(1.0, 1 << 20);
+        if !sim.run_for_cycles(10, 3_000_000_000) {
+            return false;
+        }
+        let barrier_t = sim.now();
+        for i in 0..n {
+            let t = sim.now() + 1;
+            sim.invoke_at(
+                t,
+                NodeId(i),
+                SnapshotOp::Write(sss_workload::unique_value(NodeId(i), 500 + i as u64)),
+            );
+            if !sim.run_until_idle(3_000_000_000) {
+                return false;
+            }
+        }
+        let mut driver2 = MixedDriver::new(
+            n,
+            MixedConfig {
+                ops_per_node: 8,
+                seed: 4,
+                ..MixedConfig::default()
+            },
+        );
+        sim.run_with_driver(&mut driver2, 6_000_000_000);
+        let suffix = sim.history().suffix_from(barrier_t);
+        check(&suffix, n).is_linearizable()
+    }
+    if which.starts_with("alg1") {
+        go(
+            Sim::new(SimConfig::small(n).with_seed(9), move |id| Alg1::new(id, n)),
+            n,
+        )
+    } else {
+        go(
+            Sim::new(SimConfig::small(n).with_seed(9), move |id| {
+                Alg3::new(id, n, Alg3Config { delta: 2 })
+            }),
+            n,
+        )
+    }
+}

@@ -1,0 +1,51 @@
+//! E2 — Snapshot cost of the always-terminating baseline
+//! (paper §4, Figure 2).
+//!
+//! Claim reproduced: Delporte-Gallet et al.'s Algorithm 2 incurs `O(n²)`
+//! messages per snapshot (every node helps every task, plus two reliable
+//! broadcasts), against `O(n)` for the non-blocking Algorithm 1.
+
+use sss_baselines::{Dgfr1, Dgfr2};
+use sss_bench::{measure_single_op, Table, N_SWEEP};
+use sss_sim::SimConfig;
+use sss_types::{NodeId, SnapshotOp};
+
+fn main() {
+    println!("E2: messages per snapshot — DGFR Algorithm 2 (always-terminating) vs Algorithm 1\n");
+    let mut t = Table::new(&[
+        "n",
+        "dgfr2 snap msgs",
+        "dgfr2 / n²",
+        "dgfr1 snap msgs",
+        "dgfr1 / n",
+        "dgfr2 latency(us)",
+        "dgfr1 latency(us)",
+    ]);
+    for &n in N_SWEEP {
+        let s2 = measure_single_op(
+            SimConfig::small(n),
+            move |id| Dgfr2::new(id, n),
+            NodeId(0),
+            SnapshotOp::Snapshot,
+        );
+        let s1 = measure_single_op(
+            SimConfig::small(n),
+            move |id| Dgfr1::new(id, n),
+            NodeId(0),
+            SnapshotOp::Snapshot,
+        );
+        t.row(vec![
+            n.to_string(),
+            s2.op_msgs.to_string(),
+            format!("{:.2}", s2.op_msgs as f64 / (n * n) as f64),
+            s1.op_msgs.to_string(),
+            format!("{:.2}", s1.op_msgs as f64 / n as f64),
+            s2.latency_us.to_string(),
+            s1.latency_us.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected shape: dgfr2/n² roughly constant (quadratic growth),");
+    println!("dgfr1/n roughly constant (linear growth).");
+}

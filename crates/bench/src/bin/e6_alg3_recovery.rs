@@ -1,0 +1,72 @@
+//! E6 — Transient-fault recovery of the self-stabilizing
+//! always-terminating algorithm (Theorem 2).
+//!
+//! Claim reproduced: within `O(1)` asynchronous cycles after arbitrary
+//! corruption of every node's state (indices, registers, the whole
+//! `pndTsk` table, and all in-flight messages), the system reaches a
+//! consistent state (Definition 1's invariants) — for every `δ`, and
+//! independent of `n`. Afterwards the object remains fully usable.
+
+use sss_bench::{recovery_cycles, Table, N_SWEEP};
+use sss_core::{Alg3, Alg3Config};
+use sss_sim::{Sim, SimConfig};
+use sss_types::{NodeId, SnapshotOp};
+
+/// After corruption + recovery, do a write and a snapshot still complete?
+fn usable_after_recovery(n: usize, delta: u64) -> bool {
+    let mut sim = Sim::new(SimConfig::small(n).with_seed(9), move |id| {
+        Alg3::new(id, n, Alg3Config { delta })
+    });
+    sim.run_for_cycles(2, 1_000_000_000);
+    for i in 0..n {
+        sim.corrupt_node_now(NodeId(i));
+    }
+    sim.corrupt_channels_now(1.0, 1 << 20);
+    if !sim.run_for_cycles(12, 4_000_000_000) {
+        return false;
+    }
+    let t = sim.now() + 1;
+    sim.invoke_at(t, NodeId(0), SnapshotOp::Write(7));
+    sim.invoke_at(t + 1, NodeId(1), SnapshotOp::Snapshot);
+    sim.run_until_idle(4_000_000_000)
+}
+
+fn main() {
+    println!("E6: recovery of Algorithm 3 from full-state corruption — Theorem 2\n");
+    let mut t = Table::new(&[
+        "n",
+        "δ=0 recovery (cycles)",
+        "δ=4 recovery (cycles)",
+        "δ=64 recovery (cycles)",
+        "usable after (δ=4)",
+    ]);
+    for &n in N_SWEEP {
+        let avg = |delta: u64| -> String {
+            let seeds = [1u64, 2, 3];
+            let mut total = 0u64;
+            for &s in &seeds {
+                let c = recovery_cycles(
+                    SimConfig::small(n).with_seed(s),
+                    move |id| Alg3::new(id, n, Alg3Config { delta }),
+                    true,
+                    64,
+                )
+                .expect("alg3 recovers");
+                total += c;
+            }
+            format!("{:.1}", total as f64 / seeds.len() as f64)
+        };
+        t.row(vec![
+            n.to_string(),
+            avg(0),
+            avg(4),
+            avg(64),
+            if usable_after_recovery(n, 4) { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected shape: a small constant number of cycles in every cell,");
+    println!("flat in both n and δ (Theorem 2's O(1)); the usability column is");
+    println!("'yes' everywhere.");
+}

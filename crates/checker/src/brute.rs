@@ -1,0 +1,223 @@
+//! Exhaustive linearizability search (Wing & Gong style) for small
+//! histories — the oracle the polynomial checker is property-tested
+//! against.
+
+use crate::model::Extracted;
+use sss_types::History;
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+struct AbsOp {
+    /// Writer + 1-based index for writes; `None` for snapshots.
+    write: Option<(usize, u64)>,
+    /// Expected state vector for snapshots; `None` for writes.
+    snap_vec: Option<Vec<u64>>,
+    invoked_at: u64,
+    completed_at: Option<u64>,
+}
+
+/// Decides linearizability by exhaustive search. Exponential in the number
+/// of operations — use only on small histories (≲ 14 operations).
+///
+/// Pending writes are optional: the search tries every subset of them as
+/// "took effect". Pending snapshots constrain nothing and are dropped.
+///
+/// # Panics
+///
+/// Panics if the history contains more than 20 operations (the search
+/// would not finish) or duplicate write values (not black-box checkable).
+pub fn check_brute_force(history: &History, n: usize) -> bool {
+    let model = Extracted::from_history(history, n);
+    assert!(
+        !model
+            .violations
+            .iter()
+            .any(|v| matches!(v, crate::Violation::DuplicateWriteValue { .. })),
+        "brute-force checker requires unique write values"
+    );
+    // Unknown values can never be explained by any linearization.
+    if !model.violations.is_empty() {
+        return false;
+    }
+
+    let mut ops: Vec<AbsOp> = Vec::new();
+    let mut optional: Vec<usize> = Vec::new(); // indices of pending writes
+    for w in &model.writes {
+        if w.completed_at.is_none() {
+            optional.push(ops.len());
+        }
+        ops.push(AbsOp {
+            write: Some((w.writer.index(), w.index)),
+            snap_vec: None,
+            invoked_at: w.invoked_at,
+            completed_at: w.completed_at,
+        });
+    }
+    for s in &model.snaps {
+        ops.push(AbsOp {
+            write: None,
+            snap_vec: Some(s.vec.clone()),
+            invoked_at: s.invoked_at,
+            completed_at: Some(s.completed_at),
+        });
+    }
+    assert!(ops.len() <= 20, "history too large for brute force");
+
+    // Try every subset of pending writes as effective.
+    let subsets = 1u32 << optional.len();
+    for subset in 0..subsets {
+        let mut included: Vec<usize> = (0..ops.len())
+            .filter(|i| ops[*i].completed_at.is_some())
+            .collect();
+        for (bit, &op_idx) in optional.iter().enumerate() {
+            if subset & (1 << bit) != 0 {
+                included.push(op_idx);
+            }
+        }
+        // A dropped pending write must not be required by a later write of
+        // the same writer — impossible here because clients are sequential
+        // (a pending write is its writer's last operation).
+        if search(&ops, &included, n) {
+            return true;
+        }
+    }
+    false
+}
+
+fn search(ops: &[AbsOp], included: &[usize], n: usize) -> bool {
+    let m = included.len();
+    if m == 0 {
+        return true;
+    }
+    let mut visited: HashSet<u32> = HashSet::new();
+    // DFS over sets of linearized ops; state (per-writer indices) is a
+    // function of the applied set, so the mask is a sufficient memo key.
+    fn dfs(
+        ops: &[AbsOp],
+        included: &[usize],
+        mask: u32,
+        state: &mut Vec<u64>,
+        visited: &mut HashSet<u32>,
+    ) -> bool {
+        if mask == (1u32 << included.len()) - 1 {
+            return true;
+        }
+        if !visited.insert(mask) {
+            return false;
+        }
+        for (bit, &oi) in included.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                continue;
+            }
+            let o = &ops[oi];
+            // Real-time rule: o may be next only if no other unlinearized
+            // op completed before o was invoked.
+            let blocked = included.iter().enumerate().any(|(b2, &oj)| {
+                b2 != bit
+                    && mask & (1 << b2) == 0
+                    && ops[oj]
+                        .completed_at
+                        .is_some_and(|c| c < o.invoked_at)
+            });
+            if blocked {
+                continue;
+            }
+            match (&o.write, &o.snap_vec) {
+                (Some((k, idx)), _) => {
+                    let (k, idx) = (*k, *idx);
+                    if state[k] + 1 != idx {
+                        continue; // writer's writes apply in index order
+                    }
+                    state[k] = idx;
+                    if dfs(ops, included, mask | (1 << bit), state, visited) {
+                        return true;
+                    }
+                    state[k] = idx - 1;
+                }
+                (_, Some(vec)) => {
+                    if vec != state {
+                        continue; // snapshot must read the current state
+                    }
+                    if dfs(ops, included, mask | (1 << bit), state, visited) {
+                        return true;
+                    }
+                }
+                _ => unreachable!("op is either write or snapshot"),
+            }
+        }
+        false
+    }
+    let mut state = vec![0u64; n];
+    dfs(ops, included, 0, &mut state, &mut visited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_types::{NodeId, OpId, OpResponse, RegArray, SnapshotOp, SnapshotView, Tagged};
+
+    fn view(cells: &[(usize, u64, u64)], n: usize) -> SnapshotView {
+        let mut reg = RegArray::bottom(n);
+        for &(k, v, ts) in cells {
+            reg.set(NodeId(k), Tagged::new(v, ts));
+        }
+        (&reg).into()
+    }
+
+    #[test]
+    fn accepts_sequential_history() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0);
+        h.record_complete(OpId(0), OpResponse::WriteDone, 5);
+        h.record_invoke(NodeId(1), OpId(1), SnapshotOp::Snapshot, 6);
+        h.record_complete(OpId(1), OpResponse::Snapshot(view(&[(0, 10, 1)], 2)), 9);
+        assert!(check_brute_force(&h, 2));
+    }
+
+    #[test]
+    fn rejects_missed_completed_write() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0);
+        h.record_complete(OpId(0), OpResponse::WriteDone, 5);
+        h.record_invoke(NodeId(1), OpId(1), SnapshotOp::Snapshot, 6);
+        h.record_complete(OpId(1), OpResponse::Snapshot(view(&[], 2)), 9);
+        assert!(!check_brute_force(&h, 2));
+    }
+
+    #[test]
+    fn accepts_concurrent_flexibility() {
+        // Write overlaps snapshot: both observations are legal.
+        for seen in [false, true] {
+            let mut h = History::new();
+            h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0);
+            h.record_complete(OpId(0), OpResponse::WriteDone, 20);
+            let cells: &[(usize, u64, u64)] = if seen { &[(0, 10, 1)] } else { &[] };
+            h.record_invoke(NodeId(1), OpId(1), SnapshotOp::Snapshot, 5);
+            h.record_complete(OpId(1), OpResponse::Snapshot(view(cells, 2)), 15);
+            assert!(check_brute_force(&h, 2), "seen={seen}");
+        }
+    }
+
+    #[test]
+    fn accepts_observed_pending_write() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0); // pending
+        h.record_invoke(NodeId(1), OpId(1), SnapshotOp::Snapshot, 5);
+        h.record_complete(OpId(1), OpResponse::Snapshot(view(&[(0, 10, 1)], 2)), 9);
+        assert!(check_brute_force(&h, 2));
+    }
+
+    #[test]
+    fn rejects_incomparable_snapshots() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0);
+        h.record_complete(OpId(0), OpResponse::WriteDone, 50);
+        h.record_invoke(NodeId(1), OpId(1), SnapshotOp::Write(20), 0);
+        h.record_complete(OpId(1), OpResponse::WriteDone, 50);
+        h.record_invoke(NodeId(2), OpId(2), SnapshotOp::Snapshot, 10);
+        h.record_complete(OpId(2), OpResponse::Snapshot(view(&[(0, 10, 1)], 3)), 40);
+        h.record_invoke(NodeId(2), OpId(3), SnapshotOp::Snapshot, 41);
+        h.record_complete(OpId(3), OpResponse::Snapshot(view(&[(1, 20, 1)], 3)), 60);
+        assert!(!check_brute_force(&h, 3));
+    }
+}

@@ -1,0 +1,49 @@
+//! Linearizability checking for SWMR snapshot-object histories.
+//!
+//! A snapshot object is *linearizable* (atomic) when every `write(v)` and
+//! `snapshot()` appears to take effect instantaneously between its
+//! invocation and its response. This crate decides that property for the
+//! histories recorded by the simulator and the threaded runtime.
+//!
+//! Two checkers are provided:
+//!
+//! * [`check`] — a polynomial-time decision procedure specialized to
+//!   single-writer snapshot semantics with **unique write values** (the
+//!   workloads guarantee uniqueness by encoding `(writer, sequence)` into
+//!   each value). It reduces linearizability to five orderings:
+//!
+//!   1. every snapshot component is a value actually written by that
+//!      writer (or `⊥`);
+//!   2. the *version vectors* of all snapshots form a chain (mutual
+//!      `⪯`-comparability) — concurrent snapshots must not observe
+//!      incomparable register states;
+//!   3. a write that completed before a snapshot began is contained in it,
+//!      and a snapshot that completed before a write began excludes it;
+//!   4. snapshots respect real time among themselves;
+//!   5. containment is monotone with respect to the real-time order of
+//!      writes (if `w₁` finished before `w₂` started, no snapshot may
+//!      contain `w₂` but miss `w₁`).
+//!
+//!   These conditions are necessary, and — with unique values and
+//!   per-writer sequential clients — sufficient: a linearization is
+//!   constructed by sorting snapshots by version vector and slotting each
+//!   write before the first snapshot that contains it.
+//!
+//! * [`check_brute_force`] — an exhaustive Wing&Gong-style search over
+//!   linearization orders, exponential but exact, used by property tests
+//!   to cross-validate [`check`] on small histories.
+//!
+//! Pending (unresponded) operations are treated as possibly-effective:
+//! a pending write may or may not be observed; it only generates the
+//! constraints that follow from its invocation time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod brute;
+mod model;
+mod poly;
+
+pub use brute::check_brute_force;
+pub use model::{Extracted, Violation};
+pub use poly::{check, Verdict};

@@ -1,0 +1,250 @@
+//! Extraction of the abstract write/snapshot model from a raw history.
+
+use sss_types::{History, NodeId, OpId, OpResponse, SnapshotOp, Value};
+use std::collections::HashMap;
+
+/// Why a history is not linearizable (or not checkable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two writes used the same value; the black-box checker needs unique
+    /// values (a workload bug, not a protocol bug).
+    DuplicateWriteValue {
+        /// The offending value.
+        value: Value,
+    },
+    /// A snapshot returned, for some register, a value never written by
+    /// that register's writer.
+    UnknownValue {
+        /// The snapshot operation.
+        snapshot: OpId,
+        /// The register index.
+        register: NodeId,
+        /// The unexplained value.
+        value: Value,
+    },
+    /// Two snapshots observed `⪯`-incomparable register states.
+    IncomparableSnapshots {
+        /// One snapshot.
+        a: OpId,
+        /// The other snapshot.
+        b: OpId,
+    },
+    /// A write that completed before a snapshot began is missing from it.
+    MissingCompletedWrite {
+        /// The snapshot operation.
+        snapshot: OpId,
+        /// The missed write.
+        write: OpId,
+    },
+    /// A snapshot that completed before a write began already contains it.
+    ReadFromTheFuture {
+        /// The snapshot operation.
+        snapshot: OpId,
+        /// The future write.
+        write: OpId,
+    },
+    /// A later snapshot observed strictly less than an earlier one.
+    SnapshotsDisrespectRealTime {
+        /// The earlier (completed-first) snapshot.
+        earlier: OpId,
+        /// The later (invoked-after) snapshot.
+        later: OpId,
+    },
+    /// A snapshot contains a write but misses another write that
+    /// real-time-preceded it.
+    NonMonotoneContainment {
+        /// The write that finished first and is missing.
+        missing: OpId,
+        /// The contained write that started later.
+        contained: OpId,
+    },
+}
+
+/// One write operation in the abstract model.
+#[derive(Clone, Debug)]
+pub struct WriteRec {
+    /// Operation id.
+    pub op: OpId,
+    /// The writer.
+    pub writer: NodeId,
+    /// 1-based per-writer sequence index.
+    pub index: u64,
+    /// Invocation time.
+    pub invoked_at: u64,
+    /// Completion time (`None` while pending).
+    pub completed_at: Option<u64>,
+}
+
+/// One completed snapshot in the abstract model.
+#[derive(Clone, Debug)]
+pub struct SnapRec {
+    /// Operation id.
+    pub op: OpId,
+    /// Per-writer version vector: component `k` is the per-writer index
+    /// of the latest write by `k` the snapshot observed (0 = `⊥`).
+    pub vec: Vec<u64>,
+    /// Invocation time.
+    pub invoked_at: u64,
+    /// Completion time.
+    pub completed_at: u64,
+}
+
+/// The abstract model extracted from a history.
+#[derive(Clone, Debug, Default)]
+pub struct Extracted {
+    /// All writes (completed and pending), per-writer indices assigned in
+    /// invocation order.
+    pub writes: Vec<WriteRec>,
+    /// All completed snapshots.
+    pub snaps: Vec<SnapRec>,
+    /// Violations found during extraction (unknown/duplicate values).
+    pub violations: Vec<Violation>,
+}
+
+impl Extracted {
+    /// Builds the model from a history. `n` is the number of processes
+    /// (registers).
+    pub fn from_history(history: &History, n: usize) -> Extracted {
+        let mut out = Extracted::default();
+        // Per-writer sequence indices in invocation order (records are in
+        // invocation order; clients are sequential per node).
+        let mut next_index = vec![0u64; n];
+        let mut by_value: HashMap<(usize, Value), u64> = HashMap::new();
+        for rec in history.records() {
+            if rec.aborted {
+                continue;
+            }
+            if let SnapshotOp::Write(v) = rec.op {
+                let k = rec.node.index();
+                next_index[k] += 1;
+                let index = next_index[k];
+                if by_value.insert((k, v), index).is_some() {
+                    out.violations.push(Violation::DuplicateWriteValue { value: v });
+                }
+                out.writes.push(WriteRec {
+                    op: rec.id,
+                    writer: rec.node,
+                    index,
+                    invoked_at: rec.invoked_at,
+                    completed_at: rec.completed_at,
+                });
+            }
+        }
+        for rec in history.records() {
+            if rec.aborted || !matches!(rec.op, SnapshotOp::Snapshot) {
+                continue;
+            }
+            let (Some(done), Some(OpResponse::Snapshot(view))) =
+                (rec.completed_at, rec.response.as_ref())
+            else {
+                continue; // pending snapshots constrain nothing
+            };
+            let mut vec = vec![0u64; n];
+            for (k, val) in view.values().iter().enumerate() {
+                match val {
+                    None => vec[k] = 0,
+                    Some(v) => match by_value.get(&(k, *v)) {
+                        Some(&idx) => vec[k] = idx,
+                        None => out.violations.push(Violation::UnknownValue {
+                            snapshot: rec.id,
+                            register: NodeId(k),
+                            value: *v,
+                        }),
+                    },
+                }
+            }
+            out.snaps.push(SnapRec {
+                op: rec.id,
+                vec,
+                invoked_at: rec.invoked_at,
+                completed_at: done,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_types::{RegArray, SnapshotView, Tagged};
+
+    fn view(cells: &[(usize, Value, u64)], n: usize) -> SnapshotView {
+        let mut reg = RegArray::bottom(n);
+        for &(k, v, ts) in cells {
+            reg.set(NodeId(k), Tagged::new(v, ts));
+        }
+        (&reg).into()
+    }
+
+    #[test]
+    fn extracts_indices_in_invocation_order() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0);
+        h.record_complete(OpId(0), OpResponse::WriteDone, 5);
+        h.record_invoke(NodeId(0), OpId(1), SnapshotOp::Write(11), 6);
+        h.record_complete(OpId(1), OpResponse::WriteDone, 9);
+        h.record_invoke(NodeId(1), OpId(2), SnapshotOp::Write(20), 2);
+        let m = Extracted::from_history(&h, 2);
+        assert_eq!(m.writes.len(), 3);
+        assert_eq!(m.writes[0].index, 1);
+        assert_eq!(m.writes[1].index, 2);
+        assert_eq!(m.writes[2].index, 1, "per-writer sequence");
+        assert!(m.writes[2].completed_at.is_none());
+        assert!(m.violations.is_empty());
+    }
+
+    #[test]
+    fn snapshot_vectors_map_values_to_indices() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0);
+        h.record_complete(OpId(0), OpResponse::WriteDone, 5);
+        h.record_invoke(NodeId(1), OpId(1), SnapshotOp::Snapshot, 6);
+        h.record_complete(
+            OpId(1),
+            OpResponse::Snapshot(view(&[(0, 10, 1)], 2)),
+            9,
+        );
+        let m = Extracted::from_history(&h, 2);
+        assert_eq!(m.snaps.len(), 1);
+        assert_eq!(m.snaps[0].vec, vec![1, 0]);
+    }
+
+    #[test]
+    fn unknown_value_is_flagged() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(1), OpId(0), SnapshotOp::Snapshot, 0);
+        h.record_complete(
+            OpId(0),
+            OpResponse::Snapshot(view(&[(0, 666, 3)], 2)),
+            4,
+        );
+        let m = Extracted::from_history(&h, 2);
+        assert!(matches!(
+            m.violations[0],
+            Violation::UnknownValue { value: 666, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_values_are_flagged() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(7), 0);
+        h.record_complete(OpId(0), OpResponse::WriteDone, 2);
+        h.record_invoke(NodeId(0), OpId(1), SnapshotOp::Write(7), 3);
+        let m = Extracted::from_history(&h, 1);
+        assert!(matches!(
+            m.violations[0],
+            Violation::DuplicateWriteValue { value: 7 }
+        ));
+    }
+
+    #[test]
+    fn aborted_ops_are_excluded() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(1), 0);
+        h.record_abort(OpId(0), 2);
+        let m = Extracted::from_history(&h, 1);
+        assert!(m.writes.is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! The polynomial-time linearizability checker.
+
+use crate::model::{Extracted, SnapRec, Violation, WriteRec};
+use sss_types::History;
+
+/// The outcome of a linearizability check.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// All violations found (empty = linearizable).
+    pub violations: Vec<Violation>,
+}
+
+impl Verdict {
+    /// Whether the history is linearizable.
+    pub fn is_linearizable(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks a snapshot-object history for linearizability in polynomial
+/// time. `n` is the number of processes (register-array width).
+///
+/// See the [crate docs](crate) for the five conditions and why they are
+/// equivalent to linearizability for SWMR snapshots with unique values.
+///
+/// ```
+/// use sss_types::{History, NodeId, OpId, SnapshotOp, OpResponse};
+/// let mut h = History::new();
+/// h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(7), 0);
+/// h.record_complete(OpId(0), OpResponse::WriteDone, 5);
+/// let verdict = sss_checker::check(&h, 1);
+/// assert!(verdict.is_linearizable());
+/// ```
+pub fn check(history: &History, n: usize) -> Verdict {
+    let model = Extracted::from_history(history, n);
+    let mut violations = model.violations.clone();
+    if !violations.is_empty() {
+        // Vectors are unreliable when values could not be mapped.
+        return Verdict { violations };
+    }
+    let Extracted { writes, snaps, .. } = model;
+
+    check_chain(&snaps, &mut violations);
+    check_snapshot_real_time(&snaps, &mut violations);
+    check_write_snapshot_real_time(&writes, &snaps, n, &mut violations);
+    check_containment_monotonicity(&writes, &snaps, &mut violations);
+
+    Verdict { violations }
+}
+
+fn le(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// Condition 2: version vectors form a chain.
+fn check_chain(snaps: &[SnapRec], violations: &mut Vec<Violation>) {
+    // Sort by component sum; a chain has monotone sums and equal-sum
+    // elements must be identical.
+    let mut order: Vec<usize> = (0..snaps.len()).collect();
+    order.sort_by_key(|&i| snaps[i].vec.iter().sum::<u64>());
+    for w in order.windows(2) {
+        let (a, b) = (&snaps[w[0]], &snaps[w[1]]);
+        if !le(&a.vec, &b.vec) {
+            violations.push(Violation::IncomparableSnapshots { a: a.op, b: b.op });
+        }
+    }
+}
+
+/// Condition 4: snapshots respect real time among themselves.
+fn check_snapshot_real_time(snaps: &[SnapRec], violations: &mut Vec<Violation>) {
+    // prefix-max trick: walk snapshots by invocation time, keeping the
+    // componentwise ceiling of everything that completed strictly before.
+    let mut by_completion: Vec<usize> = (0..snaps.len()).collect();
+    by_completion.sort_by_key(|&i| snaps[i].completed_at);
+    let mut by_invocation: Vec<usize> = (0..snaps.len()).collect();
+    by_invocation.sort_by_key(|&i| snaps[i].invoked_at);
+
+    let n = snaps.first().map_or(0, |s| s.vec.len());
+    let mut ceiling = vec![0u64; n];
+    let mut ceil_holder: Vec<Option<usize>> = vec![None; n];
+    let mut done = by_completion.into_iter().peekable();
+    for &i in &by_invocation {
+        while let Some(&j) = done.peek() {
+            if snaps[j].completed_at < snaps[i].invoked_at {
+                for (c, (&v, holder)) in snaps[j]
+                    .vec
+                    .iter()
+                    .zip(ceil_holder.iter_mut())
+                    .enumerate()
+                {
+                    if v > ceiling[c] {
+                        ceiling[c] = v;
+                        *holder = Some(j);
+                    }
+                }
+                done.next();
+            } else {
+                break;
+            }
+        }
+        if !le(&ceiling, &snaps[i].vec) {
+            // Find a concrete witness for the report.
+            let c = (0..n).find(|&c| ceiling[c] > snaps[i].vec[c]).unwrap();
+            let earlier = ceil_holder[c].unwrap();
+            violations.push(Violation::SnapshotsDisrespectRealTime {
+                earlier: snaps[earlier].op,
+                later: snaps[i].op,
+            });
+        }
+    }
+}
+
+/// Condition 3, both directions.
+fn check_write_snapshot_real_time(
+    writes: &[WriteRec],
+    snaps: &[SnapRec],
+    n: usize,
+    violations: &mut Vec<Violation>,
+) {
+    // (a) write completed before snapshot invoked ⇒ contained.
+    // Per writer, the completed writes sorted by completion time; for each
+    // snapshot take the largest index completed before its invocation.
+    let mut per_writer: Vec<Vec<(u64, u64, usize)>> = vec![Vec::new(); n]; // (completed, index, writes-idx)
+    for (wi, w) in writes.iter().enumerate() {
+        if let Some(done) = w.completed_at {
+            per_writer[w.writer.index()].push((done, w.index, wi));
+        }
+    }
+    for v in &mut per_writer {
+        v.sort_unstable();
+    }
+    for s in snaps {
+        for (k, list) in per_writer.iter().enumerate() {
+            // All entries completed strictly before s.invoked_at.
+            let cut = list.partition_point(|&(done, _, _)| done < s.invoked_at);
+            if let Some(&(_, idx, wi)) = list[..cut].iter().max_by_key(|&&(_, idx, _)| idx) {
+                if s.vec[k] < idx {
+                    violations.push(Violation::MissingCompletedWrite {
+                        snapshot: s.op,
+                        write: writes[wi].op,
+                    });
+                }
+            }
+        }
+    }
+    // (b) snapshot completed before write invoked ⇒ excluded.
+    // Prefix max of each component over snapshots by completion time.
+    let mut by_completion: Vec<usize> = (0..snaps.len()).collect();
+    by_completion.sort_by_key(|&i| snaps[i].completed_at);
+    for w in writes {
+        let k = w.writer.index();
+        // Largest snapshot component for k among snapshots completed
+        // before w.invoked_at.
+        let mut max_seen: Option<usize> = None;
+        for &i in &by_completion {
+            if snaps[i].completed_at >= w.invoked_at {
+                break;
+            }
+            if max_seen.is_none_or(|m| snaps[i].vec[k] > snaps[m].vec[k]) {
+                max_seen = Some(i);
+            }
+        }
+        if let Some(m) = max_seen {
+            if snaps[m].vec[k] >= w.index {
+                violations.push(Violation::ReadFromTheFuture {
+                    snapshot: snaps[m].op,
+                    write: w.op,
+                });
+            }
+        }
+    }
+}
+
+/// Condition 5: containment monotone w.r.t. real-time order of writes.
+fn check_containment_monotonicity(
+    writes: &[WriteRec],
+    snaps: &[SnapRec],
+    violations: &mut Vec<Violation>,
+) {
+    if snaps.is_empty() {
+        return;
+    }
+    // Chain position of each snapshot (sorted by vector sum; equal sums
+    // are equal vectors if condition 2 held).
+    let mut order: Vec<usize> = (0..snaps.len()).collect();
+    order.sort_by_key(|&i| snaps[i].vec.iter().sum::<u64>());
+    // pos(w) = first chain position whose vector contains w (∞ = usize::MAX).
+    let pos_of = |w: &WriteRec| -> usize {
+        let k = w.writer.index();
+        order
+            .iter()
+            .position(|&i| snaps[i].vec[k] >= w.index)
+            .unwrap_or(usize::MAX)
+    };
+    let pos: Vec<usize> = writes.iter().map(pos_of).collect();
+    // Walk writes by invocation time, keeping the max pos over writes
+    // completed strictly earlier; monotonicity must hold.
+    let mut by_completion: Vec<usize> = writes
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.completed_at.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    by_completion.sort_by_key(|&i| writes[i].completed_at.unwrap());
+    let mut by_invocation: Vec<usize> = (0..writes.len()).collect();
+    by_invocation.sort_by_key(|&i| writes[i].invoked_at);
+
+    let mut max_pos: Option<usize> = None; // index into writes
+    let mut done = by_completion.into_iter().peekable();
+    for &i in &by_invocation {
+        while let Some(&j) = done.peek() {
+            if writes[j].completed_at.unwrap() < writes[i].invoked_at {
+                if max_pos.is_none_or(|m| pos[j] > pos[m]) {
+                    max_pos = Some(j);
+                }
+                done.next();
+            } else {
+                break;
+            }
+        }
+        if let Some(m) = max_pos {
+            if pos[m] > pos[i] {
+                violations.push(Violation::NonMonotoneContainment {
+                    missing: writes[m].op,
+                    contained: writes[i].op,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_types::{NodeId, OpId, OpResponse, RegArray, SnapshotOp, SnapshotView, Tagged};
+
+    fn view(cells: &[(usize, u64, u64)], n: usize) -> SnapshotView {
+        let mut reg = RegArray::bottom(n);
+        for &(k, v, ts) in cells {
+            reg.set(NodeId(k), Tagged::new(v, ts));
+        }
+        (&reg).into()
+    }
+
+    fn write(h: &mut History, id: u64, node: usize, v: u64, t0: u64, t1: u64) {
+        h.record_invoke(NodeId(node), OpId(id), SnapshotOp::Write(v), t0);
+        h.record_complete(OpId(id), OpResponse::WriteDone, t1);
+    }
+
+    fn snap(h: &mut History, id: u64, node: usize, cells: &[(usize, u64, u64)], n: usize, t0: u64, t1: u64) {
+        h.record_invoke(NodeId(node), OpId(id), SnapshotOp::Snapshot, t0);
+        h.record_complete(OpId(id), OpResponse::Snapshot(view(cells, n)), t1);
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h = History::new();
+        write(&mut h, 0, 0, 10, 0, 5);
+        snap(&mut h, 1, 1, &[(0, 10, 1)], 2, 6, 9);
+        write(&mut h, 2, 0, 11, 10, 15);
+        snap(&mut h, 3, 1, &[(0, 11, 2)], 2, 16, 19);
+        assert!(check(&h, 2).is_linearizable());
+    }
+
+    #[test]
+    fn concurrent_snapshot_may_or_may_not_see_concurrent_write() {
+        for seen in [false, true] {
+            let mut h = History::new();
+            write(&mut h, 0, 0, 10, 0, 20); // long write
+            let cells: &[(usize, u64, u64)] = if seen { &[(0, 10, 1)] } else { &[] };
+            snap(&mut h, 1, 1, cells, 2, 5, 15); // overlaps the write
+            assert!(check(&h, 2).is_linearizable(), "seen={seen}");
+        }
+    }
+
+    #[test]
+    fn missing_completed_write_is_flagged() {
+        let mut h = History::new();
+        write(&mut h, 0, 0, 10, 0, 5);
+        snap(&mut h, 1, 1, &[], 2, 6, 9); // began after the write finished
+        let v = check(&h, 2);
+        assert!(matches!(
+            v.violations[0],
+            Violation::MissingCompletedWrite { .. }
+        ));
+    }
+
+    #[test]
+    fn read_from_the_future_is_flagged() {
+        let mut h = History::new();
+        snap(&mut h, 0, 1, &[(0, 10, 1)], 2, 0, 4); // completed at 4
+        write(&mut h, 1, 0, 10, 6, 9); // invoked at 6
+        let v = check(&h, 2);
+        assert!(matches!(
+            v.violations[0],
+            Violation::ReadFromTheFuture { .. }
+        ));
+    }
+
+    #[test]
+    fn incomparable_snapshots_are_flagged() {
+        let mut h = History::new();
+        // Two concurrent writes by different writers…
+        write(&mut h, 0, 0, 10, 0, 50);
+        write(&mut h, 1, 1, 20, 0, 50);
+        // …and two concurrent snapshots, each seeing only one of them.
+        snap(&mut h, 2, 2, &[(0, 10, 1)], 3, 10, 40);
+        snap(&mut h, 3, 2, &[(1, 20, 1)], 3, 11, 41);
+        let v = check(&h, 3);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::IncomparableSnapshots { .. })));
+    }
+
+    #[test]
+    fn snapshots_must_respect_real_time() {
+        let mut h = History::new();
+        write(&mut h, 0, 0, 10, 0, 100); // pending-ish long write
+        snap(&mut h, 1, 1, &[(0, 10, 1)], 2, 5, 20); // saw it
+        snap(&mut h, 2, 1, &[], 2, 30, 45); // later, lost it
+        let v = check(&h, 2);
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| matches!(x, Violation::SnapshotsDisrespectRealTime { .. })));
+    }
+
+    #[test]
+    fn non_monotone_containment_is_flagged() {
+        let mut h = History::new();
+        write(&mut h, 0, 0, 10, 0, 5); // w1 finished…
+        write(&mut h, 1, 1, 20, 10, 60); // …before w2 started (w2 pending-ish)
+        // A snapshot concurrent with everything that contains w2 but not w1.
+        snap(&mut h, 2, 2, &[(1, 20, 1)], 3, 2, 70);
+        let v = check(&h, 3);
+        assert!(
+            v.violations.iter().any(|x| matches!(
+                x,
+                Violation::NonMonotoneContainment { .. }
+                    | Violation::MissingCompletedWrite { .. }
+            )),
+            "got {:?}",
+            v.violations
+        );
+    }
+
+    #[test]
+    fn pending_write_may_be_observed() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0);
+        // Never completes, but a snapshot sees it: legal.
+        snap(&mut h, 1, 1, &[(0, 10, 1)], 2, 5, 9);
+        assert!(check(&h, 2).is_linearizable());
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check(&History::new(), 3).is_linearizable());
+    }
+}

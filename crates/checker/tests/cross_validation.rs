@@ -1,0 +1,132 @@
+//! Property-based cross-validation: the polynomial checker must agree
+//! with the exhaustive Wing&Gong search on every small history.
+
+use proptest::prelude::*;
+use sss_checker::{check, check_brute_force};
+use sss_types::{History, NodeId, OpId, OpResponse, RegArray, SnapshotOp, SnapshotView, Tagged};
+
+/// One generated operation, before serialization per node.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Write { pending: bool },
+    Snapshot { vec_seed: Vec<u8>, dur: u8 },
+}
+
+/// Builds a history from generated ops: per-node invocations are
+/// sequential (clients are sequential); values are unique `(node, seq)`
+/// encodings; snapshot result vectors are derived from the seed, clamped
+/// to the number of writes each writer has (so values always decode).
+fn build_history(n: usize, ops: Vec<(u8, u8, GenOp)>) -> History {
+    let mut h = History::new();
+    let mut node_clock = vec![0u64; n]; // per-node next free time
+    let mut writes_so_far = vec![0u64; n];
+    let mut total_writes = vec![0u64; n];
+    for (node, _, op) in &ops {
+        if matches!(op, GenOp::Write { .. }) {
+            total_writes[*node as usize % n] += 1;
+        }
+    }
+    let mut dead = vec![false; n]; // a pending op is its node's last op
+    let mut id = 0u64;
+    for (node, gap, op) in ops {
+        let k = node as usize % n;
+        if dead[k] {
+            continue;
+        }
+        let start = node_clock[k] + gap as u64;
+        let oid = OpId(id);
+        id += 1;
+        match op {
+            GenOp::Write { pending } => {
+                writes_so_far[k] += 1;
+                let value = (k as u64) << 32 | writes_so_far[k];
+                h.record_invoke(NodeId(k), oid, SnapshotOp::Write(value), start);
+                if pending {
+                    dead[k] = true;
+                } else {
+                    let end = start + 3;
+                    h.record_complete(oid, OpResponse::WriteDone, end);
+                    node_clock[k] = end + 1;
+                }
+            }
+            GenOp::Snapshot { vec_seed, dur } => {
+                h.record_invoke(NodeId(k), oid, SnapshotOp::Snapshot, start);
+                let end = start + 1 + dur as u64;
+                let mut reg = RegArray::bottom(n);
+                for (w, seed) in vec_seed.iter().enumerate().take(n) {
+                    let idx = (*seed as u64) % (total_writes[w] + 1);
+                    if idx > 0 {
+                        let value = (w as u64) << 32 | idx;
+                        reg.set(NodeId(w), Tagged::new(value, idx));
+                    }
+                }
+                let view: SnapshotView = (&reg).into();
+                h.record_complete(oid, OpResponse::Snapshot(view), end);
+                node_clock[k] = end + 1;
+            }
+        }
+    }
+    h
+}
+
+fn gen_op(n: usize) -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        3 => (any::<bool>()).prop_map(|pending| GenOp::Write { pending: pending && false }),
+        1 => Just(GenOp::Write { pending: true }),
+        3 => (proptest::collection::vec(0u8..4, n), 0u8..20)
+            .prop_map(|(vec_seed, dur)| GenOp::Snapshot { vec_seed, dur }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// The polynomial checker and the exhaustive oracle agree.
+    #[test]
+    fn poly_agrees_with_brute_force(
+        n in 2usize..4,
+        ops in proptest::collection::vec(
+            (0u8..4, 0u8..10, gen_op(3)),
+            0..7,
+        )
+    ) {
+        let h = build_history(n, ops);
+        let poly = check(&h, n).is_linearizable();
+        let brute = check_brute_force(&h, n);
+        prop_assert_eq!(poly, brute, "history: {:?}", h);
+    }
+
+    /// Sequential histories with truthful snapshots are always accepted.
+    #[test]
+    fn truthful_sequential_histories_pass(
+        n in 1usize..4,
+        writes_per_node in proptest::collection::vec(0u64..4, 1..4),
+    ) {
+        let mut h = History::new();
+        let mut t = 0u64;
+        let mut id = 0u64;
+        let mut state = vec![0u64; n];
+        let mut reg = RegArray::bottom(n);
+        for (k, &cnt) in writes_per_node.iter().enumerate().take(n) {
+            for j in 1..=cnt {
+                let value = (k as u64) << 32 | j;
+                h.record_invoke(NodeId(k), OpId(id), SnapshotOp::Write(value), t);
+                h.record_complete(OpId(id), OpResponse::WriteDone, t + 2);
+                id += 1;
+                t += 5;
+                state[k] = j;
+                reg.set(NodeId(k), Tagged::new(value, j));
+                // A truthful snapshot right after the write.
+                let view: SnapshotView = (&reg).into();
+                h.record_invoke(NodeId((k + 1) % n), OpId(id), SnapshotOp::Snapshot, t);
+                h.record_complete(OpId(id), OpResponse::Snapshot(view), t + 2);
+                id += 1;
+                t += 5;
+            }
+        }
+        prop_assert!(check(&h, n).is_linearizable());
+        if id <= 16 {
+            prop_assert!(check_brute_force(&h, n));
+        }
+    }
+}

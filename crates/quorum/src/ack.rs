@@ -1,0 +1,122 @@
+//! Majority acknowledgement tracking for one broadcast attempt.
+
+use sss_types::{NodeId, ProcessSet};
+
+/// Collects acknowledgements for the current attempt of a
+/// `repeat broadcast … until … received from a majority` loop.
+///
+/// Every attempt carries a tag (a snapshot query index `ssn`, a write
+/// timestamp, …); replies tagged differently belong to older attempts — or
+/// to pre-fault garbage — and are ignored, which is precisely how the
+/// self-stabilizing algorithms discard stale `SNAPSHOTack` messages
+/// (Algorithm 1, lines 9 and 20).
+///
+/// ```
+/// use sss_quorum::AckTracker;
+/// use sss_types::NodeId;
+/// let mut acks = AckTracker::new(3);
+/// acks.arm(7); // attempt tag, e.g. ssn = 7
+/// assert!(!acks.accept(NodeId(0), 6)); // stale reply ignored
+/// acks.accept(NodeId(0), 7);
+/// assert!(!acks.has_majority());
+/// acks.accept(NodeId(2), 7);
+/// assert!(acks.has_majority());
+/// ```
+#[derive(Clone, Debug)]
+pub struct AckTracker {
+    tag: u64,
+    acked: ProcessSet,
+}
+
+impl AckTracker {
+    /// A tracker over `n` processes with no armed attempt (tag 0 and the
+    /// empty ack set).
+    pub fn new(n: usize) -> Self {
+        AckTracker {
+            tag: 0,
+            acked: ProcessSet::new(n),
+        }
+    }
+
+    /// Starts a new attempt with tag `tag`, clearing collected acks.
+    pub fn arm(&mut self, tag: u64) {
+        self.tag = tag;
+        self.acked.clear();
+    }
+
+    /// The currently armed tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Records an acknowledgement from `from` carrying `tag`; returns
+    /// whether it was accepted (tag matched and was not a duplicate).
+    pub fn accept(&mut self, from: NodeId, tag: u64) -> bool {
+        if tag != self.tag {
+            return false;
+        }
+        self.acked.insert(from)
+    }
+
+    /// Whether a strict majority of processes acknowledged this attempt.
+    pub fn has_majority(&self) -> bool {
+        self.acked.is_majority()
+    }
+
+    /// Number of distinct acknowledgements for this attempt.
+    pub fn count(&self) -> usize {
+        self.acked.len()
+    }
+
+    /// The processes that acknowledged this attempt.
+    pub fn acked(&self) -> &ProcessSet {
+        &self.acked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_wrong_tag() {
+        let mut t = AckTracker::new(3);
+        t.arm(5);
+        assert!(!t.accept(NodeId(0), 4));
+        assert!(!t.accept(NodeId(0), 6));
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn deduplicates_acks() {
+        let mut t = AckTracker::new(5);
+        t.arm(1);
+        assert!(t.accept(NodeId(2), 1));
+        assert!(!t.accept(NodeId(2), 1), "duplicate from same node");
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn rearming_clears_state() {
+        let mut t = AckTracker::new(3);
+        t.arm(1);
+        t.accept(NodeId(0), 1);
+        t.accept(NodeId(1), 1);
+        assert!(t.has_majority());
+        t.arm(2);
+        assert!(!t.has_majority());
+        assert_eq!(t.tag(), 2);
+        assert!(!t.accept(NodeId(0), 1), "old tag now stale");
+    }
+
+    #[test]
+    fn majority_needs_strict_majority() {
+        let mut t = AckTracker::new(4);
+        t.arm(9);
+        t.accept(NodeId(0), 9);
+        t.accept(NodeId(1), 9);
+        assert!(!t.has_majority(), "2 of 4 is not a majority");
+        t.accept(NodeId(3), 9);
+        assert!(t.has_majority());
+    }
+}

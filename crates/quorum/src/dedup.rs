@@ -1,0 +1,101 @@
+//! Bounded-memory at-most-once delivery filtering.
+
+use sss_types::NodeId;
+
+/// Filters duplicate requests per sender using a bounded window of
+/// recently seen request identifiers.
+///
+/// The channels of the paper's model may duplicate packets; idempotent
+/// server handlers tolerate that by construction, but primitives with
+/// side effects (reliable-broadcast delivery, reset participation) must
+/// deliver each request at most once. Self-stabilization demands bounded
+/// memory, so the filter keeps a fixed-size window per sender rather than
+/// an unbounded seen-set; an identifier older than the window is treated
+/// as fresh, which is safe for the idempotent deliveries it guards and is
+/// the standard bounded-space compromise.
+///
+/// ```
+/// use sss_quorum::DedupFilter;
+/// use sss_types::NodeId;
+/// let mut f = DedupFilter::new(2, 8);
+/// assert!(f.fresh(NodeId(0), 10));
+/// assert!(!f.fresh(NodeId(0), 10)); // duplicate
+/// assert!(f.fresh(NodeId(1), 10)); // other sender, own window
+/// ```
+#[derive(Clone, Debug)]
+pub struct DedupFilter {
+    window: usize,
+    seen: Vec<Vec<u64>>,
+}
+
+impl DedupFilter {
+    /// A filter for `n` senders remembering the last `window` identifiers
+    /// per sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(n: usize, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        DedupFilter {
+            window,
+            seen: vec![Vec::with_capacity(window); n],
+        }
+    }
+
+    /// Returns whether `(from, id)` has not been seen within the window,
+    /// recording it as seen.
+    pub fn fresh(&mut self, from: NodeId, id: u64) -> bool {
+        let w = &mut self.seen[from.index()];
+        if w.contains(&id) {
+            return false;
+        }
+        if w.len() == self.window {
+            w.remove(0);
+        }
+        w.push(id);
+        true
+    }
+
+    /// Forgets everything (detectable restart / reset).
+    pub fn clear(&mut self) {
+        self.seen.iter_mut().for_each(|w| w.clear());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_per_sender() {
+        let mut f = DedupFilter::new(2, 4);
+        assert!(f.fresh(NodeId(0), 1));
+        assert!(f.fresh(NodeId(1), 1));
+        assert!(!f.fresh(NodeId(0), 1));
+    }
+
+    #[test]
+    fn eviction_after_window_overflows() {
+        let mut f = DedupFilter::new(1, 2);
+        assert!(f.fresh(NodeId(0), 1));
+        assert!(f.fresh(NodeId(0), 2));
+        assert!(f.fresh(NodeId(0), 3)); // evicts 1
+        assert!(f.fresh(NodeId(0), 1), "evicted id is fresh again");
+        assert!(!f.fresh(NodeId(0), 3));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = DedupFilter::new(1, 4);
+        f.fresh(NodeId(0), 7);
+        f.clear();
+        assert!(f.fresh(NodeId(0), 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        DedupFilter::new(1, 0);
+    }
+}

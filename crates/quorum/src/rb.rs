@@ -1,0 +1,283 @@
+//! The reliable-broadcast substrate used by Delporte-Gallet et al.'s
+//! always-terminating algorithm (Algorithm 2).
+//!
+//! Properties (among correct nodes, with fair-lossy channels and `f < n/2`
+//! crashes):
+//!
+//! * **Validity** — if a correct node broadcasts `m`, it delivers `m`;
+//! * **Agreement (all-or-nothing)** — if any correct node delivers `m`,
+//!   every correct node eventually delivers `m`;
+//! * **Integrity** — `m` is delivered at most once per node.
+//!
+//! Mechanism: the origin floods `(origin, seq, payload)` to all nodes and
+//! every *deliverer* becomes a forwarder, retransmitting each round to every
+//! node that has not individually acknowledged. This costs `O(n²)` messages
+//! per broadcast — the very cost the paper's Algorithm 3 avoids by storing
+//! snapshot results in majority-replicated safe registers instead.
+
+use sss_types::{NodeId, ProcessSet};
+use std::collections::BTreeMap;
+
+/// Identifies one broadcast: the origin and the origin-local sequence
+/// number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RbId {
+    /// The broadcasting node.
+    pub origin: NodeId,
+    /// The origin-local sequence number.
+    pub seq: u64,
+}
+
+/// Wire messages of the reliable-broadcast substrate. The embedding
+/// protocol wraps these in its own message enum and routes them back via
+/// [`ReliableBroadcast::on_flood`] / [`ReliableBroadcast::on_ack`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RbMsg<T> {
+    /// Flood / forward of a broadcast payload.
+    Flood {
+        /// Broadcast identity.
+        id: RbId,
+        /// The broadcast payload.
+        payload: T,
+    },
+    /// Per-receiver acknowledgement of one broadcast.
+    Ack {
+        /// Broadcast identity being acknowledged.
+        id: RbId,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Outgoing<T> {
+    payload: T,
+    pending: ProcessSet,
+}
+
+/// Per-node state of the reliable-broadcast substrate.
+///
+/// The embedding protocol calls [`broadcast`](Self::broadcast) to start a
+/// broadcast, feeds incoming wire messages to
+/// [`on_flood`](Self::on_flood) / [`on_ack`](Self::on_ack), and calls
+/// [`on_round`](Self::on_round) once per `do forever` iteration to drive
+/// retransmission. Deliveries are returned by `on_flood`.
+#[derive(Clone, Debug)]
+pub struct ReliableBroadcast<T> {
+    me: NodeId,
+    n: usize,
+    next_seq: u64,
+    /// Broadcasts this node is still pushing (as origin or forwarder).
+    outgoing: BTreeMap<RbId, Outgoing<T>>,
+    /// Broadcasts already delivered locally (ids only; bounded by the
+    /// embedding protocol's task bookkeeping, which prunes via `forget`).
+    delivered: Vec<RbId>,
+}
+
+impl<T: Clone> ReliableBroadcast<T> {
+    /// Substrate state for node `me` of `n`.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        ReliableBroadcast {
+            me,
+            n,
+            next_seq: 1,
+            outgoing: BTreeMap::new(),
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Starts broadcasting `payload`; returns the broadcast id. The local
+    /// delivery happens immediately (validity) and is included in the
+    /// return of the *next* [`on_round`] send batch to remote nodes.
+    ///
+    /// [`on_round`]: Self::on_round
+    pub fn broadcast(&mut self, payload: T, out: &mut Vec<(NodeId, RbMsg<T>)>) -> (RbId, T) {
+        let id = RbId {
+            origin: self.me,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.delivered.push(id);
+        let mut pending = ProcessSet::full(self.n);
+        pending.remove(self.me);
+        self.outgoing.insert(
+            id,
+            Outgoing {
+                payload: payload.clone(),
+                pending,
+            },
+        );
+        self.push_all(out);
+        (id, payload)
+    }
+
+    /// Handles an incoming flood; returns `Some(payload)` exactly on first
+    /// delivery. The receiving node becomes a forwarder.
+    pub fn on_flood(
+        &mut self,
+        from: NodeId,
+        id: RbId,
+        payload: T,
+        out: &mut Vec<(NodeId, RbMsg<T>)>,
+    ) -> Option<T> {
+        out.push((from, RbMsg::Ack { id }));
+        if self.delivered.contains(&id) {
+            return None;
+        }
+        self.delivered.push(id);
+        let mut pending = ProcessSet::full(self.n);
+        pending.remove(self.me);
+        pending.remove(from);
+        self.outgoing.insert(
+            id,
+            Outgoing {
+                payload: payload.clone(),
+                pending,
+            },
+        );
+        Some(payload)
+    }
+
+    /// Handles an acknowledgement: `from` no longer needs retransmission
+    /// of `id`.
+    pub fn on_ack(&mut self, from: NodeId, id: RbId) {
+        let done = if let Some(o) = self.outgoing.get_mut(&id) {
+            o.pending.remove(from);
+            o.pending.is_empty()
+        } else {
+            false
+        };
+        if done {
+            self.outgoing.remove(&id);
+        }
+    }
+
+    /// Retransmits every still-pending broadcast to every unacknowledged
+    /// node. Call once per `do forever` iteration.
+    pub fn on_round(&mut self, out: &mut Vec<(NodeId, RbMsg<T>)>) {
+        self.push_all(out);
+    }
+
+    fn push_all(&self, out: &mut Vec<(NodeId, RbMsg<T>)>) {
+        for (&id, o) in &self.outgoing {
+            for to in o.pending.iter() {
+                out.push((
+                    to,
+                    RbMsg::Flood {
+                        id,
+                        payload: o.payload.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Whether `id` has been delivered locally.
+    pub fn has_delivered(&self, id: RbId) -> bool {
+        self.delivered.contains(&id)
+    }
+
+    /// Number of broadcasts still being pushed by this node.
+    pub fn outstanding(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// Drops delivery/forwarding state for `id` (called by the embedding
+    /// protocol once the broadcast's purpose is fulfilled, keeping memory
+    /// bounded).
+    pub fn forget(&mut self, id: RbId) {
+        self.outgoing.remove(&id);
+        self.delivered.retain(|&d| d != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Out = Vec<(NodeId, RbMsg<&'static str>)>;
+
+    #[test]
+    fn origin_delivers_immediately_and_floods_others() {
+        let mut rb = ReliableBroadcast::new(NodeId(0), 3);
+        let mut out: Out = vec![];
+        let (id, _) = rb.broadcast("hello", &mut out);
+        assert!(rb.has_delivered(id));
+        let floods: Vec<NodeId> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, RbMsg::Flood { .. }))
+            .map(|(to, _)| *to)
+            .collect();
+        assert_eq!(floods, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn receiver_delivers_once_acks_and_forwards() {
+        let mut rb = ReliableBroadcast::new(NodeId(1), 3);
+        let id = RbId {
+            origin: NodeId(0),
+            seq: 1,
+        };
+        let mut out: Out = vec![];
+        assert_eq!(rb.on_flood(NodeId(0), id, "x", &mut out), Some("x"));
+        assert!(matches!(out[0], (NodeId(0), RbMsg::Ack { .. })));
+        // Duplicate flood: ack again, no second delivery.
+        let mut out2: Out = vec![];
+        assert_eq!(rb.on_flood(NodeId(0), id, "x", &mut out2), None);
+        assert_eq!(out2.len(), 1);
+        // The deliverer forwards to the remaining node each round.
+        let mut out3: Out = vec![];
+        rb.on_round(&mut out3);
+        assert!(out3
+            .iter()
+            .any(|(to, m)| *to == NodeId(2) && matches!(m, RbMsg::Flood { .. })));
+    }
+
+    #[test]
+    fn acks_silence_retransmission() {
+        let mut rb = ReliableBroadcast::new(NodeId(0), 3);
+        let mut out: Out = vec![];
+        let (id, _) = rb.broadcast("y", &mut out);
+        rb.on_ack(NodeId(1), id);
+        rb.on_ack(NodeId(2), id);
+        assert_eq!(rb.outstanding(), 0);
+        let mut out2: Out = vec![];
+        rb.on_round(&mut out2);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn all_or_nothing_with_origin_crash() {
+        // p0 floods only to p1 then "crashes" (we just stop driving it).
+        let mut p1 = ReliableBroadcast::new(NodeId(1), 3);
+        let mut p2 = ReliableBroadcast::new(NodeId(2), 3);
+        let id = RbId {
+            origin: NodeId(0),
+            seq: 1,
+        };
+        let mut out: Out = vec![];
+        p1.on_flood(NodeId(0), id, "z", &mut out);
+        // p1 forwards on its next round; p2 delivers.
+        let mut out2: Out = vec![];
+        p1.on_round(&mut out2);
+        let forwarded = out2
+            .iter()
+            .find(|(to, _)| *to == NodeId(2))
+            .expect("forward to p2");
+        let mut out3: Out = vec![];
+        match &forwarded.1 {
+            RbMsg::Flood { id, payload } => {
+                assert_eq!(p2.on_flood(NodeId(1), *id, *payload, &mut out3), Some("z"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forget_prunes_state() {
+        let mut rb = ReliableBroadcast::new(NodeId(0), 2);
+        let mut out: Out = vec![];
+        let (id, _) = rb.broadcast("w", &mut out);
+        rb.forget(id);
+        assert!(!rb.has_delivered(id));
+        assert_eq!(rb.outstanding(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Simulation and network-model configuration.
+
+use crate::SimTime;
+
+/// The channel model for every directed link.
+///
+/// Channels are the paper's: bounded capacity, no delay guarantees, and
+/// packets "may be lost, duplicated and reordered". Reordering emerges from
+/// independent per-message delays; loss and duplication are independent
+/// Bernoulli trials. Self-delivery (a node's `broadcast` reaching itself)
+/// is reliable and immediate, modelling an internal step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetConfig {
+    /// Minimum one-way delay, in virtual microseconds.
+    pub delay_min: SimTime,
+    /// Maximum one-way delay, in virtual microseconds.
+    pub delay_max: SimTime,
+    /// Probability that a packet is lost.
+    pub loss: f64,
+    /// Probability that a packet is duplicated (delivered twice with
+    /// independent delays).
+    pub dup: f64,
+    /// Per-link in-flight capacity; a send that would exceed it is dropped
+    /// (the paper's *bounded capacity communication channel*).
+    /// `0` means unbounded.
+    pub capacity: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            delay_min: 1,
+            delay_max: 10,
+            loss: 0.0,
+            dup: 0.0,
+            capacity: 128,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A lossy, duplicating network — the adversarial end of the paper's
+    /// channel model.
+    pub fn harsh() -> Self {
+        NetConfig {
+            delay_min: 1,
+            delay_max: 50,
+            loss: 0.2,
+            dup: 0.1,
+            capacity: 64,
+        }
+    }
+}
+
+/// Top-level simulation parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Number of processes `n`.
+    pub n: usize,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Interval between `do forever` iterations at each node, in virtual
+    /// microseconds. Must comfortably exceed `net.delay_max` so that a
+    /// round's round-trips usually complete before the next round.
+    pub round_interval: SimTime,
+    /// Uniform jitter added to each round's schedule, de-synchronizing
+    /// nodes (an asynchronous system has no common clock).
+    pub round_jitter: SimTime,
+    /// The channel model.
+    pub net: NetConfig,
+    /// Object size `ν` in bits, used for message-size accounting only.
+    pub nu_bits: u32,
+}
+
+impl SimConfig {
+    /// A small reliable-network configuration for `n` nodes, suitable for
+    /// unit tests and quickstart examples.
+    pub fn small(n: usize) -> Self {
+        SimConfig {
+            n,
+            seed: 0xC0FFEE,
+            round_interval: 100,
+            round_jitter: 10,
+            net: NetConfig::default(),
+            nu_bits: 64,
+        }
+    }
+
+    /// Like [`SimConfig::small`] but over a lossy, duplicating network.
+    pub fn harsh(n: usize) -> Self {
+        SimConfig {
+            net: NetConfig::harsh(),
+            round_interval: 200,
+            ..Self::small(n)
+        }
+    }
+
+    /// Replaces the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::small(5);
+        assert_eq!(c.n, 5);
+        assert!(c.round_interval > c.net.delay_max);
+        assert_eq!(c.net.loss, 0.0);
+    }
+
+    #[test]
+    fn harsh_network_is_lossy() {
+        let c = SimConfig::harsh(5);
+        assert!(c.net.loss > 0.0);
+        assert!(c.net.dup > 0.0);
+        assert!(c.round_interval > c.net.delay_max);
+    }
+
+    #[test]
+    fn with_seed_builder() {
+        assert_eq!(SimConfig::small(3).with_seed(7).seed, 7);
+    }
+}

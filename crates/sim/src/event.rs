@@ -1,0 +1,167 @@
+//! The event queue: a deterministic min-heap over (time, sequence number).
+
+use crate::SimTime;
+use sss_types::{NodeId, OpId, SnapshotOp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Clone, Debug)]
+pub(crate) enum Ev<M> {
+    /// A message arrives at `to`.
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// Node executes one `do forever` iteration. The token invalidates
+    /// stale round chains across crash/resume boundaries.
+    Round { node: NodeId, token: u64 },
+    /// A client operation is invoked at `node`.
+    Invoke {
+        node: NodeId,
+        id: OpId,
+        op: SnapshotOp,
+    },
+    /// Node crashes (stops taking steps, undetectably).
+    Crash { node: NodeId },
+    /// Node resumes taking steps with its state intact.
+    Resume { node: NodeId },
+    /// Node restarts detectably: all variables re-initialized.
+    Restart { node: NodeId },
+    /// Transient fault: node state is arbitrarily corrupted.
+    Corrupt { node: NodeId },
+    /// Driver wake-up callback carrying an opaque token.
+    Wake { token: u64 },
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Entry<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub ev: Ev<M>,
+}
+
+/// A deterministic event queue: events pop in `(time, seq)` order, so equal
+/// times resolve in insertion order and runs are reproducible.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<Keyed<M>>>,
+    next_seq: u64,
+}
+
+struct Keyed<M>(Entry<M>);
+
+impl<M> PartialEq for Keyed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<M> Eq for Keyed<M> {}
+impl<M> PartialOrd for Keyed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Keyed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.time, self.0.seq).cmp(&(other.0.time, other.0.seq))
+    }
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `ev` at absolute time `time`, returning its sequence id.
+    pub fn push(&mut self, time: SimTime, ev: Ev<M>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Keyed(Entry { time, seq, ev })));
+        seq
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Entry<M>> {
+        self.heap.pop().map(|Reverse(Keyed(e))| e)
+    }
+
+    /// The time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(Keyed(e))| e.time)
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Iterates over all queued entries in arbitrary order (used for
+    /// in-flight message inspection and channel corruption).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<M>> {
+        self.heap.iter().map(|Reverse(Keyed(e))| e)
+    }
+
+    /// Rebuilds the queue after in-place mutation of its entries.
+    pub fn mutate_all(&mut self, mut f: impl FnMut(&mut Entry<M>)) {
+        let mut drained: Vec<Entry<M>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .map(|Reverse(Keyed(e))| e)
+            .collect();
+        for e in &mut drained {
+            f(e);
+        }
+        self.heap = drained.into_iter().map(|e| Reverse(Keyed(e))).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(10, Ev::Wake { token: 1 });
+        q.push(5, Ev::Wake { token: 2 });
+        q.push(10, Ev::Wake { token: 3 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| match e.ev {
+            Ev::Wake { token } => token,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(order, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(42, Ev::Wake { token: 0 });
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn mutate_all_preserves_order_keys() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(
+            3,
+            Ev::Deliver {
+                from: NodeId(0),
+                to: NodeId(1),
+                msg: 7,
+            },
+        );
+        q.push(1, Ev::Wake { token: 9 });
+        q.mutate_all(|e| {
+            if let Ev::Deliver { msg, .. } = &mut e.ev {
+                *msg = 99;
+            }
+        });
+        assert!(matches!(q.pop().unwrap().ev, Ev::Wake { .. }));
+        match q.pop().unwrap().ev {
+            Ev::Deliver { msg, .. } => assert_eq!(msg, 99),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

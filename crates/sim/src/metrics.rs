@@ -1,0 +1,192 @@
+//! Message and operation accounting, per message kind — the instrument that
+//! reproduces the paper's communication-cost claims.
+
+use sss_types::MsgKind;
+use std::collections::BTreeMap;
+
+/// Counters for one message kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindCounter {
+    /// Messages handed to the network (before loss/duplication).
+    pub sent: u64,
+    /// Messages delivered to a live node.
+    pub delivered: u64,
+    /// Messages dropped by loss, capacity overflow, or crashed receivers.
+    pub dropped: u64,
+    /// Total encoded bits handed to the network.
+    pub bits_sent: u64,
+}
+
+/// Aggregate traffic and progress counters for one simulation.
+///
+/// Cheap to clone; experiments snapshot before and after a phase and use
+/// [`Metrics::delta_since`] to attribute traffic to that phase, mirroring
+/// the paper's per-operation message counts.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    kinds: BTreeMap<MsgKind, KindCounter>,
+    /// Total `do forever` iterations executed across all nodes.
+    pub rounds: u64,
+    /// Operations completed.
+    pub ops_completed: u64,
+    /// Operations aborted by a global reset.
+    pub ops_aborted: u64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn on_sent(&mut self, kind: MsgKind, bits: u64) {
+        let c = self.kinds.entry(kind).or_default();
+        c.sent += 1;
+        c.bits_sent += bits;
+    }
+
+    pub(crate) fn on_delivered(&mut self, kind: MsgKind) {
+        self.kinds.entry(kind).or_default().delivered += 1;
+    }
+
+    pub(crate) fn on_dropped(&mut self, kind: MsgKind) {
+        self.kinds.entry(kind).or_default().dropped += 1;
+    }
+
+    /// The counter for one message kind.
+    pub fn kind(&self, kind: MsgKind) -> KindCounter {
+        self.kinds.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// All kinds with non-zero counters, in `MsgKind` order.
+    pub fn kinds(&self) -> impl Iterator<Item = (MsgKind, KindCounter)> + '_ {
+        self.kinds.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// Total messages sent, all kinds.
+    pub fn total_sent(&self) -> u64 {
+        self.kinds.values().map(|c| c.sent).sum()
+    }
+
+    /// Total messages sent excluding background gossip — the figure the
+    /// paper's per-operation message counts use ("the gossip messages do
+    /// not interfere with other messages", Fig. 1).
+    pub fn op_messages_sent(&self) -> u64 {
+        self.kinds
+            .iter()
+            .filter(|(k, _)| !k.is_gossip())
+            .map(|(_, c)| c.sent)
+            .sum()
+    }
+
+    /// Total gossip messages sent.
+    pub fn gossip_sent(&self) -> u64 {
+        self.kinds
+            .iter()
+            .filter(|(k, _)| k.is_gossip())
+            .map(|(_, c)| c.sent)
+            .sum()
+    }
+
+    /// Total bits sent, all kinds.
+    pub fn total_bits(&self) -> u64 {
+        self.kinds.values().map(|c| c.bits_sent).sum()
+    }
+
+    /// The difference `self − earlier`, counter by counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `earlier` is not component-wise ≤ `self`,
+    /// which would mean the snapshots were taken out of order.
+    pub fn delta_since(&self, earlier: &Metrics) -> MetricsDelta {
+        let mut kinds = BTreeMap::new();
+        for (&k, &now) in &self.kinds {
+            let before = earlier.kind(k);
+            debug_assert!(before.sent <= now.sent, "metrics snapshots out of order");
+            kinds.insert(
+                k,
+                KindCounter {
+                    sent: now.sent - before.sent,
+                    delivered: now.delivered - before.delivered,
+                    dropped: now.dropped - before.dropped,
+                    bits_sent: now.bits_sent - before.bits_sent,
+                },
+            );
+        }
+        MetricsDelta {
+            m: Metrics {
+                kinds,
+                rounds: self.rounds - earlier.rounds,
+                ops_completed: self.ops_completed - earlier.ops_completed,
+                ops_aborted: self.ops_aborted - earlier.ops_aborted,
+            },
+        }
+    }
+}
+
+/// The traffic attributable to one measurement window.
+///
+/// Dereferences to [`Metrics`], so all the same accessors apply.
+#[derive(Clone, Debug)]
+pub struct MetricsDelta {
+    m: Metrics,
+}
+
+impl std::ops::Deref for MetricsDelta {
+    type Target = Metrics;
+    fn deref(&self) -> &Metrics {
+        &self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut m = Metrics::new();
+        m.on_sent(MsgKind::Write, 128);
+        m.on_sent(MsgKind::Write, 128);
+        m.on_sent(MsgKind::Gossip, 64);
+        m.on_delivered(MsgKind::Write);
+        m.on_dropped(MsgKind::Gossip);
+        assert_eq!(m.kind(MsgKind::Write).sent, 2);
+        assert_eq!(m.kind(MsgKind::Write).delivered, 1);
+        assert_eq!(m.kind(MsgKind::Gossip).dropped, 1);
+        assert_eq!(m.total_sent(), 3);
+        assert_eq!(m.total_bits(), 320);
+    }
+
+    #[test]
+    fn gossip_separated_from_op_traffic() {
+        let mut m = Metrics::new();
+        m.on_sent(MsgKind::Snapshot, 10);
+        m.on_sent(MsgKind::SnapshotAck, 10);
+        m.on_sent(MsgKind::Gossip, 1);
+        assert_eq!(m.op_messages_sent(), 2);
+        assert_eq!(m.gossip_sent(), 1);
+    }
+
+    #[test]
+    fn delta_attributes_window() {
+        let mut m = Metrics::new();
+        m.on_sent(MsgKind::Write, 100);
+        let before = m.clone();
+        m.on_sent(MsgKind::Write, 100);
+        m.on_sent(MsgKind::Save, 50);
+        m.ops_completed += 1;
+        let d = m.delta_since(&before);
+        assert_eq!(d.kind(MsgKind::Write).sent, 1);
+        assert_eq!(d.kind(MsgKind::Save).sent, 1);
+        assert_eq!(d.ops_completed, 1);
+        assert_eq!(d.total_bits(), 150);
+    }
+
+    #[test]
+    fn unknown_kind_is_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.kind(MsgKind::End), KindCounter::default());
+    }
+}

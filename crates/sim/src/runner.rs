@@ -1,0 +1,815 @@
+//! The simulation loop: nodes, channels, faults, drivers.
+
+use crate::config::SimConfig;
+use crate::cycles::CycleTracker;
+use crate::event::{Ev, EventQueue};
+use crate::metrics::Metrics;
+use crate::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sss_types::{
+    ArbitraryMsg, Effects, History, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg,
+    Protocol, SnapshotOp,
+};
+
+/// One delivered message, as recorded by flow tracing (see
+/// [`Sim::enable_flow_recording`]); used to regenerate the paper's
+/// message-flow figures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Message classification.
+    pub kind: MsgKind,
+}
+
+/// A workload driver: receives completion callbacks and may schedule
+/// further operations, implementing closed-loop workloads (think of it as
+/// the application sitting on top of the snapshot object).
+///
+/// All methods have empty defaults; [`NoDriver`] is the trivial driver for
+/// pre-scheduled runs.
+pub trait Driver<P: Protocol> {
+    /// Called once before the first event is processed.
+    fn init(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        let _ = ctl;
+    }
+
+    /// Called when an operation completes at `node`.
+    fn on_completion(
+        &mut self,
+        node: NodeId,
+        id: OpId,
+        resp: &OpResponse,
+        ctl: &mut Ctl<'_, P::Msg>,
+    ) {
+        let _ = (node, id, resp, ctl);
+    }
+
+    /// Called when an operation is aborted by a global reset.
+    fn on_abort(&mut self, node: NodeId, id: OpId, ctl: &mut Ctl<'_, P::Msg>) {
+        let _ = (node, id, ctl);
+    }
+
+    /// Called when a wake-up scheduled via [`Ctl::wake_at`] fires.
+    fn on_wake(&mut self, token: u64, ctl: &mut Ctl<'_, P::Msg>) {
+        let _ = (token, ctl);
+    }
+}
+
+/// The trivial driver: never reacts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoDriver;
+
+impl<P: Protocol> Driver<P> for NoDriver {}
+
+/// The control surface handed to [`Driver`] callbacks: schedule operations,
+/// wake-ups, or stop the run.
+pub struct Ctl<'a, M> {
+    now: SimTime,
+    n: usize,
+    queue: &'a mut EventQueue<M>,
+    next_op: &'a mut u64,
+    outstanding: &'a mut usize,
+    stop: &'a mut bool,
+}
+
+impl<M> Ctl<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Invokes `op` at `node` immediately (processed after the current
+    /// event), returning the fresh operation id.
+    pub fn invoke(&mut self, node: NodeId, op: SnapshotOp) -> OpId {
+        self.invoke_at(self.now, node, op)
+    }
+
+    /// Invokes `op` at `node` at absolute time `t` (clamped to now).
+    pub fn invoke_at(&mut self, t: SimTime, node: NodeId, op: SnapshotOp) -> OpId {
+        let id = OpId(*self.next_op);
+        *self.next_op += 1;
+        *self.outstanding += 1;
+        self.queue.push(t.max(self.now), Ev::Invoke { node, id, op });
+        id
+    }
+
+    /// Schedules a driver wake-up carrying `token` at absolute time `t`.
+    pub fn wake_at(&mut self, t: SimTime, token: u64) {
+        self.queue.push(t.max(self.now), Ev::Wake { token });
+    }
+
+    /// Stops the run after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The deterministic simulator. See the crate docs for the model.
+pub struct Sim<P: Protocol> {
+    cfg: SimConfig,
+    nodes: Vec<P>,
+    crashed: ProcessSet,
+    round_token: Vec<u64>,
+    queue: EventQueue<P::Msg>,
+    rng: StdRng,
+    now: SimTime,
+    metrics: Metrics,
+    history: History,
+    cycles: CycleTracker,
+    next_op: u64,
+    outstanding: usize,
+    link_load: Vec<usize>,
+    link_down: Vec<bool>,
+    trace: u64,
+    flows: Option<Vec<FlowRecord>>,
+}
+
+impl<P: Protocol> Sim<P> {
+    /// Builds a simulation of `cfg.n` nodes, constructing each protocol
+    /// instance with `mk`. Initial `do forever` rounds are staggered across
+    /// the first round interval so nodes never run in lockstep.
+    pub fn new(cfg: SimConfig, mut mk: impl FnMut(NodeId) -> P) -> Self {
+        assert!(cfg.n >= 1, "need at least one node");
+        let nodes: Vec<P> = (0..cfg.n).map(|i| mk(NodeId(i))).collect();
+        for node in &nodes {
+            assert_eq!(node.n(), cfg.n, "protocol instance disagrees about n");
+        }
+        let mut sim = Sim {
+            nodes,
+            crashed: ProcessSet::new(cfg.n),
+            round_token: vec![0; cfg.n],
+            queue: EventQueue::new(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            now: 0,
+            metrics: Metrics::new(),
+            history: History::new(),
+            cycles: CycleTracker::new(cfg.n),
+            next_op: 0,
+            outstanding: 0,
+            link_load: vec![0; cfg.n * cfg.n],
+            link_down: vec![false; cfg.n * cfg.n],
+            trace: 0xcbf29ce484222325,
+            flows: None,
+            cfg,
+        };
+        for i in 0..cfg.n {
+            let offset = 1 + (i as SimTime * sim.cfg.round_interval) / cfg.n as SimTime;
+            sim.push_round(i, offset);
+        }
+        sim
+    }
+
+    fn push_round(&mut self, node: usize, at: SimTime) {
+        let token = self.round_token[node];
+        self.queue.push(
+            at,
+            Ev::Round {
+                node: NodeId(node),
+                token,
+            },
+        );
+    }
+
+    /// The configuration this simulation runs with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The live (non-crashed) process set.
+    pub fn live(&self) -> ProcessSet {
+        let mut l = ProcessSet::full(self.cfg.n);
+        for p in self.crashed.iter() {
+            l.remove(p);
+        }
+        l
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(node)
+    }
+
+    /// Immutable access to a node's protocol state (for invariant probes).
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node's protocol state (tests only; prefer the
+    /// fault-injection API).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The client-boundary history recorded so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Asynchronous cycles completed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.cycles()
+    }
+
+    /// Virtual times at which each asynchronous-cycle boundary was
+    /// reached (for latency-in-cycles measurements).
+    pub fn cycle_boundaries(&self) -> &[SimTime] {
+        self.cycles.boundaries()
+    }
+
+    /// Number of invoked operations that have not yet completed or aborted.
+    pub fn outstanding_ops(&self) -> usize {
+        self.outstanding
+    }
+
+    /// A hash over the processed event sequence; equal seeds must yield
+    /// equal hashes (determinism check).
+    pub fn trace_hash(&self) -> u64 {
+        self.trace
+    }
+
+    /// Cuts or restores the directed link `from → to`. While a link is
+    /// down every message on it is dropped — a temporary violation of
+    /// communication fairness (a partition). Protocol liveness is only
+    /// guaranteed again after [`Sim::heal_partition`].
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, up: bool) {
+        let l = self.link_index(from, to);
+        self.link_down[l] = !up;
+    }
+
+    /// Partitions the system into `groups`: links between different
+    /// groups are cut in both directions, links within a group restored.
+    pub fn partition(&mut self, groups: &[&[NodeId]]) {
+        let mut group_of = vec![usize::MAX; self.cfg.n];
+        for (g, members) in groups.iter().enumerate() {
+            for m in *members {
+                group_of[m.index()] = g;
+            }
+        }
+        for a in 0..self.cfg.n {
+            for b in 0..self.cfg.n {
+                let cut = group_of[a] != group_of[b]
+                    || group_of[a] == usize::MAX
+                    || group_of[b] == usize::MAX;
+                let l = a * self.cfg.n + b;
+                self.link_down[l] = a != b && cut;
+            }
+        }
+    }
+
+    /// Restores every link.
+    pub fn heal_partition(&mut self) {
+        self.link_down.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Starts recording every message delivery (sender, receiver, kind,
+    /// time) for message-flow diagrams. Cheap but unbounded; enable only
+    /// for short scenario runs.
+    pub fn enable_flow_recording(&mut self) {
+        self.flows = Some(Vec::new());
+    }
+
+    /// The recorded message flows (empty unless
+    /// [`Sim::enable_flow_recording`] was called).
+    pub fn flows(&self) -> &[FlowRecord] {
+        self.flows.as_deref().unwrap_or(&[])
+    }
+
+    /// Clears the recorded flows (e.g. between scenario phases).
+    pub fn clear_flows(&mut self) {
+        if let Some(f) = &mut self.flows {
+            f.clear();
+        }
+    }
+
+    /// In-flight messages, in no particular order.
+    pub fn in_flight(&self) -> impl Iterator<Item = (NodeId, NodeId, &P::Msg)> {
+        self.queue.iter().filter_map(|e| match &e.ev {
+            Ev::Deliver { from, to, msg } => Some((*from, *to, msg)),
+            _ => None,
+        })
+    }
+
+    // ----- scheduling -------------------------------------------------
+
+    /// Schedules an operation invocation, returning its id.
+    pub fn invoke_at(&mut self, t: SimTime, node: NodeId, op: SnapshotOp) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.outstanding += 1;
+        self.queue.push(t.max(self.now), Ev::Invoke { node, id, op });
+        id
+    }
+
+    /// Schedules a crash: `node` stops taking steps at `t`.
+    pub fn crash_at(&mut self, t: SimTime, node: NodeId) {
+        self.queue.push(t.max(self.now), Ev::Crash { node });
+    }
+
+    /// Schedules a resume: `node` continues, state intact (the paper's
+    /// *undetectable restart*).
+    pub fn resume_at(&mut self, t: SimTime, node: NodeId) {
+        self.queue.push(t.max(self.now), Ev::Resume { node });
+    }
+
+    /// Schedules a detectable restart: all of `node`'s variables are
+    /// re-initialized at `t`.
+    pub fn restart_at(&mut self, t: SimTime, node: NodeId) {
+        self.queue.push(t.max(self.now), Ev::Restart { node });
+    }
+
+    /// Schedules a transient fault at `node`: its soft state is replaced
+    /// with arbitrary values at `t`.
+    pub fn corrupt_at(&mut self, t: SimTime, node: NodeId) {
+        self.queue.push(t.max(self.now), Ev::Corrupt { node });
+    }
+
+    /// Injects a transient fault at `node` right now.
+    pub fn corrupt_node_now(&mut self, node: NodeId) {
+        self.trace = fold(self.trace, 0xC0);
+        self.nodes[node.index()].corrupt(&mut self.rng);
+    }
+
+    /// Replaces each in-flight message, independently with probability
+    /// `prob`, by an arbitrary message — transient corruption of the
+    /// communication channels. `max_index` bounds how large corrupted
+    /// operation indices may be.
+    pub fn corrupt_channels_now(&mut self, prob: f64, max_index: u64)
+    where
+        P::Msg: ArbitraryMsg,
+    {
+        let Sim {
+            queue, rng, cfg, ..
+        } = self;
+        let n = cfg.n;
+        queue.mutate_all(|e| {
+            if let Ev::Deliver { msg, .. } = &mut e.ev {
+                if rng.gen_bool(prob) {
+                    *msg = <P::Msg as ArbitraryMsg>::arbitrary(rng, n, max_index);
+                }
+            }
+        });
+    }
+
+    // ----- running ----------------------------------------------------
+
+    /// Runs without a driver until virtual time `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.run_with_driver(&mut NoDriver, until);
+    }
+
+    /// Runs with `driver` until virtual time `until` or until the driver
+    /// calls [`Ctl::stop`].
+    pub fn run_with_driver<D: Driver<P>>(&mut self, driver: &mut D, until: SimTime) {
+        let mut stop = false;
+        {
+            let mut ctl = Ctl {
+                now: self.now,
+                n: self.cfg.n,
+                queue: &mut self.queue,
+                next_op: &mut self.next_op,
+                outstanding: &mut self.outstanding,
+                stop: &mut stop,
+            };
+            driver.init(&mut ctl);
+        }
+        while !stop {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {
+                    self.step(driver, &mut stop);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(until.min(self.queue.peek_time().unwrap_or(until)));
+    }
+
+    /// Runs until every invoked operation has completed (or aborted), or
+    /// until `max_t`. Returns whether the system became idle.
+    pub fn run_until_idle(&mut self, max_t: SimTime) -> bool {
+        self.run_while(max_t, |sim| sim.outstanding > 0)
+    }
+
+    /// Runs until `target` further asynchronous cycles have completed or
+    /// `max_t` is reached; returns whether the cycles completed.
+    pub fn run_for_cycles(&mut self, target: u64, max_t: SimTime) -> bool {
+        let goal = self.cycles.cycles() + target;
+        self.run_while(max_t, |sim| sim.cycles.cycles() < goal)
+    }
+
+    /// Runs while `cond` holds, up to `max_t`; returns `true` if `cond`
+    /// became false (i.e. the wait succeeded).
+    pub fn run_while(&mut self, max_t: SimTime, cond: impl Fn(&Sim<P>) -> bool) -> bool {
+        let mut stop = false;
+        while cond(self) {
+            match self.queue.peek_time() {
+                Some(t) if t <= max_t => self.step(&mut NoDriver, &mut stop),
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn step<D: Driver<P>>(&mut self, driver: &mut D, stop: &mut bool) {
+        let Some(entry) = self.queue.pop() else {
+            return;
+        };
+        debug_assert!(entry.time >= self.now, "time went backwards");
+        self.now = entry.time;
+        match entry.ev {
+            Ev::Round { node, token } => {
+                self.trace = fold(self.trace, 1 + node.index() as u64);
+                if self.crashed.contains(node) || token != self.round_token[node.index()] {
+                    return; // chain dies; Resume/Restart starts a new one
+                }
+                let mut fx = Effects::new();
+                self.nodes[node.index()].on_round(&mut fx);
+                self.metrics.rounds += 1;
+                let live = self.live();
+                self.cycles.on_round(node, &live, self.now);
+                self.apply_effects(node, fx, driver, stop);
+                let jitter = if self.cfg.round_jitter > 0 {
+                    self.rng.gen_range(0..=self.cfg.round_jitter)
+                } else {
+                    0
+                };
+                let next = self.now + self.cfg.round_interval + jitter;
+                self.queue.push(next, Ev::Round { node, token });
+            }
+            Ev::Deliver { from, to, msg } => {
+                self.trace = fold(self.trace, 0x100 + to.index() as u64);
+                self.cycles.on_gone(entry.seq, self.now);
+                if from != to {
+                    let l = self.link_index(from, to);
+                    self.link_load[l] = self.link_load[l].saturating_sub(1);
+                }
+                if self.crashed.contains(to) {
+                    self.metrics.on_dropped(msg.kind());
+                    return;
+                }
+                self.metrics.on_delivered(msg.kind());
+                if let Some(flows) = &mut self.flows {
+                    flows.push(FlowRecord {
+                        time: self.now,
+                        from,
+                        to,
+                        kind: msg.kind(),
+                    });
+                }
+                let mut fx = Effects::new();
+                self.nodes[to.index()].on_message(from, msg, &mut fx);
+                self.apply_effects(to, fx, driver, stop);
+            }
+            Ev::Invoke { node, id, op } => {
+                self.trace = fold(self.trace, 0x200 + node.index() as u64);
+                self.history.record_invoke(node, id, op, self.now);
+                if self.crashed.contains(node) {
+                    return; // invoked at a crashed node: never completes
+                }
+                let mut fx = Effects::new();
+                self.nodes[node.index()].invoke(id, op, &mut fx);
+                self.apply_effects(node, fx, driver, stop);
+            }
+            Ev::Crash { node } => {
+                self.trace = fold(self.trace, 0x300 + node.index() as u64);
+                self.crashed.insert(node);
+                self.round_token[node.index()] += 1;
+                let live = self.live();
+                self.cycles.on_live_change(&live, self.now);
+            }
+            Ev::Resume { node } => {
+                self.trace = fold(self.trace, 0x400 + node.index() as u64);
+                if self.crashed.remove(node) {
+                    self.round_token[node.index()] += 1;
+                    let token = self.round_token[node.index()];
+                    self.queue.push(self.now + 1, Ev::Round { node, token });
+                }
+            }
+            Ev::Restart { node } => {
+                self.trace = fold(self.trace, 0x500 + node.index() as u64);
+                self.nodes[node.index()].restart();
+                if self.crashed.remove(node) {
+                    self.round_token[node.index()] += 1;
+                    let token = self.round_token[node.index()];
+                    self.queue.push(self.now + 1, Ev::Round { node, token });
+                }
+            }
+            Ev::Corrupt { node } => {
+                self.trace = fold(self.trace, 0x600 + node.index() as u64);
+                self.nodes[node.index()].corrupt(&mut self.rng);
+            }
+            Ev::Wake { token } => {
+                self.trace = fold(self.trace, 0x700 + token);
+                let mut ctl = Ctl {
+                    now: self.now,
+                    n: self.cfg.n,
+                    queue: &mut self.queue,
+                    next_op: &mut self.next_op,
+                    outstanding: &mut self.outstanding,
+                    stop,
+                };
+                driver.on_wake(token, &mut ctl);
+            }
+        }
+    }
+
+    fn link_index(&self, from: NodeId, to: NodeId) -> usize {
+        from.index() * self.cfg.n + to.index()
+    }
+
+    fn apply_effects<D: Driver<P>>(
+        &mut self,
+        at: NodeId,
+        mut fx: Effects<P::Msg>,
+        driver: &mut D,
+        stop: &mut bool,
+    ) {
+        for (to, msg) in fx.take_sends() {
+            let kind = msg.kind();
+            let bits = msg.size_bits(self.cfg.nu_bits);
+            self.metrics.on_sent(kind, bits);
+            if to == at {
+                // Self-delivery: reliable, immediate (an internal step).
+                let seq = self.queue.push(self.now, Ev::Deliver { from: at, to, msg });
+                self.cycles.on_send(seq);
+                continue;
+            }
+            let l = self.link_index(at, to);
+            if self.link_down[l] {
+                self.metrics.on_dropped(kind);
+                continue;
+            }
+            if self.cfg.net.loss > 0.0 && self.rng.gen_bool(self.cfg.net.loss) {
+                self.metrics.on_dropped(kind);
+                continue;
+            }
+            if self.cfg.net.capacity > 0 && self.link_load[l] >= self.cfg.net.capacity {
+                self.metrics.on_dropped(kind);
+                continue;
+            }
+            let dup = self.cfg.net.dup > 0.0 && self.rng.gen_bool(self.cfg.net.dup);
+            let delay = self
+                .rng
+                .gen_range(self.cfg.net.delay_min..=self.cfg.net.delay_max);
+            let seq = self.queue.push(
+                self.now + delay,
+                Ev::Deliver {
+                    from: at,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+            self.cycles.on_send(seq);
+            self.link_load[l] += 1;
+            if dup && (self.cfg.net.capacity == 0 || self.link_load[l] < self.cfg.net.capacity) {
+                let delay2 = self
+                    .rng
+                    .gen_range(self.cfg.net.delay_min..=self.cfg.net.delay_max);
+                let seq2 = self
+                    .queue
+                    .push(self.now + delay2, Ev::Deliver { from: at, to, msg });
+                self.cycles.on_send(seq2);
+                self.link_load[l] += 1;
+            }
+        }
+        for (id, resp) in fx.take_completions() {
+            self.history.record_complete(id, resp.clone(), self.now);
+            self.metrics.ops_completed += 1;
+            self.outstanding = self.outstanding.saturating_sub(1);
+            let mut ctl = Ctl {
+                now: self.now,
+                n: self.cfg.n,
+                queue: &mut self.queue,
+                next_op: &mut self.next_op,
+                outstanding: &mut self.outstanding,
+                stop,
+            };
+            driver.on_completion(at, id, &resp, &mut ctl);
+        }
+        for id in fx.take_aborts() {
+            self.history.record_abort(id, self.now);
+            self.metrics.ops_aborted += 1;
+            self.outstanding = self.outstanding.saturating_sub(1);
+            let mut ctl = Ctl {
+                now: self.now,
+                n: self.cfg.n,
+                queue: &mut self.queue,
+                next_op: &mut self.next_op,
+                outstanding: &mut self.outstanding,
+                stop,
+            };
+            driver.on_abort(at, id, &mut ctl);
+        }
+    }
+}
+
+fn fold(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x100000001b3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_types::{MsgKind, OpResponse};
+
+    /// A toy protocol: every round it gossips a counter; a Write op
+    /// completes after one broadcast round-trip (majority of echoes).
+    struct Toy {
+        id: NodeId,
+        n: usize,
+        pending: Option<OpId>,
+        echoers: ProcessSet,
+    }
+
+    #[derive(Clone, Debug)]
+    enum ToyMsg {
+        Ping,
+        Echo,
+    }
+
+    impl ProtoMsg for ToyMsg {
+        fn kind(&self) -> MsgKind {
+            match self {
+                ToyMsg::Ping => MsgKind::Write,
+                ToyMsg::Echo => MsgKind::WriteAck,
+            }
+        }
+        fn size_bits(&self, _nu: u32) -> u64 {
+            64
+        }
+    }
+
+    impl Protocol for Toy {
+        type Msg = ToyMsg;
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn on_round(&mut self, fx: &mut Effects<ToyMsg>) {
+            if self.pending.is_some() {
+                fx.broadcast(self.n, &ToyMsg::Ping);
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: ToyMsg, fx: &mut Effects<ToyMsg>) {
+            match msg {
+                ToyMsg::Ping => fx.send(from, ToyMsg::Echo),
+                ToyMsg::Echo => {
+                    self.echoers.insert(from);
+                    if let Some(id) = self.pending {
+                        if self.echoers.is_majority() {
+                            self.pending = None;
+                            fx.complete(id, OpResponse::WriteDone);
+                        }
+                    }
+                }
+            }
+        }
+        fn invoke(&mut self, id: OpId, _op: SnapshotOp, fx: &mut Effects<ToyMsg>) {
+            self.echoers.clear();
+            self.pending = Some(id);
+            fx.broadcast(self.n, &ToyMsg::Ping);
+        }
+        fn is_busy(&self) -> bool {
+            self.pending.is_some()
+        }
+        fn corrupt(&mut self, _rng: &mut dyn rand::RngCore) {
+            self.echoers.clear();
+        }
+        fn restart(&mut self) {
+            self.pending = None;
+            self.echoers.clear();
+        }
+    }
+
+    fn toy(n: usize) -> impl FnMut(NodeId) -> Toy {
+        move |id| Toy {
+            id,
+            n,
+            pending: None,
+            echoers: ProcessSet::new(n),
+        }
+    }
+
+    #[test]
+    fn op_completes_on_reliable_network() {
+        let mut sim = Sim::new(SimConfig::small(3), toy(3));
+        sim.invoke_at(0, NodeId(0), SnapshotOp::Write(1));
+        assert!(sim.run_until_idle(100_000));
+        assert_eq!(sim.history().completed().count(), 1);
+        assert!(sim.metrics().kind(MsgKind::Write).sent >= 3);
+    }
+
+    #[test]
+    fn op_completes_despite_loss_via_round_retransmission() {
+        let mut sim = Sim::new(SimConfig::harsh(3).with_seed(5), toy(3));
+        sim.invoke_at(0, NodeId(0), SnapshotOp::Write(1));
+        assert!(sim.run_until_idle(10_000_000));
+        let m = sim.metrics();
+        let dropped: u64 = m.kinds().map(|(_, c)| c.dropped).sum();
+        assert!(dropped > 0, "loss occurred");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let mut hashes = vec![];
+        for _ in 0..2 {
+            let mut sim = Sim::new(SimConfig::harsh(4).with_seed(99), toy(4));
+            sim.invoke_at(0, NodeId(1), SnapshotOp::Write(2));
+            sim.run_until(50_000);
+            hashes.push(sim.trace_hash());
+        }
+        assert_eq!(hashes[0], hashes[1]);
+        let mut sim = Sim::new(SimConfig::harsh(4).with_seed(100), toy(4));
+        sim.invoke_at(0, NodeId(1), SnapshotOp::Write(2));
+        sim.run_until(50_000);
+        assert_ne!(sim.trace_hash(), hashes[0], "different seed, different trace");
+    }
+
+    #[test]
+    fn crashed_node_makes_no_progress_and_majority_still_completes() {
+        let mut sim = Sim::new(SimConfig::small(5), toy(5));
+        sim.crash_at(0, NodeId(3));
+        sim.crash_at(0, NodeId(4));
+        sim.invoke_at(10, NodeId(0), SnapshotOp::Write(1));
+        assert!(sim.run_until_idle(1_000_000));
+        assert!(sim.is_crashed(NodeId(3)));
+    }
+
+    #[test]
+    fn no_majority_no_completion() {
+        let mut sim = Sim::new(SimConfig::small(3), toy(3));
+        sim.crash_at(0, NodeId(1));
+        sim.crash_at(0, NodeId(2));
+        sim.invoke_at(10, NodeId(0), SnapshotOp::Write(1));
+        assert!(!sim.run_until_idle(200_000), "must time out without majority");
+        assert_eq!(sim.outstanding_ops(), 1);
+    }
+
+    #[test]
+    fn resume_restores_progress() {
+        let mut sim = Sim::new(SimConfig::small(3), toy(3));
+        sim.crash_at(0, NodeId(1));
+        sim.crash_at(0, NodeId(2));
+        sim.invoke_at(10, NodeId(0), SnapshotOp::Write(1));
+        sim.resume_at(5_000, NodeId(1));
+        assert!(sim.run_until_idle(1_000_000));
+    }
+
+    #[test]
+    fn cycles_advance_continuously() {
+        let mut sim = Sim::new(SimConfig::small(3), toy(3));
+        assert!(sim.run_for_cycles(5, 1_000_000));
+        assert!(sim.cycles() >= 5);
+    }
+
+    #[test]
+    fn invoke_on_crashed_node_stays_outstanding() {
+        let mut sim = Sim::new(SimConfig::small(3), toy(3));
+        sim.crash_at(0, NodeId(0));
+        sim.invoke_at(10, NodeId(0), SnapshotOp::Write(1));
+        assert!(!sim.run_until_idle(100_000));
+        assert_eq!(sim.history().pending().count(), 1);
+    }
+
+    #[test]
+    fn corrupt_event_reaches_protocol() {
+        let mut sim = Sim::new(SimConfig::small(3), toy(3));
+        sim.node_mut(NodeId(0)).echoers.insert(NodeId(2));
+        sim.corrupt_node_now(NodeId(0));
+        assert!(sim.node(NodeId(0)).echoers.is_empty());
+    }
+
+    #[test]
+    fn metrics_window_attribution() {
+        let mut sim = Sim::new(SimConfig::small(3), toy(3));
+        sim.run_until(1_000);
+        let before = sim.metrics().clone();
+        sim.invoke_at(sim.now(), NodeId(0), SnapshotOp::Write(1));
+        sim.run_until_idle(1_000_000);
+        let d = sim.metrics().delta_since(&before);
+        assert!(d.kind(MsgKind::Write).sent >= 3);
+        assert_eq!(d.ops_completed, 1);
+    }
+}

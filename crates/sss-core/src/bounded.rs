@@ -1,0 +1,586 @@
+//! The Section 5 bounded-counter construction: a wrapper that turns the
+//! unbounded-index algorithms into bounded-space ones.
+//!
+//! Self-stabilization *requires* bounded state, so Section 5 prescribes:
+//! once any operation index reaches `MAXINT`, (1) disable new operations,
+//! (2) bring all nodes to agreement on the maximal indices and register
+//! values, (3) run a consensus-based global reset that wraps every index
+//! while keeping the register values, then re-enable operations. Because
+//! a 64-bit counter can only reach `MAXINT` after a transient fault, the
+//! reset runs *seldom*, and only it needs execution fairness
+//! (the paper's "self-stabilization in the presence of seldom fairness").
+//!
+//! [`Bounded<P>`] implements this around any protocol implementing
+//! [`HasIndices`] ([`Alg1`](crate::Alg1) and [`Alg3`](crate::Alg3) both
+//! do):
+//!
+//! * every inner message travels inside an **epoch envelope**; messages
+//!   from older epochs are discarded, so pre-reset timestamps cannot leak
+//!   into the new epoch;
+//! * operations invoked while a reset is in progress are **aborted** (the
+//!   paper's criterion explicitly permits aborting a bounded number of
+//!   operations during the seldom `R_globalReset` periods);
+//! * the reset itself is coordinated by the lowest node id
+//!   (see [`crate::reset`]).
+//!
+//! Caveat: an aborted write may still have *taken effect* — in particular
+//! the write that pushed the index to `MAXINT` installs its value locally
+//! before the node disables operations, and the reset's sync phase then
+//! preserves that value. Clients must treat an abort as "outcome unknown"
+//! (like a timeout), not as "did not happen".
+
+use crate::reset::{ResetMsg, ResetState};
+use rand::RngCore;
+use sss_types::{
+    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, ProcessSet, ProtoMsg, Protocol,
+    ProtocolStats, RegArray, SnapshotOp,
+};
+
+/// Extra capabilities [`Bounded`] needs from the wrapped protocol.
+pub trait HasIndices: Protocol {
+    /// The largest operation index anywhere in the local state (write
+    /// indices, snapshot indices, register timestamps).
+    fn max_index(&self) -> u64;
+
+    /// The local register array (for the reset's sync phase).
+    fn export_reg(&self) -> RegArray;
+
+    /// Installs the canonical post-reset state: adopt `reg`, derive the
+    /// own write index from it, zero all other indices, clear all
+    /// in-progress phases.
+    fn install_reset(&mut self, reg: RegArray);
+
+    /// Removes all in-progress and queued client operations, returning
+    /// their ids so the wrapper can abort them.
+    fn drain_ops(&mut self) -> Vec<OpId>;
+}
+
+/// Configuration of [`Bounded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundedConfig {
+    /// The `MAXINT` threshold: reaching it triggers a global reset.
+    /// Production would use ~`2^62`; tests use small values to exercise
+    /// the wrap.
+    pub max_int: u64,
+}
+
+impl Default for BoundedConfig {
+    fn default() -> Self {
+        BoundedConfig { max_int: 1 << 62 }
+    }
+}
+
+/// Wire messages of [`Bounded`]: epoch-enveloped inner messages plus the
+/// reset protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundedMsg<M> {
+    /// An inner-protocol message valid in `epoch`.
+    Inner {
+        /// The sender's epoch.
+        epoch: u64,
+        /// The wrapped message.
+        msg: M,
+    },
+    /// Global-reset traffic.
+    Reset(ResetMsg),
+}
+
+impl<M: ProtoMsg> ProtoMsg for BoundedMsg<M> {
+    fn kind(&self) -> MsgKind {
+        match self {
+            BoundedMsg::Inner { msg, .. } => msg.kind(),
+            BoundedMsg::Reset(_) => MsgKind::Reset,
+        }
+    }
+
+    fn size_bits(&self, nu: u32) -> u64 {
+        match self {
+            BoundedMsg::Inner { msg, .. } => 64 + msg.size_bits(nu),
+            BoundedMsg::Reset(m) => match m {
+                ResetMsg::Request { .. }
+                | ResetMsg::SyncReq { .. }
+                | ResetMsg::InstallAck { .. } => 128,
+                ResetMsg::SyncResp { reg, .. } | ResetMsg::Install { reg, .. } => {
+                    128 + reg_array_bits(reg.n(), nu)
+                }
+            },
+        }
+    }
+}
+
+impl<M: ArbitraryMsg> ArbitraryMsg for BoundedMsg<M> {
+    fn arbitrary(rng: &mut dyn RngCore, n: usize, max_index: u64) -> Self {
+        if rng.next_u32().is_multiple_of(4) {
+            BoundedMsg::Reset(ResetMsg::Request {
+                epoch: rng.next_u64() % (max_index + 1),
+            })
+        } else {
+            BoundedMsg::Inner {
+                epoch: rng.next_u64() % (max_index + 1),
+                msg: M::arbitrary(rng, n, max_index),
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Mode {
+    Normal,
+    /// Operations disabled; waiting for the reset to complete.
+    Wrapping,
+}
+
+/// The bounded-counter wrapper. See the module docs above.
+#[derive(Debug)]
+pub struct Bounded<P: HasIndices> {
+    inner: P,
+    cfg: BoundedConfig,
+    epoch: u64,
+    mode: Mode,
+    /// Coordinator-only: the in-progress reset.
+    reset: Option<ResetState>,
+    /// Coordinator-only: Install retransmission until everyone acked.
+    pending_install: Option<(u64, RegArray, ProcessSet)>,
+    /// Number of resets completed locally (experiment probe).
+    resets_done: u64,
+    /// Operations aborted by resets (experiment probe).
+    aborted: u64,
+}
+
+impl<P: HasIndices> Bounded<P> {
+    /// Wraps `inner` with the bounded-counter construction.
+    pub fn new(inner: P, cfg: BoundedConfig) -> Self {
+        assert!(cfg.max_int > 1, "MAXINT must exceed 1");
+        Bounded {
+            inner,
+            cfg,
+            epoch: 0,
+            mode: Mode::Normal,
+            reset: None,
+            pending_install: None,
+            resets_done: 0,
+            aborted: 0,
+        }
+    }
+
+    /// The wrapped protocol (probes/tests).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a reset is currently disabling operations.
+    pub fn is_wrapping(&self) -> bool {
+        matches!(self.mode, Mode::Wrapping)
+    }
+
+    /// Resets completed at this node.
+    pub fn resets_done(&self) -> u64 {
+        self.resets_done
+    }
+
+    /// Operations aborted by resets at this node.
+    pub fn aborted_ops(&self) -> u64 {
+        self.aborted
+    }
+
+    fn coordinator(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    fn is_coordinator(&self) -> bool {
+        self.inner.id() == self.coordinator()
+    }
+
+    fn wrap_inner_effects(
+        &mut self,
+        mut inner_fx: Effects<P::Msg>,
+        fx: &mut Effects<BoundedMsg<P::Msg>>,
+    ) {
+        for (to, msg) in inner_fx.take_sends() {
+            fx.send(
+                to,
+                BoundedMsg::Inner {
+                    epoch: self.epoch,
+                    msg,
+                },
+            );
+        }
+        for (id, resp) in inner_fx.take_completions() {
+            fx.complete(id, resp);
+        }
+        for id in inner_fx.take_aborts() {
+            fx.abort(id);
+        }
+    }
+
+    fn abort_drained(&mut self, fx: &mut Effects<BoundedMsg<P::Msg>>) {
+        for id in self.inner.drain_ops() {
+            self.aborted += 1;
+            fx.abort(id);
+        }
+    }
+
+    /// Enters the wrapping mode towards `epoch` (idempotent).
+    fn enter_wrapping(&mut self, epoch: u64, fx: &mut Effects<BoundedMsg<P::Msg>>) {
+        if matches!(self.mode, Mode::Wrapping) && self.reset.as_ref().is_none_or(|r| r.epoch >= epoch)
+        {
+            return;
+        }
+        self.mode = Mode::Wrapping;
+        self.abort_drained(fx);
+        if self.is_coordinator() {
+            let st = ResetState::new(epoch, self.inner.export_reg(), self.inner.id());
+            fx.broadcast(self.inner.n(), &BoundedMsg::Reset(ResetMsg::SyncReq { epoch }));
+            self.reset = Some(st);
+        } else {
+            fx.broadcast(
+                self.inner.n(),
+                &BoundedMsg::Reset(ResetMsg::Request { epoch }),
+            );
+        }
+    }
+
+    fn install(&mut self, epoch: u64, reg: RegArray, fx: &mut Effects<BoundedMsg<P::Msg>>) {
+        self.abort_drained(fx);
+        self.inner.install_reset(reg);
+        self.epoch = epoch;
+        self.mode = Mode::Normal;
+        self.reset = None;
+        self.resets_done += 1;
+    }
+}
+
+impl<P: HasIndices> Protocol for Bounded<P> {
+    type Msg = BoundedMsg<P::Msg>;
+
+    fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn on_round(&mut self, fx: &mut Effects<BoundedMsg<P::Msg>>) {
+        match self.mode {
+            Mode::Normal => {
+                let mut inner_fx = Effects::new();
+                self.inner.on_round(&mut inner_fx);
+                self.wrap_inner_effects(inner_fx, fx);
+                if self.inner.max_index() >= self.cfg.max_int {
+                    self.enter_wrapping(self.epoch + 1, fx);
+                }
+            }
+            Mode::Wrapping => {
+                // Retransmit the current reset phase.
+                match (&self.reset, self.is_coordinator()) {
+                    (Some(st), true) => {
+                        let msg = match &st.canonical {
+                            None => ResetMsg::SyncReq { epoch: st.epoch },
+                            Some(reg) => ResetMsg::Install {
+                                epoch: st.epoch,
+                                reg: reg.clone(),
+                            },
+                        };
+                        fx.broadcast(self.inner.n(), &BoundedMsg::Reset(msg));
+                    }
+                    _ => {
+                        // Non-coordinator keeps requesting until served.
+                        let epoch = self.epoch + 1;
+                        fx.broadcast(
+                            self.inner.n(),
+                            &BoundedMsg::Reset(ResetMsg::Request { epoch }),
+                        );
+                    }
+                }
+            }
+        }
+        // Coordinator: retransmit Install to stragglers even after
+        // returning to Normal.
+        if let Some((epoch, reg, acked)) = &self.pending_install {
+            let (epoch, reg) = (*epoch, reg.clone());
+            for k in 0..self.inner.n() {
+                if !acked.contains(NodeId(k)) {
+                    fx.send(
+                        NodeId(k),
+                        BoundedMsg::Reset(ResetMsg::Install {
+                            epoch,
+                            reg: reg.clone(),
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: BoundedMsg<P::Msg>, fx: &mut Effects<BoundedMsg<P::Msg>>) {
+        match msg {
+            BoundedMsg::Inner { epoch, msg } => {
+                if epoch != self.epoch || matches!(self.mode, Mode::Wrapping) {
+                    // Stale (or early) epoch, or operations disabled.
+                    return;
+                }
+                let mut inner_fx = Effects::new();
+                self.inner.on_message(from, msg, &mut inner_fx);
+                self.wrap_inner_effects(inner_fx, fx);
+                if self.inner.max_index() >= self.cfg.max_int {
+                    self.enter_wrapping(self.epoch + 1, fx);
+                }
+            }
+            BoundedMsg::Reset(reset) => match reset {
+                ResetMsg::Request { epoch } => {
+                    if epoch > self.epoch {
+                        self.enter_wrapping(epoch, fx);
+                    } else if self.is_coordinator() {
+                        // The requester lags behind a finished reset:
+                        // catch it up with the current state.
+                        fx.send(
+                            from,
+                            BoundedMsg::Reset(ResetMsg::Install {
+                                epoch: self.epoch,
+                                reg: self.inner.export_reg(),
+                            }),
+                        );
+                    }
+                }
+                ResetMsg::SyncReq { epoch } => {
+                    if epoch > self.epoch {
+                        if !matches!(self.mode, Mode::Wrapping) {
+                            self.mode = Mode::Wrapping;
+                            self.abort_drained(fx);
+                        }
+                        fx.send(
+                            from,
+                            BoundedMsg::Reset(ResetMsg::SyncResp {
+                                epoch,
+                                reg: self.inner.export_reg(),
+                            }),
+                        );
+                    }
+                }
+                ResetMsg::SyncResp { epoch, reg } => {
+                    let all = match &mut self.reset {
+                        Some(st) if st.epoch == epoch && st.canonical.is_none() => {
+                            st.on_sync(from, &reg)
+                        }
+                        _ => false,
+                    };
+                    if all {
+                        let st = self.reset.as_mut().expect("reset state");
+                        let canonical = st.make_canonical();
+                        let mut acked = ProcessSet::new(self.inner.n());
+                        acked.insert(self.inner.id());
+                        fx.broadcast(
+                            self.inner.n(),
+                            &BoundedMsg::Reset(ResetMsg::Install {
+                                epoch,
+                                reg: canonical.clone(),
+                            }),
+                        );
+                        self.pending_install = Some((epoch, canonical.clone(), acked));
+                        self.install(epoch, canonical, fx);
+                    }
+                }
+                ResetMsg::Install { epoch, reg } => {
+                    if epoch > self.epoch {
+                        self.install(epoch, reg, fx);
+                        fx.send(from, BoundedMsg::Reset(ResetMsg::InstallAck { epoch }));
+                    } else if epoch == self.epoch {
+                        // Idempotent re-install (retransmission).
+                        fx.send(from, BoundedMsg::Reset(ResetMsg::InstallAck { epoch }));
+                    }
+                }
+                ResetMsg::InstallAck { epoch } => {
+                    let done = match &mut self.pending_install {
+                        Some((e, _, acked)) if *e == epoch => {
+                            acked.insert(from);
+                            acked.len() == self.inner.n()
+                        }
+                        _ => false,
+                    };
+                    if done {
+                        self.pending_install = None;
+                    }
+                }
+            },
+        }
+    }
+
+    fn invoke(&mut self, id: OpId, op: SnapshotOp, fx: &mut Effects<BoundedMsg<P::Msg>>) {
+        match self.mode {
+            Mode::Normal => {
+                let mut inner_fx = Effects::new();
+                self.inner.invoke(id, op, &mut inner_fx);
+                self.wrap_inner_effects(inner_fx, fx);
+            }
+            Mode::Wrapping => {
+                // The paper's criterion allows aborting a bounded number
+                // of operations during the seldom reset periods.
+                self.aborted += 1;
+                fx.abort(id);
+            }
+        }
+    }
+
+    fn is_busy(&self) -> bool {
+        self.inner.is_busy()
+    }
+
+    fn corrupt(&mut self, rng: &mut dyn RngCore) {
+        self.inner.corrupt(rng);
+        self.epoch = rng.next_u64() % 16;
+        self.mode = Mode::Normal;
+        self.reset = None;
+        self.pending_install = None;
+    }
+
+    fn restart(&mut self) {
+        self.inner.restart();
+        self.epoch = 0;
+        self.mode = Mode::Normal;
+        self.reset = None;
+        self.pending_install = None;
+    }
+
+    fn local_invariants_hold(&self) -> bool {
+        self.inner.local_invariants_hold() && self.inner.max_index() < self.cfg.max_int
+    }
+
+    fn stats(&self) -> ProtocolStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Alg1;
+    use sss_types::Tagged;
+
+    type B = Bounded<Alg1>;
+
+    fn node(i: usize, n: usize, max_int: u64) -> B {
+        Bounded::new(Alg1::new(NodeId(i), n), BoundedConfig { max_int })
+    }
+
+    fn fx() -> Effects<BoundedMsg<crate::Alg1Msg>> {
+        Effects::new()
+    }
+
+    #[test]
+    fn normal_mode_passes_traffic_through() {
+        let mut a = node(0, 3, 1000);
+        let mut e = fx();
+        a.invoke(OpId(1), SnapshotOp::Write(5), &mut e);
+        let sends = e.take_sends();
+        assert_eq!(sends.len(), 3);
+        assert!(matches!(sends[0].1, BoundedMsg::Inner { epoch: 0, .. }));
+    }
+
+    #[test]
+    fn overflow_triggers_wrapping_and_aborts() {
+        let mut a = node(1, 3, 5);
+        let mut e = fx();
+        // Push the inner index to the threshold via gossip.
+        a.on_message(
+            NodeId(0),
+            BoundedMsg::Inner {
+                epoch: 0,
+                msg: crate::Alg1Msg::Gossip {
+                    cell: Tagged::new(9, 5),
+                },
+            },
+            &mut e,
+        );
+        assert!(a.is_wrapping());
+        // New operations abort during the reset.
+        a.invoke(OpId(7), SnapshotOp::Write(1), &mut e);
+        assert_eq!(e.take_aborts(), vec![OpId(7)]);
+        assert_eq!(a.aborted_ops(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_messages_are_dropped() {
+        let mut a = node(1, 3, 1000);
+        a.epoch = 2;
+        let mut e = fx();
+        a.on_message(
+            NodeId(0),
+            BoundedMsg::Inner {
+                epoch: 1,
+                msg: crate::Alg1Msg::Gossip {
+                    cell: Tagged::new(9, 500),
+                },
+            },
+            &mut e,
+        );
+        assert_eq!(a.inner().ts(), 0, "stale-epoch gossip ignored");
+    }
+
+    #[test]
+    fn full_reset_round_trip_three_nodes() {
+        // Drive the three wrapped nodes by hand, routing all messages.
+        let n = 3;
+        let mut nodes: Vec<B> = (0..n).map(|i| node(i, n, 10)).collect();
+        let mut queues: Vec<Vec<(NodeId, BoundedMsg<crate::Alg1Msg>)>> = vec![vec![]; n];
+        // Overflow at node 2.
+        let mut e = fx();
+        nodes[2].on_message(
+            NodeId(1),
+            BoundedMsg::Inner {
+                epoch: 0,
+                msg: crate::Alg1Msg::Gossip {
+                    cell: Tagged::new(77, 10),
+                },
+            },
+            &mut e,
+        );
+        for (to, m) in e.take_sends() {
+            queues[to.index()].push((NodeId(2), m));
+        }
+        assert!(nodes[2].is_wrapping());
+        // Route messages until quiescent (bounded rounds).
+        for _ in 0..20 {
+            let mut progress = false;
+            for i in 0..n {
+                let inbox = std::mem::take(&mut queues[i]);
+                for (from, m) in inbox {
+                    progress = true;
+                    let mut e = fx();
+                    nodes[i].on_message(from, m, &mut e);
+                    for (to, m2) in e.take_sends() {
+                        queues[to.index()].push((NodeId(i), m2));
+                    }
+                }
+            }
+            if !progress {
+                // Let rounds retransmit.
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    let mut e = fx();
+                    node.on_round(&mut e);
+                    for (to, m2) in e.take_sends() {
+                        queues[to.index()].push((NodeId(i), m2));
+                    }
+                }
+            }
+            if nodes.iter().all(|x| !x.is_wrapping() && x.epoch() == 1) {
+                break;
+            }
+        }
+        for (i, x) in nodes.iter().enumerate() {
+            assert_eq!(x.epoch(), 1, "node {i} moved to the new epoch");
+            assert!(!x.is_wrapping(), "node {i} back to normal");
+            assert!(x.inner().ts() <= 1, "node {i} wrapped its index");
+        }
+        // The register VALUE survived the reset at every node.
+        for x in &nodes {
+            assert_eq!(x.inner().reg().get(NodeId(2)).val, 77);
+            assert_eq!(x.inner().reg().get(NodeId(2)).ts, 1, "re-stamped");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Edge-case tests of Algorithm 3's pseudo-code details that the
+//! happy-path suites don't isolate: task adoption ordering (line 105),
+//! result forwarding (lines 106–107), the own-entry resynchronisation
+//! (line 77), client-side snapshot queueing, and Δ dynamics.
+
+use sss_core::{Alg3, Alg3Config, Alg3Msg, SaveEntry, TaskRef};
+use sss_types::{
+    Effects, NodeId, OpId, OpResponse, Protocol, RegArray, SnapshotOp, SnapshotView, Tagged,
+};
+
+fn node(i: usize, n: usize, delta: u64) -> Alg3 {
+    Alg3::new(NodeId(i), n, Alg3Config { delta })
+}
+
+fn fx() -> Effects<Alg3Msg> {
+    Effects::new()
+}
+
+fn view(n: usize) -> SnapshotView {
+    (&RegArray::bottom(n)).into()
+}
+
+#[test]
+fn newer_task_supersedes_older_announcement() {
+    let mut a = node(1, 3, 0);
+    let mut e = fx();
+    for sns in [3u64, 5] {
+        a.on_message(
+            NodeId(0),
+            Alg3Msg::Snapshot {
+                tasks: vec![TaskRef { node: 0, sns, vc: None }],
+                reg: RegArray::bottom(3),
+                ssn: sns,
+            },
+            &mut e,
+        );
+    }
+    assert_eq!(a.pnd_tsk()[0].sns, 5, "newer task adopted");
+    // An old announcement arriving late must not regress.
+    a.on_message(
+        NodeId(2),
+        Alg3Msg::Snapshot {
+            tasks: vec![TaskRef { node: 0, sns: 4, vc: None }],
+            reg: RegArray::bottom(3),
+            ssn: 9,
+        },
+        &mut e,
+    );
+    assert_eq!(a.pnd_tsk()[0].sns, 5, "stale announcement ignored");
+}
+
+#[test]
+fn save_for_newer_task_replaces_result() {
+    let mut a = node(2, 3, 0);
+    let mut e = fx();
+    a.on_message(
+        NodeId(0),
+        Alg3Msg::Save {
+            entries: vec![SaveEntry { node: 0, sns: 2, view: view(3) }],
+        },
+        &mut e,
+    );
+    assert_eq!(a.pnd_tsk()[0].sns, 2);
+    // A SAVE for a newer task of the same node supersedes sns and fnl.
+    a.on_message(
+        NodeId(1),
+        Alg3Msg::Save {
+            entries: vec![SaveEntry { node: 0, sns: 7, view: view(3) }],
+        },
+        &mut e,
+    );
+    assert_eq!(a.pnd_tsk()[0].sns, 7);
+    assert!(a.pnd_tsk()[0].fnl.is_some());
+}
+
+#[test]
+fn out_of_range_indices_in_messages_are_ignored() {
+    // Corrupted messages may carry node indices ≥ n; handlers must not
+    // panic or write out of bounds.
+    let mut a = node(0, 3, 0);
+    let mut e = fx();
+    a.on_message(
+        NodeId(1),
+        Alg3Msg::Snapshot {
+            tasks: vec![TaskRef { node: 99, sns: 1, vc: None }],
+            reg: RegArray::bottom(3),
+            ssn: 1,
+        },
+        &mut e,
+    );
+    a.on_message(
+        NodeId(1),
+        Alg3Msg::Save {
+            entries: vec![SaveEntry { node: 42, sns: 1, view: view(3) }],
+        },
+        &mut e,
+    );
+    assert!(a.local_invariants_hold() || !a.local_invariants_hold()); // no panic is the point
+}
+
+#[test]
+fn second_snapshot_queues_until_first_completes() {
+    let mut a = node(0, 3, 0);
+    let mut e = fx();
+    a.invoke(OpId(1), SnapshotOp::Snapshot, &mut e);
+    a.invoke(OpId(2), SnapshotOp::Snapshot, &mut e);
+    assert_eq!(a.pnd_tsk()[0].sns, 1, "one pending task per node");
+    // Deliver the first result via SAVE.
+    a.on_message(
+        NodeId(1),
+        Alg3Msg::Save {
+            entries: vec![SaveEntry { node: 0, sns: 1, view: view(3) }],
+        },
+        &mut e,
+    );
+    let done = e.take_completions();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, OpId(1));
+    // The queued snapshot becomes the new pending task (sns = 2).
+    assert_eq!(a.pnd_tsk()[0].sns, 2);
+    assert!(a.is_busy());
+    // And completes in turn.
+    a.on_message(
+        NodeId(1),
+        Alg3Msg::Save {
+            entries: vec![SaveEntry { node: 0, sns: 2, view: view(3) }],
+        },
+        &mut e,
+    );
+    let done = e.take_completions();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, OpId(2));
+    assert!(!a.is_busy());
+}
+
+#[test]
+fn write_returns_writedone_not_snapshot() {
+    let mut a = node(0, 3, 0);
+    let mut e = fx();
+    a.invoke(OpId(1), SnapshotOp::Write(7), &mut e);
+    let lreg = a.reg().clone();
+    a.on_message(NodeId(1), Alg3Msg::WriteAck { reg: lreg.clone() }, &mut e);
+    a.on_message(NodeId(2), Alg3Msg::WriteAck { reg: lreg }, &mut e);
+    let done = e.take_completions();
+    assert_eq!(done.len(), 1);
+    assert!(matches!(done[0].1, OpResponse::WriteDone));
+}
+
+#[test]
+fn delta_excludes_finished_tasks() {
+    let mut a = node(1, 3, 0);
+    let mut e = fx();
+    // Learn of a task, then its result: it must not re-enter Δ (no more
+    // SNAPSHOT broadcasts for it on later rounds).
+    a.on_message(
+        NodeId(0),
+        Alg3Msg::Snapshot {
+            tasks: vec![TaskRef { node: 0, sns: 1, vc: None }],
+            reg: RegArray::bottom(3),
+            ssn: 1,
+        },
+        &mut e,
+    );
+    a.on_message(
+        NodeId(2),
+        Alg3Msg::Save {
+            entries: vec![SaveEntry { node: 0, sns: 1, view: view(3) }],
+        },
+        &mut e,
+    );
+    e.take_sends();
+    a.on_round(&mut e);
+    let sends = e.take_sends();
+    let snapshot_broadcasts = sends
+        .iter()
+        .filter(|(_, m)| matches!(m, Alg3Msg::Snapshot { tasks, .. } if !tasks.is_empty()))
+        .count();
+    assert_eq!(snapshot_broadcasts, 0, "finished task not helped again");
+}
+
+#[test]
+fn gossip_never_regresses_own_register() {
+    let mut a = node(1, 3, 0);
+    let mut e = fx();
+    // Establish a high own entry.
+    a.on_message(
+        NodeId(0),
+        Alg3Msg::Gossip { cell: Tagged::new(9, 8), pnd_sns: 0 },
+        &mut e,
+    );
+    assert_eq!(a.reg().get(NodeId(1)).ts, 8);
+    // A stale gossip cell must not lower it.
+    a.on_message(
+        NodeId(2),
+        Alg3Msg::Gossip { cell: Tagged::new(1, 3), pnd_sns: 0 },
+        &mut e,
+    );
+    assert_eq!(a.reg().get(NodeId(1)).ts, 8);
+    assert_eq!(a.reg().get(NodeId(1)).val, 9);
+}
+
+#[test]
+fn stats_track_indices() {
+    let mut a = node(0, 3, 0);
+    let mut e = fx();
+    a.invoke(OpId(1), SnapshotOp::Write(5), &mut e);
+    let s = a.stats();
+    assert_eq!(s.write_index, 1);
+    a.invoke(OpId(2), SnapshotOp::Snapshot, &mut e);
+    assert_eq!(a.stats().snapshot_index, 1);
+}
+
+#[test]
+fn restart_resets_everything() {
+    let mut a = node(2, 3, 5);
+    let mut e = fx();
+    a.invoke(OpId(1), SnapshotOp::Write(5), &mut e);
+    a.invoke(OpId(2), SnapshotOp::Snapshot, &mut e);
+    a.restart();
+    assert_eq!(a.indices(), (0, 0, 0));
+    assert!(!a.is_busy());
+    assert_eq!(a.delta(), 5, "configuration survives restart");
+    assert!(a.pnd_tsk().iter().all(|p| p.sns == 0 && p.fnl.is_none()));
+}

@@ -1,0 +1,196 @@
+//! End-to-end tests of Algorithm 3 under the discrete-event simulator.
+
+use sss_core::{Alg3, Alg3Config};
+use sss_sim::{Ctl, Driver, Sim, SimConfig};
+use sss_types::{NodeId, OpId, OpResponse, Protocol, SnapshotOp, Value};
+
+fn sim(cfg: SimConfig, delta: u64) -> Sim<Alg3> {
+    let n = cfg.n;
+    Sim::new(cfg, move |id| Alg3::new(id, n, Alg3Config { delta }))
+}
+
+#[test]
+fn write_then_snapshot_sees_the_write() {
+    for delta in [0, 2, 1000] {
+        let mut s = sim(SimConfig::small(3), delta);
+        s.invoke_at(0, NodeId(0), SnapshotOp::Write(42));
+        assert!(s.run_until_idle(5_000_000), "write (δ={delta})");
+        s.invoke_at(s.now(), NodeId(1), SnapshotOp::Snapshot);
+        assert!(s.run_until_idle(20_000_000), "snapshot (δ={delta})");
+        let snap = s
+            .history()
+            .completed()
+            .find_map(|r| r.response.as_ref().and_then(OpResponse::as_snapshot))
+            .expect("snapshot result");
+        assert_eq!(snap.value_of(NodeId(0)), Some(42), "δ={delta}");
+    }
+}
+
+/// A driver that keeps one writer writing back-to-back until the snapshot
+/// under test completes (then stops the run).
+struct ContinuousWriter {
+    writer: NodeId,
+    next_val: Value,
+    writes_done: u64,
+    snap_seen: bool,
+}
+
+impl Driver<Alg3> for ContinuousWriter {
+    fn init(&mut self, ctl: &mut Ctl<'_, <Alg3 as Protocol>::Msg>) {
+        ctl.invoke(self.writer, SnapshotOp::Write(self.next_val));
+        self.next_val += 1;
+    }
+    fn on_completion(
+        &mut self,
+        node: NodeId,
+        _id: OpId,
+        resp: &OpResponse,
+        ctl: &mut Ctl<'_, <Alg3 as Protocol>::Msg>,
+    ) {
+        match resp {
+            OpResponse::Snapshot(_) => {
+                self.snap_seen = true;
+                ctl.stop();
+            }
+            OpResponse::WriteDone if node == self.writer => {
+                self.writes_done += 1;
+                ctl.invoke(self.writer, SnapshotOp::Write(self.next_val));
+                self.next_val += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The headline property: a snapshot terminates even though writes never
+/// cease (this is where Algorithm 1 starves — see the starvation
+/// experiment in the bench crate).
+#[test]
+fn snapshot_terminates_under_continuous_writes() {
+    for delta in [0u64, 3] {
+        let mut s = sim(SimConfig::small(4).with_seed(7 + delta), delta);
+        let mut w = ContinuousWriter {
+            writer: NodeId(1),
+            next_val: 1,
+            writes_done: 0,
+            snap_seen: false,
+        };
+        let snap_op = s.invoke_at(500, NodeId(0), SnapshotOp::Snapshot);
+        s.run_with_driver(&mut w, 10_000_000);
+        let rec = s
+            .history()
+            .records()
+            .iter()
+            .find(|r| r.id == snap_op)
+            .unwrap();
+        assert!(
+            rec.is_complete() && w.snap_seen,
+            "snapshot must terminate under continuous writes (δ={delta})"
+        );
+        assert!(w.writes_done > 3, "writer kept making progress (δ={delta})");
+    }
+}
+
+#[test]
+fn concurrent_snapshots_by_all_nodes_terminate() {
+    for delta in [0u64, 2] {
+        let mut s = sim(SimConfig::small(5).with_seed(3), delta);
+        for i in 0..5 {
+            s.invoke_at(10 + i, NodeId(i as usize), SnapshotOp::Snapshot);
+        }
+        assert!(s.run_until_idle(50_000_000), "all snapshots (δ={delta})");
+        assert_eq!(s.history().completed().count(), 5);
+    }
+}
+
+#[test]
+fn snapshots_are_mutually_comparable() {
+    // Concurrent snapshots must be totally ordered by containment.
+    let mut s = sim(SimConfig::harsh(4).with_seed(11), 1);
+    for i in 0..4u64 {
+        s.invoke_at(10 + i, NodeId(i as usize), SnapshotOp::Write(100 + i));
+    }
+    for i in 0..4u64 {
+        s.invoke_at(40 + i, NodeId(i as usize), SnapshotOp::Snapshot);
+    }
+    assert!(s.run_until_idle(100_000_000));
+    let views: Vec<Vec<u64>> = s
+        .history()
+        .completed()
+        .filter_map(|r| r.response.as_ref().and_then(OpResponse::as_snapshot))
+        .map(|v| v.timestamps())
+        .collect();
+    assert!(!views.is_empty());
+    for a in &views {
+        for b in &views {
+            let a_le_b = a.iter().zip(b).all(|(x, y)| x <= y);
+            let b_le_a = b.iter().zip(a).all(|(x, y)| x <= y);
+            assert!(a_le_b || b_le_a, "incomparable snapshots: {a:?} vs {b:?}");
+        }
+    }
+}
+
+#[test]
+fn tolerates_minority_crashes() {
+    let mut s = sim(SimConfig::small(5), 0);
+    s.crash_at(0, NodeId(3));
+    s.crash_at(0, NodeId(4));
+    s.invoke_at(10, NodeId(0), SnapshotOp::Write(5));
+    s.invoke_at(20, NodeId(1), SnapshotOp::Snapshot);
+    assert!(s.run_until_idle(50_000_000));
+}
+
+#[test]
+fn recovers_from_full_corruption() {
+    let mut s = sim(SimConfig::small(4).with_seed(5), 2);
+    s.invoke_at(0, NodeId(0), SnapshotOp::Write(1));
+    s.run_until_idle(5_000_000);
+    for i in 0..4 {
+        s.corrupt_node_now(NodeId(i));
+    }
+    s.corrupt_channels_now(1.0, 1 << 20);
+    assert!(s.run_for_cycles(10, 200_000_000));
+    for i in 0..4 {
+        assert!(
+            s.node(NodeId(i)).local_invariants_hold(),
+            "node {i} invariants after recovery"
+        );
+    }
+    // Usable afterwards.
+    s.invoke_at(s.now(), NodeId(1), SnapshotOp::Write(9));
+    s.invoke_at(s.now() + 1, NodeId(2), SnapshotOp::Snapshot);
+    assert!(s.run_until_idle(400_000_000));
+}
+
+#[test]
+fn phantom_task_from_corruption_resolves_itself() {
+    let mut s = sim(SimConfig::small(3), 0);
+    // Corrupt one node only: its pndTsk may now announce phantom tasks.
+    s.corrupt_node_now(NodeId(2));
+    assert!(s.run_for_cycles(12, 100_000_000));
+    // Every announced task either finished or was superseded; no node is
+    // stuck in a base call that cannot end.
+    s.invoke_at(s.now(), NodeId(0), SnapshotOp::Snapshot);
+    assert!(s.run_until_idle(200_000_000));
+}
+
+#[test]
+fn works_on_harsh_network() {
+    let mut s = sim(SimConfig::harsh(3).with_seed(21), 1);
+    s.invoke_at(0, NodeId(0), SnapshotOp::Write(1));
+    s.invoke_at(50, NodeId(1), SnapshotOp::Snapshot);
+    s.invoke_at(90, NodeId(2), SnapshotOp::Write(2));
+    assert!(s.run_until_idle(200_000_000));
+}
+
+#[test]
+fn deterministic_under_seed() {
+    let run = |seed| {
+        let mut s = sim(SimConfig::harsh(4).with_seed(seed), 1);
+        s.invoke_at(0, NodeId(0), SnapshotOp::Write(5));
+        s.invoke_at(100, NodeId(1), SnapshotOp::Snapshot);
+        s.run_until_idle(50_000_000);
+        s.trace_hash()
+    };
+    assert_eq!(run(31), run(31));
+}

@@ -1,0 +1,125 @@
+//! Message-fuzzing robustness: a self-stabilizing protocol must tolerate
+//! *any* incoming message content — arbitrary network state is part of
+//! the fault model, so no sequence of structurally valid but semantically
+//! garbage messages may panic the handlers, regress the register lattice,
+//! or wedge the state machine.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sss_core::{Alg1, Alg1Msg, Alg3, Alg3Config, Alg3Msg, Bounded, BoundedConfig, BoundedMsg};
+use sss_types::{ArbitraryMsg, Effects, NodeId, OpId, Protocol, SnapshotOp};
+
+const N: usize = 4;
+
+/// Drives one node with `count` arbitrary messages from pseudo-random
+/// peers, interleaved with rounds; checks lattice monotonicity of its own
+/// register view and that handlers never panic.
+fn fuzz_alg1(seed: u64, count: usize, invoke_first: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut node = Alg1::new(NodeId(0), N);
+    let mut fx = Effects::new();
+    if invoke_first {
+        node.invoke(OpId(1), SnapshotOp::Write(42), &mut fx);
+    }
+    let mut prev = node.reg().clone();
+    for i in 0..count {
+        let from = NodeId(1 + (i % (N - 1)));
+        let msg = Alg1Msg::arbitrary(&mut rng, N, 1 << 16);
+        node.on_message(from, msg, &mut fx);
+        assert!(
+            prev.le(node.reg()),
+            "register view regressed under garbage input"
+        );
+        prev = node.reg().clone();
+        if i % 5 == 0 {
+            node.on_round(&mut fx);
+            assert!(node.local_invariants_hold(), "round must restore invariants");
+        }
+        let _ = fx.take_sends();
+        let _ = fx.take_completions();
+    }
+}
+
+fn fuzz_alg3(seed: u64, count: usize, delta: u64, invoke_first: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut node = Alg3::new(NodeId(0), N, Alg3Config { delta });
+    let mut fx = Effects::new();
+    if invoke_first {
+        node.invoke(OpId(1), SnapshotOp::Snapshot, &mut fx);
+    }
+    let mut prev = node.reg().clone();
+    for i in 0..count {
+        let from = NodeId(1 + (i % (N - 1)));
+        let msg = Alg3Msg::arbitrary(&mut rng, N, 1 << 16);
+        node.on_message(from, msg, &mut fx);
+        assert!(prev.le(node.reg()), "register view regressed");
+        prev = node.reg().clone();
+        if i % 5 == 0 {
+            node.on_round(&mut fx);
+            assert!(node.local_invariants_hold());
+        }
+        let _ = fx.take_sends();
+        let _ = fx.take_completions();
+        let _ = fx.take_aborts();
+    }
+}
+
+fn fuzz_bounded(seed: u64, count: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut node = Bounded::new(Alg1::new(NodeId(0), N), BoundedConfig { max_int: 1 << 14 });
+    let mut fx = Effects::new();
+    for i in 0..count {
+        let from = NodeId(1 + (i % (N - 1)));
+        let msg = BoundedMsg::<Alg1Msg>::arbitrary(&mut rng, N, 1 << 16);
+        node.on_message(from, msg, &mut fx);
+        if i % 5 == 0 {
+            node.on_round(&mut fx);
+        }
+        let _ = fx.take_sends();
+        let _ = fx.take_completions();
+        let _ = fx.take_aborts();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alg1_survives_garbage_messages(seed in any::<u64>(), busy in any::<bool>()) {
+        fuzz_alg1(seed, 120, busy);
+    }
+
+    #[test]
+    fn alg3_survives_garbage_messages(
+        seed in any::<u64>(),
+        delta in 0u64..16,
+        busy in any::<bool>(),
+    ) {
+        fuzz_alg3(seed, 120, delta, busy);
+    }
+
+    #[test]
+    fn bounded_survives_garbage_messages(seed in any::<u64>()) {
+        fuzz_bounded(seed, 120);
+    }
+
+    /// Corruption followed by garbage messages still never panics, and a
+    /// single round restores the node-local invariants.
+    #[test]
+    fn corrupt_then_garbage_then_round(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut node = Alg3::new(NodeId(0), N, Alg3Config { delta: 1 });
+        node.corrupt(&mut rng);
+        let mut fx = Effects::new();
+        for i in 0..40 {
+            let from = NodeId(1 + (i % (N - 1)));
+            let msg = Alg3Msg::arbitrary(&mut rng, N, 1 << 16);
+            node.on_message(from, msg, &mut fx);
+            let _ = fx.take_sends();
+            let _ = fx.take_completions();
+        }
+        node.on_round(&mut fx);
+        prop_assert!(node.local_invariants_hold());
+    }
+}

@@ -1,0 +1,261 @@
+//! Operation histories: the record of invocations and responses that the
+//! linearizability checker consumes.
+
+use crate::{NodeId, OpId, OpResponse, SnapshotOp};
+
+/// One operation's lifetime as observed at the client boundary.
+///
+/// Times are driver timestamps (virtual microseconds under the simulator,
+/// monotonic-clock microseconds under the threaded runtime). An operation
+/// with `completed_at == None` was still pending when the history was cut —
+/// the checker treats such operations as possibly taking effect or not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The invoking node.
+    pub node: NodeId,
+    /// Driver-assigned operation identifier.
+    pub id: OpId,
+    /// What was invoked.
+    pub op: SnapshotOp,
+    /// Invocation time.
+    pub invoked_at: u64,
+    /// Response time, if the operation completed.
+    pub completed_at: Option<u64>,
+    /// The response, if the operation completed.
+    pub response: Option<OpResponse>,
+    /// Whether the operation was aborted by a global reset (Section 5's
+    /// seldom reset periods may abort a bounded number of operations).
+    pub aborted: bool,
+}
+
+impl OpRecord {
+    /// Whether this operation returned to its caller.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Whether this operation provably precedes `other` in real time
+    /// (it responded before `other` was invoked).
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        match self.completed_at {
+            Some(t) => t < other.invoked_at,
+            None => false,
+        }
+    }
+}
+
+/// A complete history of client-boundary events for one run.
+///
+/// ```
+/// use sss_types::{History, NodeId, OpId, SnapshotOp, OpResponse};
+/// let mut h = History::new();
+/// let id = OpId(0);
+/// h.record_invoke(NodeId(0), id, SnapshotOp::Write(7), 10);
+/// h.record_complete(id, OpResponse::WriteDone, 25);
+/// assert_eq!(h.completed().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    records: Vec<OpRecord>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an invocation.
+    pub fn record_invoke(&mut self, node: NodeId, id: OpId, op: SnapshotOp, at: u64) {
+        self.records.push(OpRecord {
+            node,
+            id,
+            op,
+            invoked_at: at,
+            completed_at: None,
+            response: None,
+            aborted: false,
+        });
+    }
+
+    /// Records the completion of a previously invoked operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never invoked or already completed — either is a
+    /// driver bug worth failing loudly on.
+    pub fn record_complete(&mut self, id: OpId, resp: OpResponse, at: u64) {
+        let rec = self
+            .records
+            .iter_mut()
+            .find(|r| r.id == id)
+            .expect("completion for unknown operation");
+        assert!(rec.completed_at.is_none(), "operation completed twice");
+        rec.completed_at = Some(at);
+        rec.response = Some(resp);
+    }
+
+    /// Marks a previously invoked operation as aborted by a global reset.
+    pub fn record_abort(&mut self, id: OpId, at: u64) {
+        let rec = self
+            .records
+            .iter_mut()
+            .find(|r| r.id == id)
+            .expect("abort for unknown operation");
+        rec.completed_at = Some(at);
+        rec.aborted = true;
+    }
+
+    /// All records, in invocation order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Completed, non-aborted operations.
+    pub fn completed(&self) -> impl Iterator<Item = &OpRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.is_complete() && !r.aborted)
+    }
+
+    /// Operations that never responded.
+    pub fn pending(&self) -> impl Iterator<Item = &OpRecord> {
+        self.records.iter().filter(|r| !r.is_complete())
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Restricts the history to operations invoked at or after `t`
+    /// (used to check only the post-recovery suffix after a transient
+    /// fault, as Dijkstra's criterion prescribes).
+    pub fn suffix_from(&self, t: u64) -> History {
+        History {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.invoked_at >= t)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Latency distribution of the completed operations selected by
+    /// `filter` (e.g. only snapshots), or `None` if none match.
+    pub fn latency_stats(&self, mut filter: impl FnMut(&OpRecord) -> bool) -> Option<LatencyStats> {
+        let mut lat: Vec<u64> = self
+            .completed()
+            .filter(|r| filter(r))
+            .map(|r| r.completed_at.expect("completed") - r.invoked_at)
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_unstable();
+        let count = lat.len();
+        let pick = |q: f64| lat[((count - 1) as f64 * q).round() as usize];
+        Some(LatencyStats {
+            count,
+            min: lat[0],
+            p50: pick(0.50),
+            p95: pick(0.95),
+            max: lat[count - 1],
+            mean: lat.iter().sum::<u64>() / count as u64,
+        })
+    }
+}
+
+/// Latency distribution summary over a set of completed operations
+/// (driver time units — virtual µs under the simulator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of operations summarized.
+    pub count: usize,
+    /// Minimum latency.
+    pub min: u64,
+    /// Median latency.
+    pub p50: u64,
+    /// 95th-percentile latency.
+    pub p95: u64,
+    /// Maximum latency.
+    pub max: u64,
+    /// Arithmetic mean latency.
+    pub mean: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> History {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(1), 0);
+        h.record_complete(OpId(0), OpResponse::WriteDone, 10);
+        h.record_invoke(NodeId(1), OpId(1), SnapshotOp::Snapshot, 20);
+        h
+    }
+
+    #[test]
+    fn records_lifecycle() {
+        let h = sample();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.completed().count(), 1);
+        assert_eq!(h.pending().count(), 1);
+    }
+
+    #[test]
+    fn real_time_precedence() {
+        let h = sample();
+        let w = &h.records()[0];
+        let s = &h.records()[1];
+        assert!(w.precedes(s));
+        assert!(!s.precedes(w), "pending ops precede nothing");
+    }
+
+    #[test]
+    fn aborts_are_not_completed_ops() {
+        let mut h = sample();
+        h.record_invoke(NodeId(2), OpId(2), SnapshotOp::Write(9), 30);
+        h.record_abort(OpId(2), 35);
+        assert_eq!(h.completed().count(), 1);
+        assert!(h.records()[2].aborted);
+    }
+
+    #[test]
+    fn suffix_filters_by_invocation_time() {
+        let h = sample();
+        assert_eq!(h.suffix_from(15).len(), 1);
+        assert_eq!(h.suffix_from(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown operation")]
+    fn unknown_completion_panics() {
+        let mut h = History::new();
+        h.record_complete(OpId(9), OpResponse::WriteDone, 1);
+    }
+
+    #[test]
+    fn latency_stats_quantiles() {
+        let mut h = History::new();
+        for (i, lat) in [10u64, 20, 30, 40, 100].iter().enumerate() {
+            let id = OpId(i as u64);
+            h.record_invoke(NodeId(0), id, SnapshotOp::Write(i as u64), 0);
+            h.record_complete(id, OpResponse::WriteDone, *lat);
+        }
+        let s = h.latency_stats(|_| true).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.p50, 30);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 40);
+        assert!(h.latency_stats(|r| r.node == NodeId(9)).is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! Process identifiers and quorum arithmetic.
+
+use std::fmt;
+
+/// Identifier of a process in the set `P` of the paper's Section 2.
+///
+/// Identifiers are unique and totally ordered, exactly as the system settings
+/// require ("whose identifiers are unique and totally ordered in `P`").
+/// They index the `reg` and `pndTsk` arrays directly, so they are dense:
+/// a system of `n` nodes uses ids `0..n`.
+///
+/// ```
+/// use sss_types::NodeId;
+/// let a = NodeId(1);
+/// let b = NodeId(2);
+/// assert!(a < b);
+/// assert_eq!(a.index(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The position of this node in dense array indexing.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// The number of acknowledgements that constitutes a majority of `n` nodes.
+///
+/// The paper assumes `2f < n`: a majority of nodes never fails, so waiting
+/// for `majority(n)` replies always terminates and any two majorities
+/// intersect (the quorum-intersection property used throughout the proofs).
+///
+/// ```
+/// use sss_types::majority;
+/// assert_eq!(majority(3), 2);
+/// assert_eq!(majority(4), 3);
+/// assert_eq!(majority(5), 3);
+/// ```
+pub fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// A compact set of process identifiers, used to collect acknowledgements
+/// and to describe crash patterns.
+///
+/// Backed by a boolean vector for O(1) insert/contains over the dense id
+/// space; iteration order is ascending by id, which keeps every consumer
+/// deterministic.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ProcessSet {
+    bits: Vec<bool>,
+    len: usize,
+}
+
+impl ProcessSet {
+    /// Creates an empty set over a universe of `n` processes.
+    pub fn new(n: usize) -> Self {
+        ProcessSet {
+            bits: vec![false; n],
+            len: 0,
+        }
+    }
+
+    /// Creates the full set `{p_0, …, p_{n-1}}`.
+    pub fn full(n: usize) -> Self {
+        ProcessSet {
+            bits: vec![true; n],
+            len: n,
+        }
+    }
+
+    /// The size of the universe this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Inserts `id`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let slot = &mut self.bits[id.index()];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Removes `id`, returning `true` if it was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        match self.bits.get_mut(id.index()) {
+            Some(slot) if *slot => {
+                *slot = false;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.bits.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the set contains a strict majority of the universe.
+    pub fn is_majority(&self) -> bool {
+        self.len >= majority(self.bits.len())
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+        self.len = 0;
+    }
+
+    /// Iterates over members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| NodeId(i))
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<NodeId> for ProcessSet {
+    /// Collects ids into a set; the universe is sized to the largest id.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let ids: Vec<NodeId> = iter.into_iter().collect();
+        let n = ids.iter().map(|id| id.index() + 1).max().unwrap_or(0);
+        let mut set = ProcessSet::new(n);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_thresholds() {
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 2);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 3);
+        assert_eq!(majority(5), 3);
+        assert_eq!(majority(6), 4);
+        assert_eq!(majority(7), 4);
+    }
+
+    #[test]
+    fn two_majorities_intersect() {
+        // The quorum-intersection property the proofs rely on.
+        for n in 1..=9 {
+            let m = majority(n);
+            assert!(2 * m > n, "two majorities of {n} must intersect");
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::new(5);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId(3)));
+        assert!(!s.insert(NodeId(3)));
+        assert!(s.contains(NodeId(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(NodeId(3)));
+        assert!(!s.remove(NodeId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn majority_detection() {
+        let mut s = ProcessSet::new(5);
+        s.insert(NodeId(0));
+        s.insert(NodeId(1));
+        assert!(!s.is_majority());
+        s.insert(NodeId(4));
+        assert!(s.is_majority());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s = ProcessSet::new(6);
+        for i in [5, 1, 3] {
+            s.insert(NodeId(i));
+        }
+        let got: Vec<usize> = s.iter().map(|id| id.index()).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = ProcessSet::full(4);
+        assert_eq!(s.len(), 4);
+        assert!(s.is_majority());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 4);
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: ProcessSet = [NodeId(0), NodeId(4)].into_iter().collect();
+        assert_eq!(s.universe(), 5);
+        assert!(s.contains(NodeId(4)));
+        assert!(!s.contains(NodeId(2)));
+    }
+}

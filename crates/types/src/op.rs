@@ -1,0 +1,142 @@
+//! The client-facing operation alphabet of a snapshot object.
+
+use crate::{NodeId, RegArray, Tagged, Value};
+use std::fmt;
+
+/// A unique identifier for one operation invocation.
+///
+/// Identifiers are assigned by the driver (simulator workload or threaded
+/// runtime), never by the protocols, so completions can be matched to
+/// invocations even across protocol-internal retries.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct OpId(pub u64);
+
+/// An operation a client may invoke on the snapshot object.
+///
+/// The paper's task description (Section 1): "the system lets each node
+/// update its own register via `write()` operations and retrieve the value
+/// of all shared registers via `snapshot()` operations".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SnapshotOp {
+    /// `write(v)`: update the invoking node's own register to `v`.
+    Write(Value),
+    /// `snapshot()`: atomically read the whole register array.
+    Snapshot,
+}
+
+/// The result of one completed operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OpResponse {
+    /// A `write(v)` returned.
+    WriteDone,
+    /// A `snapshot()` returned this view of the register array.
+    Snapshot(SnapshotView),
+}
+
+impl OpResponse {
+    /// The snapshot view, if this is a snapshot response.
+    pub fn as_snapshot(&self) -> Option<&SnapshotView> {
+        match self {
+            OpResponse::Snapshot(v) => Some(v),
+            OpResponse::WriteDone => None,
+        }
+    }
+}
+
+/// The array of register cells returned by a `snapshot()` operation.
+///
+/// A view is immutable once produced; [`SnapshotView::value_of`] projects
+/// the user-level value of one register and [`SnapshotView::values`] the
+/// whole array (with `None` for registers still at `⊥`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SnapshotView {
+    cells: Vec<Tagged>,
+}
+
+impl SnapshotView {
+    /// Number of registers in the view.
+    pub fn n(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The raw cell for process `k`.
+    pub fn cell(&self, k: NodeId) -> Tagged {
+        self.cells[k.index()]
+    }
+
+    /// The user-level value of process `k`'s register, or `None` if the
+    /// register was still `⊥` when the snapshot was taken.
+    pub fn value_of(&self, k: NodeId) -> Option<Value> {
+        self.cells[k.index()].value()
+    }
+
+    /// All user-level values, indexed by process id.
+    pub fn values(&self) -> Vec<Option<Value>> {
+        self.cells.iter().map(|c| c.value()).collect()
+    }
+
+    /// The timestamps of the view, one per process (`0` for `⊥`).
+    pub fn timestamps(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.ts).collect()
+    }
+
+    /// Iterates over `(process, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Tagged)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (NodeId(i), c))
+    }
+}
+
+impl From<RegArray> for SnapshotView {
+    fn from(reg: RegArray) -> Self {
+        SnapshotView {
+            cells: reg.iter().map(|(_, c)| c).collect(),
+        }
+    }
+}
+
+impl From<&RegArray> for SnapshotView {
+    fn from(reg: &RegArray) -> Self {
+        reg.clone().into()
+    }
+}
+
+impl fmt::Debug for SnapshotView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(&self.cells).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BOTTOM;
+
+    #[test]
+    fn view_projects_values() {
+        let mut reg = RegArray::bottom(3);
+        reg.set(NodeId(1), Tagged::new(42, 3));
+        let view: SnapshotView = (&reg).into();
+        assert_eq!(view.n(), 3);
+        assert_eq!(view.value_of(NodeId(0)), None);
+        assert_eq!(view.value_of(NodeId(1)), Some(42));
+        assert_eq!(view.values(), vec![None, Some(42), None]);
+        assert_eq!(view.timestamps(), vec![0, 3, 0]);
+        assert_eq!(view.cell(NodeId(0)), BOTTOM);
+    }
+
+    #[test]
+    fn response_projection() {
+        let reg = RegArray::bottom(2);
+        let resp = OpResponse::Snapshot((&reg).into());
+        assert!(resp.as_snapshot().is_some());
+        assert!(OpResponse::WriteDone.as_snapshot().is_none());
+    }
+
+    #[test]
+    fn op_ids_are_ordered() {
+        assert!(OpId(1) < OpId(2));
+    }
+}

@@ -1,0 +1,141 @@
+//! Register values and the `(value, timestamp)` pairs of the paper.
+
+use std::fmt;
+
+/// The value stored in a single SWMR register.
+///
+/// The paper treats register contents as opaque `ν`-bit objects; we fix a
+/// 64-bit payload. Workloads encode `(writer, sequence)` into the value so
+/// that histories are *black-box checkable* for linearizability (every write
+/// is unique). The benchmark harness models wider objects by scaling message
+/// sizes with a configurable `ν` (see [`ProtoMsg::size_bits`]).
+///
+/// [`ProtoMsg::size_bits`]: crate::ProtoMsg::size_bits
+pub type Value = u64;
+
+/// A register cell: the pair `(v, ts)` of Algorithm 1, plus the bottom
+/// element `⊥` which "is smaller than any other written value".
+///
+/// The paper's relation `⪯` (Algorithm 1, line 1) compares pairs by
+/// timestamp only. After a transient fault two copies may carry the same
+/// timestamp with *different* values, so — to keep `max` deterministic and
+/// associative even from arbitrary states — the implementation breaks
+/// timestamp ties by value. In legal executions the writer is unique per
+/// timestamp and the tie-break never fires.
+///
+/// `⊥` is represented as timestamp `0` (writers allocate timestamps starting
+/// at 1), which makes `Tagged::default()` the bottom element.
+///
+/// ```
+/// use sss_types::{Tagged, BOTTOM};
+/// let a = Tagged::new(7, 1);
+/// let b = Tagged::new(9, 2);
+/// assert!(BOTTOM <= a && a < b);
+/// assert_eq!(a.max(b), b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tagged {
+    /// The write-operation index `ts`; `0` encodes `⊥`.
+    pub ts: u64,
+    /// The written value; meaningless when `ts == 0`.
+    pub val: Value,
+}
+
+/// The bottom register cell `⊥`, smaller than any written value.
+pub const BOTTOM: Tagged = Tagged { ts: 0, val: 0 };
+
+impl Tagged {
+    /// Creates a register cell holding `val` with write index `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `ts == 0`, which is reserved for `⊥`.
+    pub fn new(val: Value, ts: u64) -> Self {
+        debug_assert!(ts != 0, "timestamp 0 is reserved for ⊥");
+        Tagged { ts, val }
+    }
+
+    /// Whether this cell is the bottom element `⊥`.
+    pub fn is_bottom(&self) -> bool {
+        self.ts == 0
+    }
+
+    /// The written value, or `None` for `⊥`.
+    pub fn value(&self) -> Option<Value> {
+        if self.is_bottom() {
+            None
+        } else {
+            Some(self.val)
+        }
+    }
+
+    /// The paper's `max_⪯` of two cells (the lattice join).
+    pub fn join(self, other: Tagged) -> Tagged {
+        self.max(other)
+    }
+}
+
+impl fmt::Debug for Tagged {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bottom() {
+            write!(f, "⊥")
+        } else {
+            write!(f, "({}@{})", self.val, self.ts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_is_minimum() {
+        assert!(BOTTOM.is_bottom());
+        assert!(BOTTOM < Tagged::new(0, 1));
+        assert!(BOTTOM < Tagged::new(u64::MAX, 1));
+        assert_eq!(Tagged::default(), BOTTOM);
+    }
+
+    #[test]
+    fn ordered_by_timestamp_first() {
+        let low = Tagged::new(999, 1);
+        let high = Tagged::new(0, 2);
+        assert!(low < high, "timestamp dominates value in ⪯");
+    }
+
+    #[test]
+    fn ties_broken_by_value_deterministically() {
+        // Only reachable after a transient fault; join must still be a join.
+        let a = Tagged::new(1, 5);
+        let b = Tagged::new(2, 5);
+        assert_eq!(a.join(b), b);
+        assert_eq!(b.join(a), b);
+    }
+
+    #[test]
+    fn join_laws() {
+        let cells = [BOTTOM, Tagged::new(3, 1), Tagged::new(4, 1), Tagged::new(1, 9)];
+        for &a in &cells {
+            assert_eq!(a.join(a), a, "idempotent");
+            for &b in &cells {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                for &c in &cells {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_accessor() {
+        assert_eq!(BOTTOM.value(), None);
+        assert_eq!(Tagged::new(42, 7).value(), Some(42));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", BOTTOM), "⊥");
+        assert_eq!(format!("{:?}", Tagged::new(3, 2)), "(3@2)");
+    }
+}

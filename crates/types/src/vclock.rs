@@ -1,0 +1,136 @@
+//! Vector clocks: the timestamp projection of a register array.
+
+use std::fmt;
+
+/// The vector-clock representation of a `reg` array (Algorithm 3, line 69):
+/// component `k` is the write-operation index of the latest write by `p_k`
+/// visible in the array (`0` for `⊥`).
+///
+/// Algorithm 3 samples a vector clock when a snapshot attempt is disturbed
+/// by concurrent writes (line 93) and later compares the *total write
+/// progress* `Σ_ℓ VC[ℓ] − vc[ℓ]` against the tunable `δ` to decide when a
+/// snapshot task has waited long enough and must be prioritised (line 70).
+///
+/// ```
+/// use sss_types::VectorClock;
+/// let old = VectorClock::from_components(vec![1, 2, 0]);
+/// let new = VectorClock::from_components(vec![3, 2, 1]);
+/// assert!(old.le(&new));
+/// assert_eq!(new.progress_since(&old), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock {
+    c: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The all-zero clock over `n` processes.
+    pub fn zero(n: usize) -> Self {
+        VectorClock { c: vec![0; n] }
+    }
+
+    /// Builds a clock from explicit components.
+    pub fn from_components(c: Vec<u64>) -> Self {
+        VectorClock { c }
+    }
+
+    /// The components, indexed by process id.
+    pub fn components(&self) -> &[u64] {
+        &self.c
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Pointwise `≤` — the `⪯` relation Algorithm 3's line 76 checks when
+    /// discarding "illogical" (corrupted) sampled clocks.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.n(), other.n());
+        self.c.iter().zip(&other.c).all(|(a, b)| a <= b)
+    }
+
+    /// Pointwise join (entrywise maximum).
+    pub fn join(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.n(), other.n());
+        for (a, b) in self.c.iter_mut().zip(&other.c) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// The total write progress `Σ_ℓ self[ℓ] − old[ℓ]`, saturating on
+    /// components where `old` exceeds `self` (possible only from corrupted
+    /// states; saturation keeps the δ-comparison meaningful there).
+    pub fn progress_since(&self, old: &VectorClock) -> u64 {
+        debug_assert_eq!(self.n(), old.n());
+        self.c
+            .iter()
+            .zip(&old.c)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .sum()
+    }
+
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.c.iter().sum()
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc{:?}", self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_least() {
+        let z = VectorClock::zero(3);
+        let x = VectorClock::from_components(vec![0, 5, 1]);
+        assert!(z.le(&x));
+        assert!(!x.le(&z));
+        assert!(z.le(&z));
+    }
+
+    #[test]
+    fn le_is_pointwise() {
+        let a = VectorClock::from_components(vec![1, 2]);
+        let b = VectorClock::from_components(vec![2, 1]);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn join_is_upper_bound() {
+        let mut a = VectorClock::from_components(vec![1, 4, 2]);
+        let b = VectorClock::from_components(vec![3, 0, 2]);
+        a.join(&b);
+        assert_eq!(a.components(), &[3, 4, 2]);
+        assert!(b.le(&a));
+    }
+
+    #[test]
+    fn progress_counts_writes() {
+        let old = VectorClock::from_components(vec![1, 1, 1]);
+        let new = VectorClock::from_components(vec![4, 1, 2]);
+        assert_eq!(new.progress_since(&old), 4);
+        assert_eq!(old.progress_since(&old), 0);
+    }
+
+    #[test]
+    fn progress_saturates_on_corrupt_sample() {
+        let corrupt = VectorClock::from_components(vec![100, 0]);
+        let now = VectorClock::from_components(vec![1, 5]);
+        assert_eq!(now.progress_since(&corrupt), 5);
+    }
+
+    #[test]
+    fn total_sums() {
+        assert_eq!(VectorClock::from_components(vec![1, 2, 3]).total(), 6);
+        assert_eq!(VectorClock::zero(4).total(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the lattice algebra every protocol's
+//! correctness rests on: `merge` must be a join (idempotent, commutative,
+//! associative, an upper bound) and `⪯` a partial order compatible with
+//! it. These are exactly the properties the paper's `max_⪯` merges need
+//! to be safe from *any* (including corrupted) starting state.
+
+use proptest::prelude::*;
+use sss_types::{NodeId, RegArray, Tagged, VectorClock};
+
+fn tagged() -> impl Strategy<Value = Tagged> {
+    (0u64..6, any::<u64>()).prop_map(|(ts, val)| if ts == 0 {
+        Tagged::default()
+    } else {
+        Tagged { ts, val: val % 8 }
+    })
+}
+
+fn reg(n: usize) -> impl Strategy<Value = RegArray> {
+    proptest::collection::vec(tagged(), n).prop_map(|cells| cells.into_iter().collect())
+}
+
+fn vclock(n: usize) -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..8, n).prop_map(VectorClock::from_components)
+}
+
+const N: usize = 4;
+
+proptest! {
+    #[test]
+    fn merge_is_idempotent(a in reg(N)) {
+        let mut x = a.clone();
+        x.merge_from(&a);
+        prop_assert_eq!(x, a);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in reg(N), b in reg(N)) {
+        let mut x = a.clone();
+        x.merge_from(&b);
+        let mut y = b.clone();
+        y.merge_from(&a);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn merge_is_associative(a in reg(N), b in reg(N), c in reg(N)) {
+        let mut x = a.clone();
+        x.merge_from(&b);
+        x.merge_from(&c);
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut y = a.clone();
+        y.merge_from(&bc);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn merge_is_an_upper_bound(a in reg(N), b in reg(N)) {
+        let mut x = a.clone();
+        x.merge_from(&b);
+        prop_assert!(a.le(&x));
+        prop_assert!(b.le(&x));
+    }
+
+    #[test]
+    fn merge_is_the_least_upper_bound(a in reg(N), b in reg(N), extra in reg(N)) {
+        // Build a common upper bound c = a ∨ b ∨ extra; the join a ∨ b
+        // must stay below it.
+        let mut c = a.clone();
+        c.merge_from(&b);
+        c.merge_from(&extra);
+        let mut x = a.clone();
+        x.merge_from(&b);
+        prop_assert!(x.le(&c));
+    }
+
+    #[test]
+    fn le_is_reflexive_and_antisymmetric(a in reg(N), b in reg(N)) {
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn le_is_transitive(a in reg(N), b in reg(N), c in reg(N)) {
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn merge_is_monotone(a in reg(N), delta in reg(N), c in reg(N)) {
+        // a ⪯ b ⟹ a ∨ c ⪯ b ∨ c — the property that makes repeated
+        // merging from arbitrary (corrupted) states converge upward.
+        // b := a ∨ delta is ⪰ a by construction.
+        let mut b = a.clone();
+        b.merge_from(&delta);
+        let mut x = a.clone();
+        x.merge_from(&c);
+        let mut y = b.clone();
+        y.merge_from(&c);
+        prop_assert!(x.le(&y));
+    }
+
+    #[test]
+    fn join_cell_equals_whole_array_merge(a in reg(N), cell in tagged(), k in 0usize..N) {
+        let mut via_cell = a.clone();
+        via_cell.join_cell(NodeId(k), cell);
+        let mut single = RegArray::bottom(N);
+        single.set(NodeId(k), cell);
+        let mut via_merge = a.clone();
+        via_merge.merge_from(&single);
+        prop_assert_eq!(via_cell, via_merge);
+    }
+
+    #[test]
+    fn vector_clock_projection_is_monotone(a in reg(N), delta in reg(N)) {
+        let mut b = a.clone();
+        b.merge_from(&delta);
+        prop_assert!(a.vector_clock().le(&b.vector_clock()));
+    }
+
+    #[test]
+    fn vc_join_upper_bound(a in vclock(N), b in vclock(N)) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.le(&j) && b.le(&j));
+    }
+
+    #[test]
+    fn vc_progress_is_zero_iff_no_advance(a in vclock(N), delta in vclock(N)) {
+        let mut b = a.clone();
+        b.join(&delta);
+        let p = b.progress_since(&a);
+        prop_assert_eq!(p == 0, a == b);
+        prop_assert_eq!(p, b.total() - a.total());
+    }
+
+    #[test]
+    fn tagged_join_total_order_consistent(a in tagged(), b in tagged()) {
+        let j = a.join(b);
+        prop_assert!(j == a || j == b, "join of a chain picks an element");
+        prop_assert!(a <= j && b <= j);
+    }
+}

@@ -1,0 +1,408 @@
+//! Workload generators and fault schedules for snapshot-object
+//! experiments.
+//!
+//! Three kinds of load:
+//!
+//! * [`MixedDriver`] — a closed-loop driver: each participating node keeps
+//!   one operation outstanding, choosing writes vs snapshots by a
+//!   configurable ratio, with uniform think times. Values are globally
+//!   unique (`(node, sequence)` encodings), which is what makes recorded
+//!   histories black-box checkable by `sss-checker`.
+//! * [`schedule_open_loop`] — pre-scheduled operations at given times
+//!   (independent of completions), for overload and burst scenarios.
+//! * [`FaultPlan`] — a builder for crash / resume / restart / transient
+//!   corruption schedules, applied to a simulator before the run.
+//!
+//! All generators are seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sss_sim::{Ctl, Driver, Sim, SimTime};
+use sss_types::{NodeId, OpId, OpResponse, Protocol, SnapshotOp, Value};
+
+/// Encodes a globally unique write value for `node`'s `seq`-th write.
+///
+/// Uniqueness across nodes and sequences is what lets the linearizability
+/// checker treat histories as black boxes.
+pub fn unique_value(node: NodeId, seq: u64) -> Value {
+    ((node.index() as u64 + 1) << 40) | seq
+}
+
+/// Configuration of a [`MixedDriver`].
+#[derive(Clone, Debug)]
+pub struct MixedConfig {
+    /// Number of operations each participating node performs.
+    pub ops_per_node: usize,
+    /// Probability that an operation is a write (vs a snapshot).
+    pub write_ratio: f64,
+    /// Uniform think-time range between an operation's completion and the
+    /// next invocation, in virtual microseconds.
+    pub think: (SimTime, SimTime),
+    /// RNG seed.
+    pub seed: u64,
+    /// Participating nodes; `None` = all nodes.
+    pub nodes: Option<Vec<NodeId>>,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            ops_per_node: 10,
+            write_ratio: 0.5,
+            think: (0, 200),
+            seed: 7,
+            nodes: None,
+        }
+    }
+}
+
+/// A closed-loop mixed read/write driver. See the [crate docs](self).
+#[derive(Debug)]
+pub struct MixedDriver {
+    cfg: MixedConfig,
+    rng: StdRng,
+    remaining: Vec<usize>,
+    next_seq: Vec<u64>,
+    outstanding: usize,
+    /// Stop the simulation once every issued operation completed
+    /// (default `true`; disable to keep simulating background gossip).
+    pub stop_when_done: bool,
+}
+
+impl MixedDriver {
+    /// A driver for a system of `n` nodes.
+    pub fn new(n: usize, cfg: MixedConfig) -> Self {
+        let mut remaining = vec![0usize; n];
+        match &cfg.nodes {
+            None => remaining.iter_mut().for_each(|r| *r = cfg.ops_per_node),
+            Some(list) => {
+                for id in list {
+                    remaining[id.index()] = cfg.ops_per_node;
+                }
+            }
+        }
+        MixedDriver {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            remaining,
+            next_seq: vec![0; n],
+            outstanding: 0,
+            stop_when_done: true,
+            cfg,
+        }
+    }
+
+    /// Operations not yet issued.
+    pub fn remaining_ops(&self) -> usize {
+        self.remaining.iter().sum()
+    }
+
+    fn next_op(&mut self, node: NodeId) -> Option<SnapshotOp> {
+        let k = node.index();
+        if self.remaining[k] == 0 {
+            return None;
+        }
+        self.remaining[k] -= 1;
+        if self.rng.gen_bool(self.cfg.write_ratio) {
+            self.next_seq[k] += 1;
+            Some(SnapshotOp::Write(unique_value(node, self.next_seq[k])))
+        } else {
+            Some(SnapshotOp::Snapshot)
+        }
+    }
+
+    fn think(&mut self) -> SimTime {
+        let (lo, hi) = self.cfg.think;
+        if hi > lo {
+            self.rng.gen_range(lo..=hi)
+        } else {
+            lo
+        }
+    }
+}
+
+impl<P: Protocol> Driver<P> for MixedDriver {
+    fn init(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        for k in 0..self.remaining.len() {
+            let node = NodeId(k);
+            let delay = self.think();
+            if let Some(op) = self.next_op(node) {
+                ctl.invoke_at(delay, node, op);
+                self.outstanding += 1;
+            }
+        }
+    }
+
+    fn on_completion(
+        &mut self,
+        node: NodeId,
+        _id: OpId,
+        _resp: &OpResponse,
+        ctl: &mut Ctl<'_, P::Msg>,
+    ) {
+        self.outstanding -= 1;
+        let delay = self.think();
+        if let Some(op) = self.next_op(node) {
+            ctl.invoke_at(ctl.now() + delay, node, op);
+            self.outstanding += 1;
+        } else if self.outstanding == 0 && self.stop_when_done {
+            ctl.stop();
+        }
+    }
+}
+
+/// Pre-schedules `count` operations across `nodes`, uniformly over
+/// `[0, horizon)`, independent of completions (open loop). Returns the
+/// scheduled operation ids.
+pub fn schedule_open_loop<P: Protocol>(
+    sim: &mut Sim<P>,
+    nodes: &[NodeId],
+    count: usize,
+    horizon: SimTime,
+    write_ratio: f64,
+    seed: u64,
+) -> Vec<OpId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seqs = vec![0u64; nodes.iter().map(|n| n.index() + 1).max().unwrap_or(1)];
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = nodes[rng.gen_range(0..nodes.len())];
+        let at = rng.gen_range(0..horizon.max(1));
+        let op = if rng.gen_bool(write_ratio) {
+            seqs[node.index()] += 1;
+            SnapshotOp::Write(unique_value(node, seqs[node.index()]))
+        } else {
+            SnapshotOp::Snapshot
+        };
+        ids.push(sim.invoke_at(at, node, op));
+    }
+    ids
+}
+
+/// Pre-schedules bursts of operations: `bursts` groups of `burst_size`
+/// operations each, the group starting at a random time and its members
+/// packed within `spread` microseconds — an overload pattern that
+/// stresses the protocols' queueing. Returns the scheduled ids.
+pub fn schedule_bursts<P: Protocol>(
+    sim: &mut Sim<P>,
+    nodes: &[NodeId],
+    bursts: usize,
+    burst_size: usize,
+    horizon: SimTime,
+    spread: SimTime,
+    seed: u64,
+) -> Vec<OpId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seqs = vec![0u64; nodes.iter().map(|n| n.index() + 1).max().unwrap_or(1)];
+    let mut ids = Vec::with_capacity(bursts * burst_size);
+    for _ in 0..bursts {
+        let start = rng.gen_range(0..horizon.max(1));
+        for _ in 0..burst_size {
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            let at = start + rng.gen_range(0..spread.max(1));
+            let op = if rng.gen_bool(0.5) {
+                seqs[node.index()] += 1;
+                SnapshotOp::Write(unique_value(node, seqs[node.index()]))
+            } else {
+                SnapshotOp::Snapshot
+            };
+            ids.push(sim.invoke_at(at, node, op));
+        }
+    }
+    ids
+}
+
+/// Draws a writer according to a heavily skewed (Zipf-like, s = 1)
+/// distribution over `nodes` — hot-writer workloads where one register
+/// dominates the update traffic.
+pub fn skewed_writer(nodes: &[NodeId], rng: &mut StdRng) -> NodeId {
+    let n = nodes.len();
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / r as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return nodes[i];
+        }
+        x -= w;
+    }
+    nodes[n - 1]
+}
+
+/// One fault event in a [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash (stop taking steps).
+    Crash(NodeId),
+    /// Resume with state intact.
+    Resume(NodeId),
+    /// Detectable restart (variables re-initialized).
+    Restart(NodeId),
+    /// Transient fault (state arbitrarily corrupted).
+    Corrupt(NodeId),
+}
+
+/// A deterministic schedule of fault events.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event at time `t` (builder-style).
+    pub fn at(mut self, t: SimTime, ev: FaultEvent) -> Self {
+        self.events.push((t, ev));
+        self
+    }
+
+    /// Crashes a random minority of nodes at `t`, returning the plan and
+    /// the crashed set.
+    pub fn crash_random_minority(
+        mut self,
+        n: usize,
+        t: SimTime,
+        seed: u64,
+    ) -> (Self, Vec<NodeId>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = (n - 1) / 2;
+        let count = if f == 0 { 0 } else { rng.gen_range(1..=f) };
+        let mut pool: Vec<usize> = (0..n).collect();
+        let mut crashed = Vec::new();
+        for _ in 0..count {
+            let i = rng.gen_range(0..pool.len());
+            let node = NodeId(pool.swap_remove(i));
+            crashed.push(node);
+            self.events.push((t, FaultEvent::Crash(node)));
+        }
+        (self, crashed)
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// Applies the plan to a simulator.
+    pub fn apply<P: Protocol>(&self, sim: &mut Sim<P>) {
+        for &(t, ev) in &self.events {
+            match ev {
+                FaultEvent::Crash(node) => sim.crash_at(t, node),
+                FaultEvent::Resume(node) => sim.resume_at(t, node),
+                FaultEvent::Restart(node) => sim.restart_at(t, node),
+                FaultEvent::Corrupt(node) => sim.corrupt_at(t, node),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_core::Alg1;
+    use sss_sim::SimConfig;
+
+    #[test]
+    fn unique_values_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..8 {
+            for seq in 1..100 {
+                assert!(seen.insert(unique_value(NodeId(node), seq)));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_driver_issues_exactly_the_configured_ops() {
+        let cfg = MixedConfig {
+            ops_per_node: 5,
+            write_ratio: 0.6,
+            think: (0, 50),
+            seed: 3,
+            nodes: None,
+        };
+        let mut sim = Sim::new(SimConfig::small(3), |id| Alg1::new(id, 3));
+        let mut driver = MixedDriver::new(3, cfg);
+        sim.run_with_driver(&mut driver, 60_000_000);
+        assert_eq!(sim.history().len(), 15);
+        assert_eq!(sim.history().completed().count(), 15);
+    }
+
+    #[test]
+    fn mixed_driver_respects_node_subset() {
+        let cfg = MixedConfig {
+            ops_per_node: 3,
+            nodes: Some(vec![NodeId(1)]),
+            ..MixedConfig::default()
+        };
+        let mut sim = Sim::new(SimConfig::small(3), |id| Alg1::new(id, 3));
+        let mut driver = MixedDriver::new(3, cfg);
+        sim.run_with_driver(&mut driver, 60_000_000);
+        assert_eq!(sim.history().len(), 3);
+        assert!(sim.history().records().iter().all(|r| r.node == NodeId(1)));
+    }
+
+    #[test]
+    fn open_loop_schedules_count_ops() {
+        let mut sim = Sim::new(SimConfig::small(3), |id| Alg1::new(id, 3));
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let ids = schedule_open_loop(&mut sim, &nodes, 12, 10_000, 0.5, 9);
+        assert_eq!(ids.len(), 12);
+        assert!(sim.run_until_idle(60_000_000));
+        assert_eq!(sim.history().completed().count(), 12);
+    }
+
+    #[test]
+    fn fault_plan_applies_events() {
+        let (plan, crashed) = FaultPlan::new()
+            .at(100, FaultEvent::Corrupt(NodeId(0)))
+            .crash_random_minority(5, 200, 42);
+        assert!(!crashed.is_empty() && crashed.len() <= 2);
+        let mut sim = Sim::new(SimConfig::small(5), |id| Alg1::new(id, 5));
+        plan.apply(&mut sim);
+        sim.run_until(1_000);
+        for node in crashed {
+            assert!(sim.is_crashed(node));
+        }
+    }
+
+    #[test]
+    fn bursts_schedule_the_right_count() {
+        let mut sim = Sim::new(SimConfig::small(3), |id| Alg1::new(id, 3));
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let ids = schedule_bursts(&mut sim, &nodes, 3, 4, 5_000, 200, 11);
+        assert_eq!(ids.len(), 12);
+        assert!(sim.run_until_idle(120_000_000));
+        assert_eq!(sim.history().completed().count(), 12);
+    }
+
+    #[test]
+    fn skew_prefers_low_ranked_nodes() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[skewed_writer(&nodes, &mut rng).index()] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[3],
+            "zipf ordering: {counts:?}");
+        assert!(counts[0] > 4000 * 4 / 10, "head node dominates: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let run = || {
+            let mut sim = Sim::new(SimConfig::small(3), |id| Alg1::new(id, 3));
+            let mut driver = MixedDriver::new(3, MixedConfig::default());
+            sim.run_with_driver(&mut driver, 60_000_000);
+            sim.trace_hash()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,148 @@
+//! Tuning `δ`: the latency / communication trade-off of Algorithm 3.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p sss-examples --bin delta_tuning
+//! ```
+//!
+//! Two regimes, as in the paper's contribution (2):
+//!
+//! * **Uncontended** (no concurrent writes): with `δ = 0` every node helps
+//!   every snapshot, costing `O(n²)` messages (Algorithm 2's behaviour);
+//!   with `δ > 0` the initiator queries alone at `O(n)` messages.
+//! * **Contended** (writers never stop): `δ` bounds how many concurrent
+//!   writes a snapshot tolerates before writes are blocked — larger `δ`
+//!   admits more writes between blocking periods at the cost of snapshot
+//!   latency.
+
+use sss_core::{Alg3, Alg3Config};
+use sss_sim::{Ctl, Driver, Sim, SimConfig};
+use sss_types::{MsgKind, NodeId, OpId, OpResponse, Protocol, SnapshotOp};
+use sss_workload::unique_value;
+
+fn snapshot_messages(m: &sss_sim::Metrics) -> u64 {
+    [
+        MsgKind::Snapshot,
+        MsgKind::SnapshotAck,
+        MsgKind::Save,
+        MsgKind::SaveAck,
+    ]
+    .iter()
+    .map(|&k| m.kind(k).sent)
+    .sum()
+}
+
+/// Uncontended: one snapshot, no writes at all.
+fn uncontended(n: usize, delta: u64) -> u64 {
+    let mut sim = Sim::new(SimConfig::small(n).with_seed(3), move |id| {
+        Alg3::new(id, n, Alg3Config { delta })
+    });
+    sim.run_until(1_000); // settle
+    let before = sim.metrics().clone();
+    sim.invoke_at(sim.now(), NodeId(0), SnapshotOp::Snapshot);
+    assert!(sim.run_until_idle(50_000_000));
+    // Allow helper traffic already in flight to land.
+    sim.run_until(sim.now() + 2_000);
+    snapshot_messages(&sim.metrics().delta_since(&before))
+}
+
+/// Writers write back-to-back; one node snapshots `target` times.
+struct Load {
+    snapshotter: NodeId,
+    snaps_left: u64,
+    next_seq: Vec<u64>,
+}
+
+impl Driver<Alg3> for Load {
+    fn init(&mut self, ctl: &mut Ctl<'_, <Alg3 as Protocol>::Msg>) {
+        for k in 0..ctl.n() {
+            let node = NodeId(k);
+            if node == self.snapshotter {
+                ctl.invoke(node, SnapshotOp::Snapshot);
+            } else {
+                self.next_seq[k] += 1;
+                ctl.invoke(node, SnapshotOp::Write(unique_value(node, self.next_seq[k])));
+            }
+        }
+    }
+
+    fn on_completion(
+        &mut self,
+        node: NodeId,
+        _id: OpId,
+        resp: &OpResponse,
+        ctl: &mut Ctl<'_, <Alg3 as Protocol>::Msg>,
+    ) {
+        match resp {
+            OpResponse::Snapshot(_) => {
+                self.snaps_left -= 1;
+                if self.snaps_left == 0 {
+                    ctl.stop();
+                } else {
+                    ctl.invoke(node, SnapshotOp::Snapshot);
+                }
+            }
+            OpResponse::WriteDone => {
+                let k = node.index();
+                self.next_seq[k] += 1;
+                ctl.invoke(node, SnapshotOp::Write(unique_value(node, self.next_seq[k])));
+            }
+        }
+    }
+}
+
+fn main() {
+    let n = 6;
+    println!("== uncontended: messages per snapshot (no writes), n = {n} ==");
+    println!("{:>8} {:>16} {:>10}", "delta", "snap msgs", "vs n / n²");
+    for delta in [0u64, 4, 64] {
+        let msgs = uncontended(n, delta);
+        let note = if delta == 0 { "≈ c·n²" } else { "≈ c·n" };
+        println!("{:>8} {:>16} {:>10}", delta, msgs, note);
+    }
+
+    println!();
+    let snaps = 8u64;
+    println!("== contended: {snaps} snapshots vs {} non-stop writers ==", n - 1);
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "delta", "snapmsgs/snap", "latency(us)", "writes done"
+    );
+    for delta in [0u64, 1, 2, 4, 8, 16, 64] {
+        let mut sim = Sim::new(SimConfig::small(n).with_seed(7 + delta), move |id| {
+            Alg3::new(id, n, Alg3Config { delta })
+        });
+        let mut load = Load {
+            snapshotter: NodeId(0),
+            snaps_left: snaps,
+            next_seq: vec![0; n],
+        };
+        sim.run_with_driver(&mut load, 60_000_000);
+        let snap_recs: Vec<_> = sim
+            .history()
+            .completed()
+            .filter(|r| matches!(r.op, SnapshotOp::Snapshot))
+            .collect();
+        let writes = sim
+            .history()
+            .completed()
+            .filter(|r| matches!(r.op, SnapshotOp::Write(_)))
+            .count();
+        let done = snap_recs.len() as u64;
+        let avg_latency: u64 = snap_recs
+            .iter()
+            .map(|r| r.completed_at.unwrap() - r.invoked_at)
+            .sum::<u64>()
+            .checked_div(done)
+            .unwrap_or(0);
+        let per_snap = snapshot_messages(sim.metrics()).checked_div(done).unwrap_or(0);
+        println!(
+            "{:>8} {:>14} {:>14} {:>14}",
+            delta, per_snap, avg_latency, writes
+        );
+    }
+    println!();
+    println!("reading: δ=0 blocks writes immediately (fast snapshots, everyone");
+    println!("helps, O(n²) messages); larger δ admits more writes between the");
+    println!("blocking periods at the cost of extra snapshot attempts/latency.");
+}

@@ -1,0 +1,84 @@
+//! Property-based self-stabilization tests: starting from *arbitrary*
+//! states (random corruption of every node and every channel), the
+//! self-stabilizing protocols must converge to a legal execution — this
+//! is Dijkstra's criterion, tested directly rather than via proofs.
+
+use proptest::prelude::*;
+use sss_core::{Alg1, Alg3, Alg3Config};
+use sss_sim::{Sim, SimConfig};
+use sss_types::{NodeId, Protocol, SnapshotOp};
+use sss_workload::unique_value;
+
+/// After corrupting with `seed`, the system must (a) restore every
+/// node-local invariant within a bounded number of cycles and (b) then
+/// complete a write and a snapshot.
+fn converges<P: Protocol>(mut sim: Sim<P>, n: usize) -> Result<(), String>
+where
+    P::Msg: sss_types::ArbitraryMsg,
+{
+    for i in 0..n {
+        sim.corrupt_node_now(NodeId(i));
+    }
+    sim.corrupt_channels_now(1.0, 1 << 20);
+    if !sim.run_for_cycles(12, 4_000_000_000) {
+        return Err("cycles did not elapse".into());
+    }
+    for i in 0..n {
+        if !sim.node(NodeId(i)).local_invariants_hold() {
+            return Err(format!("node {i} invariants still violated"));
+        }
+    }
+    let t = sim.now() + 1;
+    sim.invoke_at(t, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), 999)));
+    sim.invoke_at(t + 1, NodeId(n - 1), SnapshotOp::Snapshot);
+    if !sim.run_until_idle(4_000_000_000) {
+        return Err("operations did not terminate after recovery".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1 recovers from any random corruption (Theorem 1).
+    #[test]
+    fn alg1_recovers_from_arbitrary_states(seed in 0u64..10_000, n in 3usize..7) {
+        let sim = Sim::new(SimConfig::small(n).with_seed(seed), move |id| Alg1::new(id, n));
+        prop_assert!(converges(sim, n).is_ok());
+    }
+
+    /// Algorithm 3 recovers from any random corruption (Theorem 2),
+    /// for arbitrary δ.
+    #[test]
+    fn alg3_recovers_from_arbitrary_states(
+        seed in 0u64..10_000,
+        n in 3usize..6,
+        delta in 0u64..32,
+    ) {
+        let sim = Sim::new(SimConfig::small(n).with_seed(seed), move |id| {
+            Alg3::new(id, n, Alg3Config { delta })
+        });
+        prop_assert!(converges(sim, n).is_ok());
+    }
+
+    /// Recovery also works when the fault hits mid-operation.
+    #[test]
+    fn alg1_recovers_when_corrupted_mid_operation(seed in 0u64..10_000) {
+        let n = 4;
+        let mut sim = Sim::new(SimConfig::small(n).with_seed(seed), move |id| Alg1::new(id, n));
+        // Leave an operation in flight, then corrupt.
+        sim.invoke_at(5, NodeId(1), SnapshotOp::Write(unique_value(NodeId(1), 1)));
+        sim.run_until(8); // the WRITE broadcast is in the air
+        prop_assert!(converges(sim, n).is_ok());
+    }
+
+    /// Recovery also works on a lossy, duplicating network.
+    #[test]
+    fn alg3_recovers_on_harsh_network(seed in 0u64..10_000) {
+        let n = 4;
+        let sim = Sim::new(SimConfig::harsh(n).with_seed(seed), move |id| {
+            Alg3::new(id, n, Alg3Config { delta: 2 })
+        });
+        prop_assert!(converges(sim, n).is_ok());
+    }
+}

@@ -1,0 +1,139 @@
+//! Termination-guarantee tests: the behaviours §3 and §4 distinguish.
+//!
+//! * Writes always terminate in every protocol (non-blocking for writes);
+//! * Algorithm 3 snapshots always terminate, regardless of write
+//!   concurrency and δ;
+//! * Algorithm 3 preserves write availability: between write-blocking
+//!   periods writes keep flowing.
+
+use sss_core::{Alg1, Alg3, Alg3Config};
+use sss_sim::{Ctl, Driver, Sim, SimConfig};
+use sss_types::{NodeId, OpId, OpResponse, Protocol, SnapshotOp};
+use sss_workload::unique_value;
+
+/// Back-to-back writers everywhere; `snapshots` snapshot ops at node 0,
+/// re-issued immediately on completion. Stops when they all completed.
+struct SnapStream {
+    remaining: u64,
+    seqs: Vec<u64>,
+}
+
+impl Driver<Alg3> for SnapStream {
+    fn init(&mut self, ctl: &mut Ctl<'_, <Alg3 as Protocol>::Msg>) {
+        ctl.invoke(NodeId(0), SnapshotOp::Snapshot);
+        for k in 1..ctl.n() {
+            self.seqs[k] += 1;
+            ctl.invoke(NodeId(k), SnapshotOp::Write(unique_value(NodeId(k), self.seqs[k])));
+        }
+    }
+    fn on_completion(
+        &mut self,
+        node: NodeId,
+        _id: OpId,
+        resp: &OpResponse,
+        ctl: &mut Ctl<'_, <Alg3 as Protocol>::Msg>,
+    ) {
+        match resp {
+            OpResponse::Snapshot(_) => {
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    ctl.stop();
+                } else {
+                    ctl.invoke(node, SnapshotOp::Snapshot);
+                }
+            }
+            OpResponse::WriteDone => {
+                let k = node.index();
+                self.seqs[k] += 1;
+                ctl.invoke(node, SnapshotOp::Write(unique_value(NodeId(k), self.seqs[k])));
+            }
+        }
+    }
+}
+
+#[test]
+fn alg3_snapshot_stream_terminates_for_every_delta() {
+    for delta in [0u64, 1, 8, 64] {
+        let n = 5;
+        let mut sim = Sim::new(SimConfig::small(n).with_seed(delta + 3), move |id| {
+            Alg3::new(id, n, Alg3Config { delta })
+        });
+        let mut d = SnapStream {
+            remaining: 6,
+            seqs: vec![0; n],
+        };
+        sim.run_with_driver(&mut d, 200_000_000);
+        assert_eq!(d.remaining, 0, "all snapshots completed (δ={delta})");
+        let writes = sim
+            .history()
+            .completed()
+            .filter(|r| matches!(r.op, SnapshotOp::Write(_)))
+            .count();
+        assert!(writes > 20, "writes kept flowing (δ={delta}): {writes}");
+    }
+}
+
+#[test]
+fn writes_always_terminate_even_during_snapshot_storms() {
+    // All nodes snapshot; one node also writes. The write must finish.
+    let n = 4;
+    let mut sim = Sim::new(SimConfig::small(n).with_seed(7), move |id| {
+        Alg3::new(id, n, Alg3Config { delta: 0 })
+    });
+    for i in 0..n {
+        sim.invoke_at(5 + i as u64, NodeId(i), SnapshotOp::Snapshot);
+    }
+    sim.invoke_at(7, NodeId(2), SnapshotOp::Write(unique_value(NodeId(2), 1)));
+    assert!(sim.run_until_idle(500_000_000));
+}
+
+#[test]
+fn alg1_writes_terminate_under_snapshot_pressure() {
+    let n = 4;
+    let mut sim = Sim::new(SimConfig::small(n).with_seed(9), move |id| Alg1::new(id, n));
+    for i in 0..n {
+        sim.invoke_at(5 + i as u64, NodeId(i), SnapshotOp::Snapshot);
+    }
+    for s in 0..5u64 {
+        sim.invoke_at(10 + s * 30, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), s + 1)));
+    }
+    assert!(sim.run_until_idle(500_000_000));
+}
+
+#[test]
+fn delta_bounds_write_blocking() {
+    // With large δ, a snapshot admits ≥ δ-ish writes before blocking:
+    // compare writes completed during the snapshot for small vs large δ.
+    let writes_during = |delta: u64| -> u64 {
+        let n = 5;
+        let mut sim = Sim::new(SimConfig::harsh(n).with_seed(4), move |id| {
+            Alg3::new(id, n, Alg3Config { delta })
+        });
+        let mut d = SnapStream {
+            remaining: 1,
+            seqs: vec![0; n],
+        };
+        sim.run_with_driver(&mut d, 400_000_000);
+        assert_eq!(d.remaining, 0, "snapshot completed (δ={delta})");
+        let rec = sim
+            .history()
+            .completed()
+            .find(|r| matches!(r.op, SnapshotOp::Snapshot))
+            .unwrap()
+            .clone();
+        sim.history()
+            .completed()
+            .filter(|r| {
+                matches!(r.op, SnapshotOp::Write(_))
+                    && r.completed_at.unwrap() >= rec.invoked_at
+                    && r.invoked_at <= rec.completed_at.unwrap()
+            })
+            .count() as u64
+    };
+    let small = writes_during(0);
+    let large = writes_during(48);
+    assert!(
+        large > small,
+        "larger δ admits more concurrent writes: δ=0 → {small}, δ=48 → {large}"
+    );
+}
