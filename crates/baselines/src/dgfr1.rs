@@ -16,8 +16,8 @@
 use rand::RngCore;
 use sss_quorum::AckTracker;
 use sss_types::{
-    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, ProcessSet,
-    ProtoMsg, Protocol, ProtocolStats, RegArray, SnapshotOp, Tagged, Value,
+    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg,
+    Protocol, ProtocolStats, RegArray, SnapshotOp, Tagged, Value,
 };
 use std::collections::VecDeque;
 
@@ -423,7 +423,14 @@ mod tests {
         let mut e = Effects::new();
         a.invoke(OpId(5), SnapshotOp::Snapshot, &mut e);
         let reg = a.reg().clone();
-        a.on_message(NodeId(1), Dgfr1Msg::SnapshotAck { reg: reg.clone(), ssn: 1 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            Dgfr1Msg::SnapshotAck {
+                reg: reg.clone(),
+                ssn: 1,
+            },
+            &mut e,
+        );
         a.on_message(NodeId(2), Dgfr1Msg::SnapshotAck { reg, ssn: 1 }, &mut e);
         assert_eq!(e.take_completions().len(), 1);
     }

@@ -18,8 +18,8 @@
 use rand::RngCore;
 use sss_quorum::{RbId, RbMsg, ReliableBroadcast};
 use sss_types::{
-    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, ProcessSet,
-    ProtoMsg, Protocol, ProtocolStats, RegArray, SnapshotOp, SnapshotView, Tagged, Value,
+    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg,
+    Protocol, ProtocolStats, RegArray, SnapshotOp, SnapshotView, Tagged, Value,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -130,7 +130,10 @@ impl ArbitraryMsg for Dgfr2Msg {
         match rng.next_u32() % 3 {
             0 => Dgfr2Msg::Write { reg: a },
             1 => Dgfr2Msg::Snapshot {
-                task: ((rng.next_u32() as usize) % n, rng.next_u64() % (max_index + 1)),
+                task: (
+                    (rng.next_u32() as usize) % n,
+                    rng.next_u64() % (max_index + 1),
+                ),
                 reg: a,
                 ssn: rng.next_u64() % (max_index + 1),
             },

@@ -307,9 +307,7 @@ impl Protocol for Stacked {
             }
             StackedMsg::StoreAck { ts } => {
                 let done = match &mut self.active {
-                    Some(Active::Write {
-                        ts: want, acks, ..
-                    }) if *want == ts => {
+                    Some(Active::Write { ts: want, acks, .. }) if *want == ts => {
                         acks.insert(from);
                         acks.is_majority()
                     }
@@ -463,15 +461,43 @@ mod tests {
         a.invoke(OpId(1), SnapshotOp::Snapshot, &mut e);
         let reg = a.reg().clone();
         // Collect 1, phase 1.
-        a.on_message(NodeId(1), StackedMsg::QueryAck { reg: reg.clone(), qid: 1 }, &mut e);
-        a.on_message(NodeId(2), StackedMsg::QueryAck { reg: reg.clone(), qid: 1 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            StackedMsg::QueryAck {
+                reg: reg.clone(),
+                qid: 1,
+            },
+            &mut e,
+        );
+        a.on_message(
+            NodeId(2),
+            StackedMsg::QueryAck {
+                reg: reg.clone(),
+                qid: 1,
+            },
+            &mut e,
+        );
         // Collect 1, phase 2.
         a.on_message(NodeId(1), StackedMsg::WriteBackAck { qid: 1 }, &mut e);
         a.on_message(NodeId(2), StackedMsg::WriteBackAck { qid: 1 }, &mut e);
         assert!(e.take_completions().is_empty(), "one collect is not enough");
         // Collect 2, phases 1 and 2.
-        a.on_message(NodeId(1), StackedMsg::QueryAck { reg: reg.clone(), qid: 2 }, &mut e);
-        a.on_message(NodeId(2), StackedMsg::QueryAck { reg: reg.clone(), qid: 2 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            StackedMsg::QueryAck {
+                reg: reg.clone(),
+                qid: 2,
+            },
+            &mut e,
+        );
+        a.on_message(
+            NodeId(2),
+            StackedMsg::QueryAck {
+                reg: reg.clone(),
+                qid: 2,
+            },
+            &mut e,
+        );
         a.on_message(NodeId(1), StackedMsg::WriteBackAck { qid: 2 }, &mut e);
         a.on_message(NodeId(2), StackedMsg::WriteBackAck { qid: 2 }, &mut e);
         let done = e.take_completions();
@@ -487,19 +513,55 @@ mod tests {
         let mut moved = clean.clone();
         moved.set(NodeId(1), Tagged::new(4, 1));
         // Collect 1 returns the clean array.
-        a.on_message(NodeId(1), StackedMsg::QueryAck { reg: clean.clone(), qid: 1 }, &mut e);
-        a.on_message(NodeId(2), StackedMsg::QueryAck { reg: clean, qid: 1 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            StackedMsg::QueryAck {
+                reg: clean.clone(),
+                qid: 1,
+            },
+            &mut e,
+        );
+        a.on_message(
+            NodeId(2),
+            StackedMsg::QueryAck { reg: clean, qid: 1 },
+            &mut e,
+        );
         a.on_message(NodeId(1), StackedMsg::WriteBackAck { qid: 1 }, &mut e);
         a.on_message(NodeId(2), StackedMsg::WriteBackAck { qid: 1 }, &mut e);
         // Collect 2 sees a concurrent write: must retry.
-        a.on_message(NodeId(1), StackedMsg::QueryAck { reg: moved.clone(), qid: 2 }, &mut e);
-        a.on_message(NodeId(2), StackedMsg::QueryAck { reg: moved.clone(), qid: 2 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            StackedMsg::QueryAck {
+                reg: moved.clone(),
+                qid: 2,
+            },
+            &mut e,
+        );
+        a.on_message(
+            NodeId(2),
+            StackedMsg::QueryAck {
+                reg: moved.clone(),
+                qid: 2,
+            },
+            &mut e,
+        );
         a.on_message(NodeId(1), StackedMsg::WriteBackAck { qid: 2 }, &mut e);
         a.on_message(NodeId(2), StackedMsg::WriteBackAck { qid: 2 }, &mut e);
         assert!(e.take_completions().is_empty());
         // Collect 3 matches collect 2: done.
-        a.on_message(NodeId(1), StackedMsg::QueryAck { reg: moved.clone(), qid: 3 }, &mut e);
-        a.on_message(NodeId(2), StackedMsg::QueryAck { reg: moved, qid: 3 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            StackedMsg::QueryAck {
+                reg: moved.clone(),
+                qid: 3,
+            },
+            &mut e,
+        );
+        a.on_message(
+            NodeId(2),
+            StackedMsg::QueryAck { reg: moved, qid: 3 },
+            &mut e,
+        );
         a.on_message(NodeId(1), StackedMsg::WriteBackAck { qid: 3 }, &mut e);
         a.on_message(NodeId(2), StackedMsg::WriteBackAck { qid: 3 }, &mut e);
         let done = e.take_completions();
@@ -514,7 +576,13 @@ mod tests {
     fn server_side_handlers() {
         let mut a = Stacked::new(NodeId(1), 3);
         let mut e = Effects::new();
-        a.on_message(NodeId(0), StackedMsg::Store { cell: Tagged::new(5, 2) }, &mut e);
+        a.on_message(
+            NodeId(0),
+            StackedMsg::Store {
+                cell: Tagged::new(5, 2),
+            },
+            &mut e,
+        );
         assert_eq!(a.reg().get(NodeId(0)), Tagged::new(5, 2));
         a.on_message(NodeId(0), StackedMsg::Query { qid: 7 }, &mut e);
         let sends = e.take_sends();

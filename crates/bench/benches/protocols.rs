@@ -20,16 +20,24 @@ fn bench_protocols(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocols_write_plus_snapshot");
     g.sample_size(30);
     let n = 5;
-    g.bench_function("alg1_ss", |b| b.iter(|| one_round_trip(move |id| Alg1::new(id, n))));
+    g.bench_function("alg1_ss", |b| {
+        b.iter(|| one_round_trip(move |id| Alg1::new(id, n)))
+    });
     g.bench_function("alg3_ss_d0", |b| {
         b.iter(|| one_round_trip(move |id| Alg3::new(id, n, Alg3Config { delta: 0 })))
     });
     g.bench_function("alg3_ss_d8", |b| {
         b.iter(|| one_round_trip(move |id| Alg3::new(id, n, Alg3Config { delta: 8 })))
     });
-    g.bench_function("dgfr1", |b| b.iter(|| one_round_trip(move |id| Dgfr1::new(id, n))));
-    g.bench_function("dgfr2", |b| b.iter(|| one_round_trip(move |id| Dgfr2::new(id, n))));
-    g.bench_function("stacked", |b| b.iter(|| one_round_trip(move |id| Stacked::new(id, n))));
+    g.bench_function("dgfr1", |b| {
+        b.iter(|| one_round_trip(move |id| Dgfr1::new(id, n)))
+    });
+    g.bench_function("dgfr2", |b| {
+        b.iter(|| one_round_trip(move |id| Dgfr2::new(id, n)))
+    });
+    g.bench_function("stacked", |b| {
+        b.iter(|| one_round_trip(move |id| Stacked::new(id, n)))
+    });
     g.finish();
 }
 

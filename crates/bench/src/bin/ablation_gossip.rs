@@ -26,7 +26,11 @@ fn targeted_recovery(k: u64, budget_cycles: u64) -> Option<u64> {
     });
     for seq in 1..=4u64 {
         let t = sim.now() + 1;
-        sim.invoke_at(t, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), seq)));
+        sim.invoke_at(
+            t,
+            NodeId(0),
+            SnapshotOp::Write(unique_value(NodeId(0), seq)),
+        );
         assert!(sim.run_until_idle(100_000_000));
     }
     sim.restart_at(sim.now() + 1, NodeId(0));
@@ -64,7 +68,11 @@ fn main() {
             move |id| Alg1::with_gossip_every(id, n, k),
             6,
         );
-        let label = if k == 0 { "disabled".into() } else { k.to_string() };
+        let label = if k == 0 {
+            "disabled".into()
+        } else {
+            k.to_string()
+        };
         t.row(vec![label, rec, g.to_string()]);
     }
     t.print();

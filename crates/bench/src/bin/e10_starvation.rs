@@ -35,9 +35,13 @@ fn main() {
         let cell = |which: usize| -> String {
             let cfg = SimConfig::harsh(n).with_seed(2 + k as u64);
             let res = match which {
-                0 => snapshot_latency_cycles(cfg, move |id| Dgfr1::new(id, n), NodeId(0), k, budget),
+                0 => {
+                    snapshot_latency_cycles(cfg, move |id| Dgfr1::new(id, n), NodeId(0), k, budget)
+                }
                 1 => snapshot_latency_cycles(cfg, move |id| Alg1::new(id, n), NodeId(0), k, budget),
-                2 => snapshot_latency_cycles(cfg, move |id| Dgfr2::new(id, n), NodeId(0), k, budget),
+                2 => {
+                    snapshot_latency_cycles(cfg, move |id| Dgfr2::new(id, n), NodeId(0), k, budget)
+                }
                 3 => snapshot_latency_cycles(
                     cfg,
                     move |id| Alg3::new(id, n, Alg3Config { delta: 0 }),

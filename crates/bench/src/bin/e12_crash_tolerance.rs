@@ -4,9 +4,11 @@
 //! nodes; with `f ≥ n/2` no majority exists and operations block (until a
 //! node resumes). Checked for both self-stabilizing algorithms.
 
-use sss_bench::Table;
+use sss_bench::{run_cross_backend, BackendChoice, Table};
 use sss_core::{Alg1, Alg3, Alg3Config};
-use sss_sim::{Sim, SimConfig};
+use sss_net::{Backend, FaultPlan, WorkloadSpec};
+use sss_runtime::{ClusterConfig, ThreadBackend};
+use sss_sim::{Sim, SimBackend, SimConfig};
 use sss_types::{NodeId, Protocol, SnapshotOp};
 use sss_workload::unique_value;
 
@@ -26,10 +28,19 @@ fn survives<P: Protocol>(cfg: SimConfig, mk: impl FnMut(NodeId) -> P, f: usize) 
 fn main() {
     println!("E12: operation completion vs number of crashed nodes (n = 5)\n");
     let n = 5;
-    let mut t = Table::new(&["f (crashed)", "majority alive", "alg1-ss completes", "alg3-ss completes"]);
+    let mut t = Table::new(&[
+        "f (crashed)",
+        "majority alive",
+        "alg1-ss completes",
+        "alg3-ss completes",
+    ]);
     for f in 0..=3usize {
         let alive_majority = 2 * (n - f) > n;
-        let a1 = survives(SimConfig::small(n).with_seed(f as u64), move |id| Alg1::new(id, n), f);
+        let a1 = survives(
+            SimConfig::small(n).with_seed(f as u64),
+            move |id| Alg1::new(id, n),
+            f,
+        );
         let a3 = survives(
             SimConfig::small(n).with_seed(f as u64),
             move |id| Alg3::new(id, n, Alg3Config { delta: 1 }),
@@ -49,7 +60,9 @@ fn main() {
     println!();
     // Resume demonstration: at f = 3 (no majority) ops block, then a
     // resume restores liveness without restarting anything.
-    let mut sim = Sim::new(SimConfig::small(n).with_seed(42), move |id| Alg1::new(id, n));
+    let mut sim = Sim::new(SimConfig::small(n).with_seed(42), move |id| {
+        Alg1::new(id, n)
+    });
     for i in 0..3 {
         sim.crash_at(0, NodeId(n - 1 - i));
     }
@@ -58,4 +71,38 @@ fn main() {
     sim.resume_at(sim.now() + 1, NodeId(4));
     let unblocked = sim.run_until_idle(300_000_000);
     println!("resume demo: blocked at f=3: {blocked}; unblocked after one resume: {unblocked}");
+
+    // Cross-backend scenario (--backend sim|threads|both): a random
+    // minority crashes mid-run and resumes later; the same plan replays
+    // on both execution models through the shared fault plane.
+    println!();
+    println!("scenario: random minority crash at t=2000, resume at t=10000");
+    let choice = BackendChoice::from_args();
+    let (mut plan, crashed) = FaultPlan::new().crash_random_minority(n, 2_000, 17);
+    for &node in &crashed {
+        plan = plan.at(10_000, sss_net::FaultEvent::Resume(node));
+    }
+    println!("crashed set: {crashed:?}");
+    let workload = WorkloadSpec {
+        ops_per_node: 8,
+        think: (200, 2_000),
+        op_timeout: 20_000,
+        ..WorkloadSpec::default()
+    };
+    let mut backends: Vec<Box<dyn Backend>> = Vec::new();
+    if choice.sim() {
+        backends.push(Box::new(SimBackend::new(SimConfig::small(n), move |id| {
+            Alg1::new(id, n)
+        })));
+    }
+    if choice.threads() {
+        backends.push(Box::new(ThreadBackend::new(
+            ClusterConfig::new(n),
+            move |id| Alg1::new(id, n),
+        )));
+    }
+    assert!(
+        run_cross_backend(n, backends, &plan, &workload),
+        "history must stay linearizable on every backend"
+    );
 }

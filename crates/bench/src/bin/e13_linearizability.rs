@@ -8,10 +8,12 @@
 //! state corruption is checked as well (Dijkstra's criterion).
 
 use sss_baselines::{Dgfr1, Dgfr2, Stacked};
-use sss_bench::Table;
+use sss_bench::{run_cross_backend, BackendChoice, Table};
 use sss_checker::check;
 use sss_core::{Alg1, Alg3, Alg3Config};
-use sss_sim::{Sim, SimConfig};
+use sss_net::{Backend, FaultEvent, WorkloadSpec};
+use sss_runtime::{ClusterConfig, ThreadBackend};
+use sss_sim::{Sim, SimBackend, SimConfig};
 use sss_types::{NodeId, Protocol, SnapshotOp};
 use sss_workload::{FaultPlan, MixedConfig, MixedDriver};
 
@@ -24,7 +26,7 @@ fn verdict<P: Protocol>(
     let mut sim = Sim::new(cfg, mk);
     if crash {
         let (plan, _) = FaultPlan::new().crash_random_minority(n, 400, 17);
-        plan.apply(&mut sim);
+        sim.apply_plan(&plan);
     }
     let mut driver = MixedDriver::new(
         n,
@@ -42,7 +44,14 @@ fn verdict<P: Protocol>(
     let h = sim.history().clone();
     let ops = h.completed().count();
     let v = check(&h, n);
-    (ops, if v.is_linearizable() { "linearizable" } else { "VIOLATION" })
+    (
+        ops,
+        if v.is_linearizable() {
+            "linearizable"
+        } else {
+            "VIOLATION"
+        },
+    )
 }
 
 fn main() {
@@ -60,26 +69,64 @@ fn main() {
     };
     let small = SimConfig::small(n);
     let harsh = SimConfig::harsh(n);
-    add("alg1-ss", "reliable", "none", verdict(small, move |id| Alg1::new(id, n), false));
-    add("alg1-ss", "harsh", "none", verdict(harsh, move |id| Alg1::new(id, n), false));
-    add("alg1-ss", "reliable", "crash", verdict(small, move |id| Alg1::new(id, n), true));
+    add(
+        "alg1-ss",
+        "reliable",
+        "none",
+        verdict(small, move |id| Alg1::new(id, n), false),
+    );
+    add(
+        "alg1-ss",
+        "harsh",
+        "none",
+        verdict(harsh, move |id| Alg1::new(id, n), false),
+    );
+    add(
+        "alg1-ss",
+        "reliable",
+        "crash",
+        verdict(small, move |id| Alg1::new(id, n), true),
+    );
     for delta in [0u64, 4] {
         add(
             &format!("alg3-ss δ={delta}"),
             "harsh",
             "none",
-            verdict(harsh, move |id| Alg3::new(id, n, Alg3Config { delta }), false),
+            verdict(
+                harsh,
+                move |id| Alg3::new(id, n, Alg3Config { delta }),
+                false,
+            ),
         );
         add(
             &format!("alg3-ss δ={delta}"),
             "reliable",
             "crash",
-            verdict(small, move |id| Alg3::new(id, n, Alg3Config { delta }), true),
+            verdict(
+                small,
+                move |id| Alg3::new(id, n, Alg3Config { delta }),
+                true,
+            ),
         );
     }
-    add("dgfr1", "harsh", "none", verdict(harsh, move |id| Dgfr1::new(id, n), false));
-    add("dgfr2", "reliable", "none", verdict(small, move |id| Dgfr2::new(id, n), false));
-    add("stacked", "harsh", "none", verdict(harsh, move |id| Stacked::new(id, n), false));
+    add(
+        "dgfr1",
+        "harsh",
+        "none",
+        verdict(harsh, move |id| Dgfr1::new(id, n), false),
+    );
+    add(
+        "dgfr2",
+        "reliable",
+        "none",
+        verdict(small, move |id| Dgfr2::new(id, n), false),
+    );
+    add(
+        "stacked",
+        "harsh",
+        "none",
+        verdict(harsh, move |id| Stacked::new(id, n), false),
+    );
     t.print();
 
     // Post-recovery suffix check for the self-stabilizing algorithms.
@@ -87,8 +134,50 @@ fn main() {
     println!("post-recovery suffix (full corruption of state + channels):");
     for label in ["alg1-ss", "alg3-ss δ=2"] {
         let suffix_ok = post_recovery_ok(label, n);
-        println!("  {label}: {}", if suffix_ok { "linearizable" } else { "VIOLATION" });
+        println!(
+            "  {label}: {}",
+            if suffix_ok {
+                "linearizable"
+            } else {
+                "VIOLATION"
+            }
+        );
     }
+
+    // Cross-backend scenario (--backend sim|threads|both): a group
+    // partition (majority | minority) that later heals, the same plan
+    // replayed on both execution models through the shared fault plane.
+    println!();
+    println!("scenario: partition {{0,1,2}} | {{3}} at t=2000, heal at t=8000");
+    let choice = BackendChoice::from_args();
+    let plan = FaultPlan::new()
+        .at(
+            2_000,
+            FaultEvent::Partition(vec![vec![NodeId(0), NodeId(1), NodeId(2)], vec![NodeId(3)]]),
+        )
+        .at(8_000, FaultEvent::Heal);
+    let workload = WorkloadSpec {
+        ops_per_node: 8,
+        think: (200, 2_000),
+        op_timeout: 20_000,
+        ..WorkloadSpec::default()
+    };
+    let mut backends: Vec<Box<dyn Backend>> = Vec::new();
+    if choice.sim() {
+        backends.push(Box::new(SimBackend::new(SimConfig::small(n), move |id| {
+            Alg1::new(id, n)
+        })));
+    }
+    if choice.threads() {
+        backends.push(Box::new(ThreadBackend::new(
+            ClusterConfig::new(n),
+            move |id| Alg1::new(id, n),
+        )));
+    }
+    assert!(
+        run_cross_backend(n, backends, &plan, &workload),
+        "history must stay linearizable on every backend"
+    );
 }
 
 fn post_recovery_ok(which: &str, n: usize) -> bool {

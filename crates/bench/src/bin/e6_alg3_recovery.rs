@@ -7,9 +7,11 @@
 //! consistent state (Definition 1's invariants) — for every `δ`, and
 //! independent of `n`. Afterwards the object remains fully usable.
 
-use sss_bench::{recovery_cycles, Table, N_SWEEP};
+use sss_bench::{recovery_cycles, run_cross_backend, BackendChoice, Table, N_SWEEP};
 use sss_core::{Alg3, Alg3Config};
-use sss_sim::{Sim, SimConfig};
+use sss_net::{Backend, FaultEvent, FaultPlan, WorkloadSpec};
+use sss_runtime::{ClusterConfig, ThreadBackend};
+use sss_sim::{Sim, SimBackend, SimConfig};
 use sss_types::{NodeId, SnapshotOp};
 
 /// After corruption + recovery, do a write and a snapshot still complete?
@@ -61,7 +63,11 @@ fn main() {
             avg(0),
             avg(4),
             avg(64),
-            if usable_after_recovery(n, 4) { "yes".into() } else { "NO".into() },
+            if usable_after_recovery(n, 4) {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t.print();
@@ -69,4 +75,53 @@ fn main() {
     println!("expected shape: a small constant number of cycles in every cell,");
     println!("flat in both n and δ (Theorem 2's O(1)); the usability column is");
     println!("'yes' everywhere.");
+
+    // Cross-backend scenario (--backend sim|threads|both): the
+    // always-terminating algorithm under a crash plus a transient
+    // directed-link cut, same fault plan on both execution models.
+    println!();
+    println!("scenario: alg3 (δ=4) under crash + transient link cut");
+    let choice = BackendChoice::from_args();
+    let n = 4;
+    let plan = FaultPlan::new()
+        .at(2_000, FaultEvent::Crash(NodeId(3)))
+        .at(
+            3_000,
+            FaultEvent::SetLink {
+                from: NodeId(0),
+                to: NodeId(1),
+                up: false,
+            },
+        )
+        .at(
+            7_000,
+            FaultEvent::SetLink {
+                from: NodeId(0),
+                to: NodeId(1),
+                up: true,
+            },
+        )
+        .at(9_000, FaultEvent::Resume(NodeId(3)));
+    let workload = WorkloadSpec {
+        ops_per_node: 8,
+        think: (200, 2_000),
+        op_timeout: 20_000,
+        ..WorkloadSpec::default()
+    };
+    let mut backends: Vec<Box<dyn Backend>> = Vec::new();
+    if choice.sim() {
+        backends.push(Box::new(SimBackend::new(SimConfig::small(n), move |id| {
+            Alg3::new(id, n, Alg3Config { delta: 4 })
+        })));
+    }
+    if choice.threads() {
+        backends.push(Box::new(ThreadBackend::new(
+            ClusterConfig::new(n),
+            move |id| Alg3::new(id, n, Alg3Config { delta: 4 }),
+        )));
+    }
+    assert!(
+        run_cross_backend(n, backends, &plan, &workload),
+        "history must stay linearizable on every backend"
+    );
 }

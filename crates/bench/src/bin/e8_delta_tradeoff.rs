@@ -25,7 +25,10 @@ impl Driver<Alg3> for Load {
         ctl.invoke(NodeId(0), SnapshotOp::Snapshot);
         for k in 1..ctl.n() {
             self.next_seq[k] += 1;
-            ctl.invoke(NodeId(k), SnapshotOp::Write(unique_value(NodeId(k), self.next_seq[k])));
+            ctl.invoke(
+                NodeId(k),
+                SnapshotOp::Write(unique_value(NodeId(k), self.next_seq[k])),
+            );
         }
     }
     fn on_completion(
@@ -47,7 +50,10 @@ impl Driver<Alg3> for Load {
             OpResponse::WriteDone => {
                 let k = node.index();
                 self.next_seq[k] += 1;
-                ctl.invoke(node, SnapshotOp::Write(unique_value(node, self.next_seq[k])));
+                ctl.invoke(
+                    node,
+                    SnapshotOp::Write(unique_value(node, self.next_seq[k])),
+                );
             }
         }
     }

@@ -34,7 +34,11 @@ fn main() {
         let attempts = max_int + max_int / 2; // run well past the threshold
         for seq in 1..=attempts {
             let t0 = sim.now() + 1;
-            sim.invoke_at(t0, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), seq)));
+            sim.invoke_at(
+                t0,
+                NodeId(0),
+                SnapshotOp::Write(unique_value(NodeId(0), seq)),
+            );
             sim.run_until_idle(500_000_000);
         }
         // Let any in-progress reset finish.
@@ -56,9 +60,8 @@ fn main() {
             })
             .max()
             .unwrap_or(0);
-        let preserved = (0..n).all(|i| {
-            sim.node(NodeId(i)).inner().reg().get(NodeId(0)).val >= last_val.min(1)
-        });
+        let preserved =
+            (0..n).all(|i| sim.node(NodeId(i)).inner().reg().get(NodeId(0)).val >= last_val.min(1));
         t.row(vec![
             max_int.to_string(),
             attempts.to_string(),

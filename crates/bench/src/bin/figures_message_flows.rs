@@ -74,16 +74,32 @@ fn main() {
     println!("Figures 1–3: message flows of write → snapshot → write (n = {N})\n");
 
     let (f, c) = scenario(move |id| Dgfr1::new(id, N));
-    print_flows("Figure 1 (upper): DGFR Algorithm 1, no self-stabilization", &f, c);
+    print_flows(
+        "Figure 1 (upper): DGFR Algorithm 1, no self-stabilization",
+        &f,
+        c,
+    );
 
     let (f, c) = scenario(move |id| Alg1::new(id, N));
-    print_flows("Figure 1 (lower): self-stabilizing Algorithm 1 (gossip added)", &f, c);
+    print_flows(
+        "Figure 1 (lower): self-stabilizing Algorithm 1 (gossip added)",
+        &f,
+        c,
+    );
 
     let (f, c) = scenario(move |id| Dgfr2::new(id, N));
-    print_flows("Figure 2: DGFR Algorithm 2 (reliable broadcast + all-node help)", &f, c);
+    print_flows(
+        "Figure 2: DGFR Algorithm 2 (reliable broadcast + all-node help)",
+        &f,
+        c,
+    );
 
     let (f, c) = scenario(move |id| Alg3::new(id, N, Alg3Config { delta: 8 }));
-    print_flows("Figure 3 (upper): Algorithm 3, δ = 8 (initiator queries alone)", &f, c);
+    print_flows(
+        "Figure 3 (upper): Algorithm 3, δ = 8 (initiator queries alone)",
+        &f,
+        c,
+    );
 
     // Figure 3 (lower): all nodes snapshot concurrently under Algorithm 3.
     let mut sim = Sim::new(SimConfig::small(N).with_seed(2), move |id| {

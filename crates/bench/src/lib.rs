@@ -18,8 +18,91 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sss_net::{Backend, FaultPlan, WorkloadSpec};
 use sss_sim::{Metrics, MetricsDelta, Sim, SimConfig, SimTime};
 use sss_types::{MsgKind, NodeId, Protocol, SnapshotOp};
+
+/// Which execution backend(s) an experiment binary should run its
+/// cross-backend scenario on, from the `--backend {sim,threads,both}`
+/// CLI flag (default: `sim`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Deterministic simulator only.
+    Sim,
+    /// Threaded runtime only.
+    Threads,
+    /// Both, same fault plan — the cross-backend comparison.
+    Both,
+}
+
+impl BackendChoice {
+    /// Parses `--backend …` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown backend name.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--backend") {
+            None => BackendChoice::Sim,
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("sim") => BackendChoice::Sim,
+                Some("threads") => BackendChoice::Threads,
+                Some("both") => BackendChoice::Both,
+                other => panic!("--backend takes sim|threads|both, got {other:?}"),
+            },
+        }
+    }
+
+    /// Whether the simulator backend is selected.
+    pub fn sim(&self) -> bool {
+        matches!(self, BackendChoice::Sim | BackendChoice::Both)
+    }
+
+    /// Whether the threaded backend is selected.
+    pub fn threads(&self) -> bool {
+        matches!(self, BackendChoice::Threads | BackendChoice::Both)
+    }
+}
+
+/// Replays one `(plan, workload)` scenario on each backend and prints a
+/// summary table with the linearizability verdict of each recorded
+/// history. Returns whether every history checked out.
+pub fn run_cross_backend(
+    n: usize,
+    backends: Vec<Box<dyn Backend>>,
+    plan: &FaultPlan,
+    workload: &WorkloadSpec,
+) -> bool {
+    let mut t = Table::new(&[
+        "backend",
+        "completed",
+        "timed out",
+        "msgs dropped",
+        "model time (µs)",
+        "verdict",
+    ]);
+    let mut all_ok = true;
+    for mut b in backends {
+        let report = b.run(plan, workload);
+        let ok = sss_checker::check(&report.history, n).is_linearizable();
+        all_ok &= ok;
+        t.row(vec![
+            report.backend.into(),
+            report.stats.ops_completed.to_string(),
+            report.stats.ops_timed_out.to_string(),
+            report.stats.messages_dropped.to_string(),
+            report.stats.model_time.to_string(),
+            if ok {
+                "linearizable".into()
+            } else {
+                "VIOLATION".into()
+            },
+        ]);
+    }
+    t.print();
+    all_ok
+}
 
 /// Traffic and latency of a single operation on an idle system.
 #[derive(Clone, Debug)]
@@ -239,8 +322,8 @@ pub fn snapshot_latency_cycles<P: Protocol>(
     };
     let invoked_at = rec.invoked_at;
     let b = sim.cycle_boundaries();
-    let cycles = (b.partition_point(|&t| t <= done_at)
-        - b.partition_point(|&t| t <= invoked_at)) as u64;
+    let cycles =
+        (b.partition_point(|&t| t <= done_at) - b.partition_point(|&t| t <= invoked_at)) as u64;
     if cycles > budget_cycles {
         return None; // completed, but far beyond the budget: report starvation
     }
@@ -348,7 +431,10 @@ mod tests {
     fn gossip_rate_is_quadratic_in_n() {
         let (g4, _) = gossip_per_cycle(SimConfig::small(4), |id| Alg1::new(id, 4), 4);
         let (g8, _) = gossip_per_cycle(SimConfig::small(8), |id| Alg1::new(id, 8), 4);
-        assert!(g8 > 2 * g4, "gossip/cycle must grow superlinearly: {g4} vs {g8}");
+        assert!(
+            g8 > 2 * g4,
+            "gossip/cycle must grow superlinearly: {g4} vs {g8}"
+        );
     }
 
     #[test]

@@ -115,9 +115,7 @@ fn search(ops: &[AbsOp], included: &[usize], n: usize) -> bool {
             let blocked = included.iter().enumerate().any(|(b2, &oj)| {
                 b2 != bit
                     && mask & (1 << b2) == 0
-                    && ops[oj]
-                        .completed_at
-                        .is_some_and(|c| c < o.invoked_at)
+                    && ops[oj].completed_at.is_some_and(|c| c < o.invoked_at)
             });
             if blocked {
                 continue;

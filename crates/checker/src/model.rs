@@ -119,7 +119,8 @@ impl Extracted {
                 next_index[k] += 1;
                 let index = next_index[k];
                 if by_value.insert((k, v), index).is_some() {
-                    out.violations.push(Violation::DuplicateWriteValue { value: v });
+                    out.violations
+                        .push(Violation::DuplicateWriteValue { value: v });
                 }
                 out.writes.push(WriteRec {
                     op: rec.id,
@@ -200,11 +201,7 @@ mod tests {
         h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(10), 0);
         h.record_complete(OpId(0), OpResponse::WriteDone, 5);
         h.record_invoke(NodeId(1), OpId(1), SnapshotOp::Snapshot, 6);
-        h.record_complete(
-            OpId(1),
-            OpResponse::Snapshot(view(&[(0, 10, 1)], 2)),
-            9,
-        );
+        h.record_complete(OpId(1), OpResponse::Snapshot(view(&[(0, 10, 1)], 2)), 9);
         let m = Extracted::from_history(&h, 2);
         assert_eq!(m.snaps.len(), 1);
         assert_eq!(m.snaps[0].vec, vec![1, 0]);
@@ -214,11 +211,7 @@ mod tests {
     fn unknown_value_is_flagged() {
         let mut h = History::new();
         h.record_invoke(NodeId(1), OpId(0), SnapshotOp::Snapshot, 0);
-        h.record_complete(
-            OpId(0),
-            OpResponse::Snapshot(view(&[(0, 666, 3)], 2)),
-            4,
-        );
+        h.record_complete(OpId(0), OpResponse::Snapshot(view(&[(0, 666, 3)], 2)), 4);
         let m = Extracted::from_history(&h, 2);
         assert!(matches!(
             m.violations[0],

@@ -82,11 +82,7 @@ fn check_snapshot_real_time(snaps: &[SnapRec], violations: &mut Vec<Violation>) 
     for &i in &by_invocation {
         while let Some(&j) = done.peek() {
             if snaps[j].completed_at < snaps[i].invoked_at {
-                for (c, (&v, holder)) in snaps[j]
-                    .vec
-                    .iter()
-                    .zip(ceil_holder.iter_mut())
-                    .enumerate()
+                for (c, (&v, holder)) in snaps[j].vec.iter().zip(ceil_holder.iter_mut()).enumerate()
                 {
                     if v > ceiling[c] {
                         ceiling[c] = v;
@@ -247,7 +243,15 @@ mod tests {
         h.record_complete(OpId(id), OpResponse::WriteDone, t1);
     }
 
-    fn snap(h: &mut History, id: u64, node: usize, cells: &[(usize, u64, u64)], n: usize, t0: u64, t1: u64) {
+    fn snap(
+        h: &mut History,
+        id: u64,
+        node: usize,
+        cells: &[(usize, u64, u64)],
+        n: usize,
+        t0: u64,
+        t1: u64,
+    ) {
         h.record_invoke(NodeId(node), OpId(id), SnapshotOp::Snapshot, t0);
         h.record_complete(OpId(id), OpResponse::Snapshot(view(cells, n)), t1);
     }
@@ -331,14 +335,13 @@ mod tests {
         let mut h = History::new();
         write(&mut h, 0, 0, 10, 0, 5); // w1 finished…
         write(&mut h, 1, 1, 20, 10, 60); // …before w2 started (w2 pending-ish)
-        // A snapshot concurrent with everything that contains w2 but not w1.
+                                         // A snapshot concurrent with everything that contains w2 but not w1.
         snap(&mut h, 2, 2, &[(1, 20, 1)], 3, 2, 70);
         let v = check(&h, 3);
         assert!(
             v.violations.iter().any(|x| matches!(
                 x,
-                Violation::NonMonotoneContainment { .. }
-                    | Violation::MissingCompletedWrite { .. }
+                Violation::NonMonotoneContainment { .. } | Violation::MissingCompletedWrite { .. }
             )),
             "got {:?}",
             v.violations

@@ -71,7 +71,7 @@ fn build_history(n: usize, ops: Vec<(u8, u8, GenOp)>) -> History {
 
 fn gen_op(n: usize) -> impl Strategy<Value = GenOp> {
     prop_oneof![
-        3 => (any::<bool>()).prop_map(|pending| GenOp::Write { pending: pending && false }),
+        3 => Just(GenOp::Write { pending: false }),
         1 => Just(GenOp::Write { pending: true }),
         3 => (proptest::collection::vec(0u8..4, n), 0u8..20)
             .prop_map(|(vec_seed, dur)| GenOp::Snapshot { vec_seed, dur }),

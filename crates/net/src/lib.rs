@@ -1,0 +1,45 @@
+//! The shared fault plane: one link/scenario model consumed by **both**
+//! execution backends (the deterministic simulator `sss-sim` and the
+//! threaded runtime `sss-runtime`).
+//!
+//! The paper's claims — O(1) asynchronous-cycle recovery, gossip
+//! cleanup, bounded-counter reset — are statements about behavior *under
+//! faults*. They only mean something experimentally when the same
+//! adversary can be replayed across execution models. This crate makes
+//! that possible:
+//!
+//! * [`LinkModel`] — per-directed-link delay/loss/duplication/capacity
+//!   decisions drawn from per-link seeded RNG streams, plus the
+//!   link-down matrix used for partitions. Both backends route every
+//!   send through [`LinkModel::on_send`] and account drops identically.
+//! * [`FaultPlan`] — a declarative, time-ordered schedule of crashes,
+//!   resumes, detectable restarts, transient corruptions, group-based
+//!   partitions, heals and single-link cuts. Times are in **model
+//!   microseconds**; the simulator interprets them as virtual time, the
+//!   threaded runtime scales them onto the wall clock.
+//! * [`Backend`] — `run(plan, workload) -> RunReport`: the interface
+//!   experiment bins use to replay one scenario on either backend.
+//!
+//! Corruption is seeded *by the plan* ([`FaultPlan::corruption_seed`]),
+//! so the "arbitrary" post-fault state is identical across backends.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod link;
+mod plan;
+
+pub use backend::{unique_value, Backend, RunReport, RunStats, WorkloadSpec};
+pub use link::{cut_matrix, DropReason, LinkConfig, LinkModel, LinkVerdict};
+pub use plan::{FaultEvent, FaultPlan};
+
+/// Model time, in microseconds. Identical to `sss_sim::SimTime`; the
+/// threaded runtime maps it onto the wall clock via its round interval.
+pub type ModelTime = u64;
+
+/// The round interval, in model microseconds, that [`FaultPlan`] times
+/// are calibrated against (the simulator's `SimConfig::small` interval).
+/// A backend whose real round interval differs scales plan times by
+/// `real_interval / MODEL_ROUND_US`.
+pub const MODEL_ROUND_US: u64 = 100;

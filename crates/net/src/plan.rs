@@ -1,0 +1,197 @@
+//! Declarative fault schedules replayable on any backend.
+
+use crate::ModelTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sss_types::NodeId;
+
+/// One fault event in a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash (stop taking steps, undetectably).
+    Crash(NodeId),
+    /// Resume with state intact.
+    Resume(NodeId),
+    /// Detectable restart (variables re-initialized; also clears a crash).
+    Restart(NodeId),
+    /// Transient fault (state arbitrarily corrupted). The corruption
+    /// randomness is seeded by the plan — see
+    /// [`FaultPlan::corruption_seed`] — so both backends produce the
+    /// same "arbitrary" state.
+    Corrupt(NodeId),
+    /// Group-based partition: links across groups cut, links within a
+    /// group restored, ungrouped nodes isolated (see
+    /// [`crate::cut_matrix`]).
+    Partition(Vec<Vec<NodeId>>),
+    /// Restore every link.
+    Heal,
+    /// Cut (`up = false`) or restore one directed link.
+    SetLink {
+        /// Sender side of the link.
+        from: NodeId,
+        /// Receiver side of the link.
+        to: NodeId,
+        /// `true` restores the link, `false` cuts it.
+        up: bool,
+    },
+}
+
+/// A deterministic, time-ordered schedule of fault events, in model
+/// microseconds. Built once, replayed on any [`crate::Backend`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    events: Vec<(ModelTime, FaultEvent)>,
+    seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            seed: 0x5EED_FA17,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the plan seed (feeds corruption randomness; builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds an event at time `t` (builder-style).
+    pub fn at(mut self, t: ModelTime, ev: FaultEvent) -> Self {
+        self.events.push((t, ev));
+        self
+    }
+
+    /// Crashes a random minority of nodes at `t`, returning the plan and
+    /// the crashed set.
+    pub fn crash_random_minority(
+        mut self,
+        n: usize,
+        t: ModelTime,
+        seed: u64,
+    ) -> (Self, Vec<NodeId>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = (n - 1) / 2;
+        let count = if f == 0 { 0 } else { rng.gen_range(1..=f) };
+        let mut pool: Vec<usize> = (0..n).collect();
+        let mut crashed = Vec::new();
+        for _ in 0..count {
+            let i = rng.gen_range(0..pool.len());
+            let node = NodeId(pool.swap_remove(i));
+            crashed.push(node);
+            self.events.push((t, FaultEvent::Crash(node)));
+        }
+        (self, crashed)
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[(ModelTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// The events sorted by time (stable, so equal-time events keep
+    /// insertion order) — the order backends replay them in.
+    pub fn sorted_events(&self) -> Vec<(ModelTime, FaultEvent)> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|(t, _)| *t);
+        evs
+    }
+
+    /// The time of the last scheduled event (0 for an empty plan);
+    /// backends use this to size run horizons.
+    pub fn last_event_time(&self) -> ModelTime {
+        self.events.iter().map(|(t, _)| *t).max().unwrap_or(0)
+    }
+
+    /// The RNG seed for the corruption injected at `(t, node)`: a pure
+    /// function of the plan seed, so every backend corrupts the node
+    /// into the same "arbitrary" state.
+    pub fn corruption_seed(&self, t: ModelTime, node: NodeId) -> u64 {
+        let mut h = self.seed ^ 0xcbf2_9ce4_8422_2325;
+        for x in [t, node.index() as u64] {
+            h = (h ^ x).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_and_sorts() {
+        let plan = FaultPlan::new()
+            .at(500, FaultEvent::Heal)
+            .at(100, FaultEvent::Crash(NodeId(1)))
+            .at(500, FaultEvent::Resume(NodeId(1)));
+        let sorted = plan.sorted_events();
+        assert_eq!(sorted[0], (100, FaultEvent::Crash(NodeId(1))));
+        // Stable sort: equal-time events keep insertion order.
+        assert_eq!(sorted[1], (500, FaultEvent::Heal));
+        assert_eq!(sorted[2], (500, FaultEvent::Resume(NodeId(1))));
+        assert_eq!(plan.last_event_time(), 500);
+    }
+
+    #[test]
+    fn minority_crash_is_bounded_and_seeded() {
+        let (_, a) = FaultPlan::new().crash_random_minority(5, 100, 42);
+        let (_, b) = FaultPlan::new().crash_random_minority(5, 100, 42);
+        assert_eq!(a, b, "same seed, same victims");
+        assert!(!a.is_empty() && a.len() <= 2);
+        let (_, none) = FaultPlan::new().crash_random_minority(1, 100, 42);
+        assert!(none.is_empty(), "n = 1 has no crashable minority");
+    }
+
+    #[test]
+    fn corruption_seed_is_stable_and_distinct() {
+        let plan = FaultPlan::new().with_seed(7);
+        assert_eq!(
+            plan.corruption_seed(100, NodeId(2)),
+            plan.corruption_seed(100, NodeId(2))
+        );
+        assert_ne!(
+            plan.corruption_seed(100, NodeId(2)),
+            plan.corruption_seed(100, NodeId(3))
+        );
+        assert_ne!(
+            plan.corruption_seed(100, NodeId(2)),
+            plan.corruption_seed(200, NodeId(2))
+        );
+        assert_ne!(
+            plan.corruption_seed(100, NodeId(2)),
+            FaultPlan::new()
+                .with_seed(8)
+                .corruption_seed(100, NodeId(2))
+        );
+    }
+
+    #[test]
+    fn partition_event_carries_groups() {
+        let plan = FaultPlan::new().at(
+            50,
+            FaultEvent::Partition(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]),
+        );
+        match &plan.events()[0].1 {
+            FaultEvent::Partition(groups) => {
+                assert_eq!(groups.len(), 2);
+                assert_eq!(groups[0], vec![NodeId(0), NodeId(1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -19,11 +19,14 @@
 //! ```
 //!
 //! Each node runs its `do forever` loop on its own thread; inter-node
-//! links are crossbeam channels with optional loss/duplication injection
-//! (the protocols' per-round retransmission masks both, exactly as over a
-//! fair-lossy network). The runtime records a [`History`] with
-//! microsecond timestamps, so the linearizability checker applies to real
-//! concurrent executions too.
+//! links are crossbeam channels whose loss / duplication / partition
+//! decisions come from the shared fault plane ([`sss_net::LinkModel`] —
+//! the same model the simulator uses, so a [`FaultPlan`] means the same
+//! thing on both backends, modulo virtual vs. wall-clock time; the
+//! model's *delay* verdicts are ignored here because real thread
+//! scheduling already provides asynchrony). The runtime records a
+//! [`History`] with microsecond timestamps, so the linearizability
+//! checker applies to real concurrent executions too.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,14 +34,20 @@
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use sss_net::{LinkConfig, LinkModel, LinkVerdict, MODEL_ROUND_US};
 use sss_types::{
     Effects, History, NodeId, OpId, OpResponse, Protocol, SnapshotOp, SnapshotView, Value,
 };
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+mod backend;
+pub use backend::ThreadBackend;
+// Re-export the shared fault plane so runtime users need only one import.
+pub use sss_net::{Backend, FaultEvent, FaultPlan, RunReport, RunStats, WorkloadSpec};
 
 /// Errors returned by the blocking client API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,11 +79,11 @@ pub struct ClusterConfig {
     pub round_interval: Duration,
     /// Client operation timeout.
     pub op_timeout: Duration,
-    /// Probability that an inter-node message is dropped.
-    pub loss: f64,
-    /// Probability that an inter-node message is duplicated.
-    pub dup: f64,
-    /// RNG seed for the loss/duplication coins.
+    /// The channel model — the shared fault-plane [`LinkConfig`]. Delay
+    /// bounds are ignored on this backend (thread scheduling supplies
+    /// the asynchrony); loss, duplication and capacity apply.
+    pub net: LinkConfig,
+    /// RNG seed for the link model's per-link coin streams.
     pub seed: u64,
 }
 
@@ -86,22 +95,32 @@ impl ClusterConfig {
             n,
             round_interval: Duration::from_millis(2),
             op_timeout: Duration::from_secs(5),
-            loss: 0.0,
-            dup: 0.0,
+            net: LinkConfig::reliable(),
             seed: 0xBEEF,
         }
     }
 
     /// Enables message loss/duplication (builder-style).
     pub fn with_chaos(mut self, loss: f64, dup: f64) -> Self {
-        self.loss = loss;
-        self.dup = dup;
+        self.net.loss = loss;
+        self.net.dup = dup;
         self
+    }
+
+    /// Converts a fault-plan model time (model µs) to the wall-clock
+    /// offset this cluster replays it at: plan times are calibrated
+    /// against [`MODEL_ROUND_US`]-µs rounds, so they scale by
+    /// `round_interval / MODEL_ROUND_US`.
+    pub fn wall_offset(&self, model_t: u64) -> Duration {
+        Duration::from_micros(self.round_interval.as_micros() as u64 * model_t / MODEL_ROUND_US)
     }
 }
 
 enum NodeMsg<M> {
-    Net { from: NodeId, msg: M },
+    Net {
+        from: NodeId,
+        msg: M,
+    },
     Invoke {
         id: OpId,
         op: SnapshotOp,
@@ -122,9 +141,12 @@ struct Shared {
     history: Mutex<History>,
     started: Instant,
     next_op: AtomicU64,
-    /// Directed link-down flags (`from * n + to`); a downed link silently
-    /// drops every message, modelling a partition.
-    link_down: Vec<AtomicBool>,
+    /// The shared fault-plane link model: every inter-node send asks it
+    /// for a loss/duplication/partition verdict, exactly as in the
+    /// simulator.
+    links: Mutex<LinkModel>,
+    /// Messages dropped by the link model or by crashed receivers.
+    dropped: AtomicU64,
 }
 
 impl Shared {
@@ -156,7 +178,8 @@ impl<P: Protocol + 'static> Cluster<P> {
             history: Mutex::new(History::new()),
             started: Instant::now(),
             next_op: AtomicU64::new(0),
-            link_down: (0..n * n).map(|_| AtomicBool::new(false)).collect(),
+            links: Mutex::new(LinkModel::new(n, cfg.net, cfg.seed ^ 0x11_4e7)),
+            dropped: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(n);
         for (i, rx) in receivers.into_iter().enumerate() {
@@ -216,41 +239,67 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// message on it is dropped (the protocols' retransmission masks
     /// transient cuts; a full partition blocks minority sides).
     pub fn set_link(&self, from: NodeId, to: NodeId, up: bool) {
-        self.shared.link_down[from.index() * self.cfg.n + to.index()]
-            .store(!up, Ordering::Relaxed);
+        self.shared.links.lock().set_link(from, to, up);
     }
 
-    /// Partitions the cluster into `groups`: links across groups are cut,
-    /// links within groups restored.
+    /// Partitions the cluster into `groups` using the shared fault-plane
+    /// semantics ([`sss_net::cut_matrix`]): links between different
+    /// groups are cut in both directions, links within a group restored,
+    /// ungrouped nodes isolated.
     pub fn partition(&self, groups: &[&[NodeId]]) {
-        let n = self.cfg.n;
-        let mut group_of = vec![usize::MAX; n];
-        for (g, members) in groups.iter().enumerate() {
-            for m in *members {
-                group_of[m.index()] = g;
-            }
-        }
-        for a in 0..n {
-            for b in 0..n {
-                let cut = a != b
-                    && (group_of[a] != group_of[b]
-                        || group_of[a] == usize::MAX
-                        || group_of[b] == usize::MAX);
-                self.shared.link_down[a * n + b].store(cut, Ordering::Relaxed);
-            }
-        }
+        let groups: Vec<Vec<NodeId>> = groups.iter().map(|g| g.to_vec()).collect();
+        self.partition_groups(&groups);
+    }
+
+    /// [`Cluster::partition`] with owned groups (the [`FaultPlan`]
+    /// representation).
+    pub fn partition_groups(&self, groups: &[Vec<NodeId>]) {
+        self.shared.links.lock().partition(groups);
     }
 
     /// Restores every link.
     pub fn heal_partition(&self) {
-        for l in &self.shared.link_down {
-            l.store(false, Ordering::Relaxed);
+        self.shared.links.lock().heal();
+    }
+
+    /// Replays a shared fault plan against this cluster, blocking until
+    /// the last event has fired. Model times scale onto the wall clock
+    /// via [`ClusterConfig::wall_offset`]; corruptions draw their seed
+    /// from the plan ([`FaultPlan::corruption_seed`]), so the post-fault
+    /// state matches a simulator replay of the same plan.
+    pub fn apply_plan(&self, plan: &FaultPlan) {
+        let start = Instant::now();
+        for (t, ev) in plan.sorted_events() {
+            let at = start + self.cfg.wall_offset(t);
+            if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            match ev {
+                FaultEvent::Crash(node) => self.crash(node),
+                FaultEvent::Resume(node) => self.resume(node),
+                FaultEvent::Restart(node) => self.restart(node),
+                FaultEvent::Corrupt(node) => self.corrupt(node, plan.corruption_seed(t, node)),
+                FaultEvent::Partition(groups) => self.partition_groups(&groups),
+                FaultEvent::Heal => self.heal_partition(),
+                FaultEvent::SetLink { from, to, up } => self.set_link(from, to, up),
+            }
         }
     }
 
     /// A copy of the recorded client-boundary history.
     pub fn history(&self) -> History {
         self.shared.history.lock().clone()
+    }
+
+    /// Messages dropped so far by the link model (loss, capacity,
+    /// partition) or by crashed receivers.
+    pub fn messages_dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The configuration this cluster runs with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
     }
 
     /// Stops all node threads and returns their final protocol states.
@@ -288,6 +337,13 @@ impl<P: Protocol> Client<P> {
     /// The node this client talks to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Overrides the per-operation timeout (builder-style) — workload
+    /// runners use this to apply a spec's scaled `op_timeout`.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
     }
 
     fn run(&self, op: SnapshotOp) -> Result<OpResponse, ClusterError> {
@@ -351,7 +407,6 @@ fn node_loop<P: Protocol>(
     cfg: ClusterConfig,
 ) -> P {
     let me = proto.id();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (me.index() as u64) << 17);
     let mut pending: Vec<(OpId, Sender<OpResponse>)> = Vec::new();
     let mut crashed = false;
     let mut next_round = Instant::now() + cfg.round_interval;
@@ -363,7 +418,7 @@ fn node_loop<P: Protocol>(
             if !crashed {
                 let mut fx = Effects::new();
                 proto.on_round(&mut fx);
-                apply(me, &mut fx, &peers, &mut pending, &mut rng, &cfg, &shared);
+                apply(me, &mut fx, &peers, &mut pending, &shared);
             }
             next_round = Instant::now() + cfg.round_interval;
         }
@@ -381,21 +436,32 @@ fn node_loop<P: Protocol>(
                 crashed = false;
             }
             Ok(NodeMsg::Net { from, msg }) => {
+                // Release the link-capacity slot whether or not the
+                // message is processed (it left the channel either way).
+                if from != me {
+                    shared.links.lock().on_delivered(from, me);
+                }
                 if !crashed {
                     let mut fx = Effects::new();
                     proto.on_message(from, msg, &mut fx);
-                    apply(me, &mut fx, &peers, &mut pending, &mut rng, &cfg, &shared);
+                    apply(me, &mut fx, &peers, &mut pending, &shared);
+                } else {
+                    // Crashed receiver: the message is lost, same
+                    // accounting as the simulator's.
+                    shared.dropped.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Ok(NodeMsg::Invoke { id, op, done }) => {
+                // A crashed node swallows the invocation but keeps the
+                // reply channel open, so the client waits out its full
+                // timeout — the same pacing as the simulator's clients
+                // against a crashed node.
+                pending.push((id, done));
                 if !crashed {
-                    pending.push((id, done));
                     let mut fx = Effects::new();
                     proto.invoke(id, op, &mut fx);
-                    apply(me, &mut fx, &peers, &mut pending, &mut rng, &cfg, &shared);
+                    apply(me, &mut fx, &peers, &mut pending, &shared);
                 }
-                // A crashed node silently swallows the invocation: the
-                // client times out, as it would against a crashed server.
             }
             Err(RecvTimeoutError::Timeout) => {
                 // The round itself runs at the top of the loop.
@@ -410,26 +476,31 @@ fn apply<M: Clone>(
     fx: &mut Effects<M>,
     peers: &[Sender<NodeMsg<M>>],
     pending: &mut Vec<(OpId, Sender<OpResponse>)>,
-    rng: &mut StdRng,
-    cfg: &ClusterConfig,
     shared: &Shared,
 ) {
     for (to, msg) in fx.take_sends() {
-        if to != me {
-            if shared.link_down[me.index() * cfg.n + to.index()].load(Ordering::Relaxed) {
-                continue;
+        if to == me {
+            // Self-delivery: reliable, immediate (an internal step).
+            let _ = peers[to.index()].send(NodeMsg::Net { from: me, msg });
+            continue;
+        }
+        // All loss/duplication/partition decisions come from the shared
+        // fault plane. Delay verdicts are ignored: thread scheduling and
+        // channel queueing already make delivery timing asynchronous.
+        match shared.links.lock().on_send(me, to) {
+            LinkVerdict::Drop(_) => {
+                shared.dropped.fetch_add(1, Ordering::Relaxed);
             }
-            if cfg.loss > 0.0 && rng.gen_bool(cfg.loss) {
-                continue;
-            }
-            if cfg.dup > 0.0 && rng.gen_bool(cfg.dup) {
-                let _ = peers[to.index()].send(NodeMsg::Net {
-                    from: me,
-                    msg: msg.clone(),
-                });
+            LinkVerdict::Deliver { duplicate, .. } => {
+                if duplicate.is_some() {
+                    let _ = peers[to.index()].send(NodeMsg::Net {
+                        from: me,
+                        msg: msg.clone(),
+                    });
+                }
+                let _ = peers[to.index()].send(NodeMsg::Net { from: me, msg });
             }
         }
-        let _ = peers[to.index()].send(NodeMsg::Net { from: me, msg });
     }
     for (id, resp) in fx.take_completions() {
         if let Some(pos) = pending.iter().position(|(pid, _)| *pid == id) {
@@ -473,10 +544,9 @@ mod tests {
 
     #[test]
     fn survives_loss_and_duplication() {
-        let cluster = Cluster::new(
-            ClusterConfig::new(3).with_chaos(0.2, 0.1),
-            |id| Alg1::new(id, 3),
-        );
+        let cluster = Cluster::new(ClusterConfig::new(3).with_chaos(0.2, 0.1), |id| {
+            Alg1::new(id, 3)
+        });
         for i in 0..5 {
             cluster.client(NodeId(i % 3)).write(100 + i as u64).unwrap();
         }

@@ -1,0 +1,152 @@
+//! The simulator as a [`Backend`]: replay a shared fault plan under a
+//! deterministic closed-loop workload and return a checkable history.
+
+use crate::config::SimConfig;
+use crate::runner::{Ctl, Driver, Sim};
+use crate::SimTime;
+use sss_net::{Backend, FaultPlan, RunReport, RunStats, WorkloadSpec};
+use sss_types::{NodeId, OpId, OpResponse, Protocol, SnapshotOp};
+use std::collections::VecDeque;
+
+/// How long (model µs) a backend run may take before it is cut off even
+/// with operations still pending.
+const DEFAULT_HORIZON: SimTime = 60_000_000;
+
+/// A closed-loop driver executing a [`WorkloadSpec`]: each node runs its
+/// spec-derived operation sequence, thinking between operations and
+/// abandoning (but not forgetting — the op stays pending) any operation
+/// that outlives the spec's client timeout.
+struct SpecDriver {
+    /// Remaining `(think, op)` pairs per node.
+    queues: Vec<VecDeque<(u64, SnapshotOp)>>,
+    /// The operation each node is currently blocked on, if any.
+    current: Vec<Option<OpId>>,
+    timeout: SimTime,
+    timed_out: u64,
+}
+
+fn token(node: NodeId, id: OpId) -> u64 {
+    ((node.index() as u64) << 48) | id.0
+}
+
+impl SpecDriver {
+    fn new(n: usize, spec: &WorkloadSpec) -> Self {
+        SpecDriver {
+            queues: (0..n)
+                .map(|i| spec.ops_for(NodeId(i)).into_iter().collect())
+                .collect(),
+            current: vec![None; n],
+            timeout: spec.op_timeout,
+            timed_out: 0,
+        }
+    }
+
+    /// Issues `node`'s next operation (after its think time), or stops
+    /// the run once every node has drained its queue.
+    fn issue_next<M>(&mut self, node: NodeId, ctl: &mut Ctl<'_, M>) {
+        if let Some((think, op)) = self.queues[node.index()].pop_front() {
+            let at = ctl.now() + think;
+            let id = ctl.invoke_at(at, node, op);
+            self.current[node.index()] = Some(id);
+            ctl.wake_at(at + self.timeout, token(node, id));
+        } else if self.current.iter().all(Option::is_none)
+            && self.queues.iter().all(VecDeque::is_empty)
+        {
+            ctl.stop();
+        }
+    }
+}
+
+impl<P: Protocol> Driver<P> for SpecDriver {
+    fn init(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        for i in 0..ctl.n() {
+            self.issue_next(NodeId(i), ctl);
+        }
+    }
+
+    fn on_completion(
+        &mut self,
+        node: NodeId,
+        id: OpId,
+        _resp: &OpResponse,
+        ctl: &mut Ctl<'_, P::Msg>,
+    ) {
+        // Late completions of timed-out operations no longer match
+        // `current` and are ignored (the client has moved on).
+        if self.current[node.index()] == Some(id) {
+            self.current[node.index()] = None;
+            self.issue_next(node, ctl);
+        }
+    }
+
+    fn on_abort(&mut self, node: NodeId, id: OpId, ctl: &mut Ctl<'_, P::Msg>) {
+        if self.current[node.index()] == Some(id) {
+            self.current[node.index()] = None;
+            self.issue_next(node, ctl);
+        }
+    }
+
+    fn on_wake(&mut self, token_: u64, ctl: &mut Ctl<'_, P::Msg>) {
+        let node = NodeId((token_ >> 48) as usize);
+        let id = OpId(token_ & 0xFFFF_FFFF_FFFF);
+        if self.current[node.index()] == Some(id) {
+            // Client timeout: abandon the op (it stays pending in the
+            // history; the checker knows how to handle pending ops).
+            self.timed_out += 1;
+            self.current[node.index()] = None;
+            self.issue_next(node, ctl);
+        }
+    }
+}
+
+/// The deterministic-simulator backend: a [`FaultPlan`] is scheduled as
+/// virtual-time events and a [`WorkloadSpec`] runs closed-loop on top.
+/// Same config + plan + workload ⇒ bit-identical history.
+pub struct SimBackend<P, F> {
+    cfg: SimConfig,
+    mk: F,
+    horizon: SimTime,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: Protocol, F: FnMut(NodeId) -> P> SimBackend<P, F> {
+    /// A backend simulating `cfg` with protocol instances built by `mk`.
+    pub fn new(cfg: SimConfig, mk: F) -> Self {
+        SimBackend {
+            cfg,
+            mk,
+            horizon: DEFAULT_HORIZON,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Overrides the cut-off horizon (model µs).
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+}
+
+impl<P: Protocol, F: FnMut(NodeId) -> P> Backend for SimBackend<P, F> {
+    fn label(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&mut self, plan: &FaultPlan, workload: &WorkloadSpec) -> RunReport {
+        let mut sim = Sim::new(self.cfg, &mut self.mk);
+        sim.apply_plan(plan);
+        let mut driver = SpecDriver::new(self.cfg.n, workload);
+        sim.run_with_driver(&mut driver, self.horizon);
+        let m = sim.metrics();
+        RunReport {
+            backend: "sim",
+            history: sim.history().clone(),
+            stats: RunStats {
+                ops_completed: m.ops_completed,
+                ops_timed_out: driver.timed_out,
+                messages_dropped: m.kinds().map(|(_, c)| c.dropped).sum(),
+                model_time: sim.now(),
+            },
+        }
+    }
+}

@@ -1,56 +1,14 @@
-//! Simulation and network-model configuration.
+//! Simulation configuration. The channel model itself now lives in the
+//! shared fault plane (`sss-net`); [`NetConfig`] is an alias kept for
+//! source compatibility.
 
 use crate::SimTime;
 
-/// The channel model for every directed link.
-///
-/// Channels are the paper's: bounded capacity, no delay guarantees, and
-/// packets "may be lost, duplicated and reordered". Reordering emerges from
-/// independent per-message delays; loss and duplication are independent
-/// Bernoulli trials. Self-delivery (a node's `broadcast` reaching itself)
-/// is reliable and immediate, modelling an internal step.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct NetConfig {
-    /// Minimum one-way delay, in virtual microseconds.
-    pub delay_min: SimTime,
-    /// Maximum one-way delay, in virtual microseconds.
-    pub delay_max: SimTime,
-    /// Probability that a packet is lost.
-    pub loss: f64,
-    /// Probability that a packet is duplicated (delivered twice with
-    /// independent delays).
-    pub dup: f64,
-    /// Per-link in-flight capacity; a send that would exceed it is dropped
-    /// (the paper's *bounded capacity communication channel*).
-    /// `0` means unbounded.
-    pub capacity: usize,
-}
-
-impl Default for NetConfig {
-    fn default() -> Self {
-        NetConfig {
-            delay_min: 1,
-            delay_max: 10,
-            loss: 0.0,
-            dup: 0.0,
-            capacity: 128,
-        }
-    }
-}
-
-impl NetConfig {
-    /// A lossy, duplicating network — the adversarial end of the paper's
-    /// channel model.
-    pub fn harsh() -> Self {
-        NetConfig {
-            delay_min: 1,
-            delay_max: 50,
-            loss: 0.2,
-            dup: 0.1,
-            capacity: 64,
-        }
-    }
-}
+/// The channel model for every directed link — the shared
+/// [`sss_net::LinkConfig`], re-exported under its historical simulator
+/// name. Both the simulator and the threaded runtime interpret it
+/// through the same [`sss_net::LinkModel`].
+pub use sss_net::LinkConfig as NetConfig;
 
 /// Top-level simulation parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -125,5 +83,13 @@ mod tests {
     #[test]
     fn with_seed_builder() {
         assert_eq!(SimConfig::small(3).with_seed(7).seed, 7);
+    }
+
+    #[test]
+    fn net_config_is_the_shared_link_config() {
+        // The alias must stay the same nominal type as sss-net's, so a
+        // SimConfig's channel model can seed a shared LinkModel directly.
+        let cfg: sss_net::LinkConfig = SimConfig::small(3).net;
+        assert_eq!(cfg, NetConfig::default());
     }
 }

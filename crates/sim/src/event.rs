@@ -25,8 +25,17 @@ pub(crate) enum Ev<M> {
     Resume { node: NodeId },
     /// Node restarts detectably: all variables re-initialized.
     Restart { node: NodeId },
-    /// Transient fault: node state is arbitrarily corrupted.
-    Corrupt { node: NodeId },
+    /// Transient fault: node state is arbitrarily corrupted. With
+    /// `seed: Some(_)` the corruption randomness is plan-seeded (shared
+    /// fault plane); with `None` it draws from the simulator's RNG.
+    Corrupt { node: NodeId, seed: Option<u64> },
+    /// Group-based partition takes effect (shared cut semantics; see
+    /// `sss_net::cut_matrix`).
+    Partition { groups: Vec<Vec<NodeId>> },
+    /// Every link is restored.
+    Heal,
+    /// One directed link is cut or restored.
+    SetLink { from: NodeId, to: NodeId, up: bool },
     /// Driver wake-up callback carrying an opaque token.
     Wake { token: u64 },
 }
@@ -124,11 +133,12 @@ mod tests {
         q.push(10, Ev::Wake { token: 1 });
         q.push(5, Ev::Wake { token: 2 });
         q.push(10, Ev::Wake { token: 3 });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| match e.ev {
-            Ev::Wake { token } => token,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.ev {
+                Ev::Wake { token } => token,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, vec![2, 1, 3]);
     }
 

@@ -43,16 +43,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod config;
 mod cycles;
 mod event;
 mod metrics;
 mod runner;
 
+pub use backend::SimBackend;
 pub use config::{NetConfig, SimConfig};
 pub use cycles::CycleTracker;
-pub use metrics::{KindCounter, Metrics, MetricsDelta};
+pub use metrics::{KindCounter, LatencySummary, Metrics, MetricsDelta, OpClass};
 pub use runner::{Ctl, Driver, FlowRecord, NoDriver, Sim};
+// Re-export the shared fault plane so simulator users need only one import.
+pub use sss_net::{Backend, FaultEvent, FaultPlan, RunReport, RunStats, WorkloadSpec};
 
 /// Virtual time, in microseconds since the start of the run.
 pub type SimTime = u64;

@@ -1,8 +1,72 @@
 //! Message and operation accounting, per message kind — the instrument that
 //! reproduces the paper's communication-cost claims.
 
-use sss_types::MsgKind;
+use crate::SimTime;
+use sss_types::{MsgKind, SnapshotOp};
 use std::collections::BTreeMap;
+
+/// The two client-visible operation classes, used to bucket latency
+/// samples (the paper reports write and snapshot latency separately).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// A `write(v)` operation.
+    Write,
+    /// A `snapshot()` operation.
+    Snapshot,
+}
+
+impl OpClass {
+    /// Classifies an operation.
+    pub fn of(op: &SnapshotOp) -> Self {
+        match op {
+            SnapshotOp::Write(_) => OpClass::Write,
+            SnapshotOp::Snapshot => OpClass::Snapshot,
+        }
+    }
+}
+
+/// Summary statistics over one class's completed-operation latencies,
+/// in virtual microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of completed operations sampled.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: SimTime,
+    /// Largest sample.
+    pub max: SimTime,
+    /// Arithmetic mean (rounded down).
+    pub mean: SimTime,
+    /// Median (nearest-rank).
+    pub p50: SimTime,
+    /// 95th percentile (nearest-rank).
+    pub p95: SimTime,
+    /// 99th percentile (nearest-rank).
+    pub p99: SimTime,
+}
+
+impl LatencySummary {
+    fn from_samples(samples: &[SimTime]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: u64| {
+            let idx = ((sorted.len() as u64 - 1) * p + 50) / 100;
+            sorted[idx as usize]
+        };
+        LatencySummary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            mean: sorted.iter().sum::<SimTime>() / sorted.len() as SimTime,
+            p50: pct(50),
+            p95: pct(95),
+            p99: pct(99),
+        }
+    }
+}
 
 /// Counters for one message kind.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,6 +95,11 @@ pub struct Metrics {
     pub ops_completed: u64,
     /// Operations aborted by a global reset.
     pub ops_aborted: u64,
+    /// Invoke→complete latency samples for write operations, in the
+    /// order they completed.
+    write_latencies: Vec<SimTime>,
+    /// Invoke→complete latency samples for snapshot operations.
+    snapshot_latencies: Vec<SimTime>,
 }
 
 impl Metrics {
@@ -51,6 +120,28 @@ impl Metrics {
 
     pub(crate) fn on_dropped(&mut self, kind: MsgKind) {
         self.kinds.entry(kind).or_default().dropped += 1;
+    }
+
+    pub(crate) fn record_latency(&mut self, class: OpClass, latency: SimTime) {
+        match class {
+            OpClass::Write => self.write_latencies.push(latency),
+            OpClass::Snapshot => self.snapshot_latencies.push(latency),
+        }
+    }
+
+    /// The raw latency samples for `class`, in completion order.
+    pub fn latency_samples(&self, class: OpClass) -> &[SimTime] {
+        match class {
+            OpClass::Write => &self.write_latencies,
+            OpClass::Snapshot => &self.snapshot_latencies,
+        }
+    }
+
+    /// Percentile summary (p50/p95/p99, min/max/mean) of the latencies
+    /// recorded for `class`. All-zero when no operation of that class
+    /// has completed.
+    pub fn latency(&self, class: OpClass) -> LatencySummary {
+        LatencySummary::from_samples(self.latency_samples(class))
     }
 
     /// The counter for one message kind.
@@ -120,6 +211,11 @@ impl Metrics {
                 rounds: self.rounds - earlier.rounds,
                 ops_completed: self.ops_completed - earlier.ops_completed,
                 ops_aborted: self.ops_aborted - earlier.ops_aborted,
+                // Samples accumulate append-only, so the window's samples
+                // are exactly the suffix past the earlier snapshot.
+                write_latencies: self.write_latencies[earlier.write_latencies.len()..].to_vec(),
+                snapshot_latencies: self.snapshot_latencies[earlier.snapshot_latencies.len()..]
+                    .to_vec(),
             },
         }
     }
@@ -188,5 +284,55 @@ mod tests {
     fn unknown_kind_is_zero() {
         let m = Metrics::new();
         assert_eq!(m.kind(MsgKind::End), KindCounter::default());
+    }
+
+    #[test]
+    fn op_class_of() {
+        assert_eq!(OpClass::of(&SnapshotOp::Write(3)), OpClass::Write);
+        assert_eq!(OpClass::of(&SnapshotOp::Snapshot), OpClass::Snapshot);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut m = Metrics::new();
+        // 1..=100 in scrambled order: percentiles are exact ranks.
+        for i in (1..=100u64).rev() {
+            m.record_latency(OpClass::Write, i);
+        }
+        let s = m.latency(OpClass::Write);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 50);
+        // Even sample count: nearest-rank rounds the median up.
+        assert_eq!(s.p50, 51);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        // Other class untouched.
+        assert_eq!(m.latency(OpClass::Snapshot), LatencySummary::default());
+    }
+
+    #[test]
+    fn latency_single_sample() {
+        let mut m = Metrics::new();
+        m.record_latency(OpClass::Snapshot, 42);
+        let s = m.latency(OpClass::Snapshot);
+        assert_eq!(
+            (s.count, s.min, s.max, s.p50, s.p95, s.p99),
+            (1, 42, 42, 42, 42, 42)
+        );
+    }
+
+    #[test]
+    fn delta_latency_is_window_suffix() {
+        let mut m = Metrics::new();
+        m.record_latency(OpClass::Write, 10);
+        let before = m.clone();
+        m.record_latency(OpClass::Write, 30);
+        m.record_latency(OpClass::Snapshot, 20);
+        let d = m.delta_since(&before);
+        assert_eq!(d.latency_samples(OpClass::Write), &[30]);
+        assert_eq!(d.latency_samples(OpClass::Snapshot), &[20]);
+        assert_eq!(d.latency(OpClass::Write).p50, 30);
     }
 }

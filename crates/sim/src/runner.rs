@@ -3,14 +3,16 @@
 use crate::config::SimConfig;
 use crate::cycles::CycleTracker;
 use crate::event::{Ev, EventQueue};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, OpClass};
 use crate::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sss_net::{FaultEvent, FaultPlan, LinkModel, LinkVerdict};
 use sss_types::{
     ArbitraryMsg, Effects, History, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg,
     Protocol, SnapshotOp,
 };
+use std::collections::HashMap;
 
 /// One delivered message, as recorded by flow tracing (see
 /// [`Sim::enable_flow_recording`]); used to regenerate the paper's
@@ -100,7 +102,8 @@ impl<M> Ctl<'_, M> {
         let id = OpId(*self.next_op);
         *self.next_op += 1;
         *self.outstanding += 1;
-        self.queue.push(t.max(self.now), Ev::Invoke { node, id, op });
+        self.queue
+            .push(t.max(self.now), Ev::Invoke { node, id, op });
         id
     }
 
@@ -129,8 +132,8 @@ pub struct Sim<P: Protocol> {
     cycles: CycleTracker,
     next_op: u64,
     outstanding: usize,
-    link_load: Vec<usize>,
-    link_down: Vec<bool>,
+    links: LinkModel,
+    op_meta: HashMap<u64, (SimTime, OpClass)>,
     trace: u64,
     flows: Option<Vec<FlowRecord>>,
 }
@@ -157,8 +160,10 @@ impl<P: Protocol> Sim<P> {
             cycles: CycleTracker::new(cfg.n),
             next_op: 0,
             outstanding: 0,
-            link_load: vec![0; cfg.n * cfg.n],
-            link_down: vec![false; cfg.n * cfg.n],
+            // The link model gets its own seed stream so fault-plane
+            // coins stay independent of round jitter and corruption.
+            links: LinkModel::new(cfg.n, cfg.net, cfg.seed ^ 0x11_4e7),
+            op_meta: HashMap::new(),
             trace: 0xcbf29ce484222325,
             flows: None,
             cfg,
@@ -253,33 +258,26 @@ impl<P: Protocol> Sim<P> {
     /// communication fairness (a partition). Protocol liveness is only
     /// guaranteed again after [`Sim::heal_partition`].
     pub fn set_link(&mut self, from: NodeId, to: NodeId, up: bool) {
-        let l = self.link_index(from, to);
-        self.link_down[l] = !up;
+        self.links.set_link(from, to, up);
     }
 
-    /// Partitions the system into `groups`: links between different
-    /// groups are cut in both directions, links within a group restored.
+    /// Partitions the system into `groups` using the shared fault-plane
+    /// semantics ([`sss_net::cut_matrix`]): links between different
+    /// groups are cut in both directions, links within a group restored,
+    /// ungrouped nodes isolated.
     pub fn partition(&mut self, groups: &[&[NodeId]]) {
-        let mut group_of = vec![usize::MAX; self.cfg.n];
-        for (g, members) in groups.iter().enumerate() {
-            for m in *members {
-                group_of[m.index()] = g;
-            }
-        }
-        for a in 0..self.cfg.n {
-            for b in 0..self.cfg.n {
-                let cut = group_of[a] != group_of[b]
-                    || group_of[a] == usize::MAX
-                    || group_of[b] == usize::MAX;
-                let l = a * self.cfg.n + b;
-                self.link_down[l] = a != b && cut;
-            }
-        }
+        let groups: Vec<Vec<NodeId>> = groups.iter().map(|g| g.to_vec()).collect();
+        self.links.partition(&groups);
     }
 
     /// Restores every link.
     pub fn heal_partition(&mut self) {
-        self.link_down.iter_mut().for_each(|d| *d = false);
+        self.links.heal();
+    }
+
+    /// The shared link model (fault-plane state: cuts, in-flight load).
+    pub fn links(&self) -> &LinkModel {
+        &self.links
     }
 
     /// Starts recording every message delivery (sender, receiver, kind,
@@ -317,7 +315,8 @@ impl<P: Protocol> Sim<P> {
         let id = OpId(self.next_op);
         self.next_op += 1;
         self.outstanding += 1;
-        self.queue.push(t.max(self.now), Ev::Invoke { node, id, op });
+        self.queue
+            .push(t.max(self.now), Ev::Invoke { node, id, op });
         id
     }
 
@@ -341,7 +340,37 @@ impl<P: Protocol> Sim<P> {
     /// Schedules a transient fault at `node`: its soft state is replaced
     /// with arbitrary values at `t`.
     pub fn corrupt_at(&mut self, t: SimTime, node: NodeId) {
-        self.queue.push(t.max(self.now), Ev::Corrupt { node });
+        self.queue
+            .push(t.max(self.now), Ev::Corrupt { node, seed: None });
+    }
+
+    /// Schedules the whole fault plan: crashes, resumes, restarts,
+    /// plan-seeded corruptions, partitions, heals and link cuts, at
+    /// their scheduled virtual times. This is the simulator's entry
+    /// point into the shared fault plane — the threaded runtime replays
+    /// the same plan via `Cluster::apply_plan`.
+    pub fn apply_plan(&mut self, plan: &FaultPlan) {
+        for (t, ev) in plan.sorted_events() {
+            let at = t.max(self.now);
+            match ev {
+                FaultEvent::Crash(node) => self.crash_at(t, node),
+                FaultEvent::Resume(node) => self.resume_at(t, node),
+                FaultEvent::Restart(node) => self.restart_at(t, node),
+                FaultEvent::Corrupt(node) => {
+                    let seed = Some(plan.corruption_seed(t, node));
+                    self.queue.push(at, Ev::Corrupt { node, seed });
+                }
+                FaultEvent::Partition(groups) => {
+                    self.queue.push(at, Ev::Partition { groups });
+                }
+                FaultEvent::Heal => {
+                    self.queue.push(at, Ev::Heal);
+                }
+                FaultEvent::SetLink { from, to, up } => {
+                    self.queue.push(at, Ev::SetLink { from, to, up });
+                }
+            }
+        }
     }
 
     /// Injects a transient fault at `node` right now.
@@ -401,7 +430,9 @@ impl<P: Protocol> Sim<P> {
                 _ => break,
             }
         }
-        self.now = self.now.max(until.min(self.queue.peek_time().unwrap_or(until)));
+        self.now = self
+            .now
+            .max(until.min(self.queue.peek_time().unwrap_or(until)));
     }
 
     /// Runs until every invoked operation has completed (or aborted), or
@@ -460,8 +491,7 @@ impl<P: Protocol> Sim<P> {
                 self.trace = fold(self.trace, 0x100 + to.index() as u64);
                 self.cycles.on_gone(entry.seq, self.now);
                 if from != to {
-                    let l = self.link_index(from, to);
-                    self.link_load[l] = self.link_load[l].saturating_sub(1);
+                    self.links.on_delivered(from, to);
                 }
                 if self.crashed.contains(to) {
                     self.metrics.on_dropped(msg.kind());
@@ -483,6 +513,7 @@ impl<P: Protocol> Sim<P> {
             Ev::Invoke { node, id, op } => {
                 self.trace = fold(self.trace, 0x200 + node.index() as u64);
                 self.history.record_invoke(node, id, op, self.now);
+                self.op_meta.insert(id.0, (self.now, OpClass::of(&op)));
                 if self.crashed.contains(node) {
                     return; // invoked at a crashed node: never completes
                 }
@@ -514,9 +545,29 @@ impl<P: Protocol> Sim<P> {
                     self.queue.push(self.now + 1, Ev::Round { node, token });
                 }
             }
-            Ev::Corrupt { node } => {
+            Ev::Corrupt { node, seed } => {
                 self.trace = fold(self.trace, 0x600 + node.index() as u64);
-                self.nodes[node.index()].corrupt(&mut self.rng);
+                match seed {
+                    // Plan-seeded: the same "arbitrary" state on every
+                    // backend replaying this plan.
+                    Some(s) => {
+                        let mut rng = StdRng::seed_from_u64(s);
+                        self.nodes[node.index()].corrupt(&mut rng);
+                    }
+                    None => self.nodes[node.index()].corrupt(&mut self.rng),
+                }
+            }
+            Ev::Partition { groups } => {
+                self.trace = fold(self.trace, 0x800 + groups.len() as u64);
+                self.links.partition(&groups);
+            }
+            Ev::Heal => {
+                self.trace = fold(self.trace, 0x900);
+                self.links.heal();
+            }
+            Ev::SetLink { from, to, up } => {
+                self.trace = fold(self.trace, 0xA00 + from.index() as u64);
+                self.links.set_link(from, to, up);
             }
             Ev::Wake { token } => {
                 self.trace = fold(self.trace, 0x700 + token);
@@ -531,10 +582,6 @@ impl<P: Protocol> Sim<P> {
                 driver.on_wake(token, &mut ctl);
             }
         }
-    }
-
-    fn link_index(&self, from: NodeId, to: NodeId) -> usize {
-        from.index() * self.cfg.n + to.index()
     }
 
     fn apply_effects<D: Driver<P>>(
@@ -554,47 +601,35 @@ impl<P: Protocol> Sim<P> {
                 self.cycles.on_send(seq);
                 continue;
             }
-            let l = self.link_index(at, to);
-            if self.link_down[l] {
-                self.metrics.on_dropped(kind);
-                continue;
-            }
-            if self.cfg.net.loss > 0.0 && self.rng.gen_bool(self.cfg.net.loss) {
-                self.metrics.on_dropped(kind);
-                continue;
-            }
-            if self.cfg.net.capacity > 0 && self.link_load[l] >= self.cfg.net.capacity {
-                self.metrics.on_dropped(kind);
-                continue;
-            }
-            let dup = self.cfg.net.dup > 0.0 && self.rng.gen_bool(self.cfg.net.dup);
-            let delay = self
-                .rng
-                .gen_range(self.cfg.net.delay_min..=self.cfg.net.delay_max);
-            let seq = self.queue.push(
-                self.now + delay,
-                Ev::Deliver {
-                    from: at,
-                    to,
-                    msg: msg.clone(),
-                },
-            );
-            self.cycles.on_send(seq);
-            self.link_load[l] += 1;
-            if dup && (self.cfg.net.capacity == 0 || self.link_load[l] < self.cfg.net.capacity) {
-                let delay2 = self
-                    .rng
-                    .gen_range(self.cfg.net.delay_min..=self.cfg.net.delay_max);
-                let seq2 = self
-                    .queue
-                    .push(self.now + delay2, Ev::Deliver { from: at, to, msg });
-                self.cycles.on_send(seq2);
-                self.link_load[l] += 1;
+            // All loss/capacity/dup/delay decisions come from the shared
+            // fault plane; the simulator only schedules the outcome.
+            match self.links.on_send(at, to) {
+                LinkVerdict::Drop(_) => self.metrics.on_dropped(kind),
+                LinkVerdict::Deliver { delay, duplicate } => {
+                    if let Some(delay2) = duplicate {
+                        let seq2 = self.queue.push(
+                            self.now + delay2,
+                            Ev::Deliver {
+                                from: at,
+                                to,
+                                msg: msg.clone(),
+                            },
+                        );
+                        self.cycles.on_send(seq2);
+                    }
+                    let seq = self
+                        .queue
+                        .push(self.now + delay, Ev::Deliver { from: at, to, msg });
+                    self.cycles.on_send(seq);
+                }
             }
         }
         for (id, resp) in fx.take_completions() {
             self.history.record_complete(id, resp.clone(), self.now);
             self.metrics.ops_completed += 1;
+            if let Some((t0, class)) = self.op_meta.remove(&id.0) {
+                self.metrics.record_latency(class, self.now - t0);
+            }
             self.outstanding = self.outstanding.saturating_sub(1);
             let mut ctl = Ctl {
                 now: self.now,
@@ -609,6 +644,7 @@ impl<P: Protocol> Sim<P> {
         for id in fx.take_aborts() {
             self.history.record_abort(id, self.now);
             self.metrics.ops_aborted += 1;
+            self.op_meta.remove(&id.0);
             self.outstanding = self.outstanding.saturating_sub(1);
             let mut ctl = Ctl {
                 now: self.now,
@@ -744,7 +780,11 @@ mod tests {
         let mut sim = Sim::new(SimConfig::harsh(4).with_seed(100), toy(4));
         sim.invoke_at(0, NodeId(1), SnapshotOp::Write(2));
         sim.run_until(50_000);
-        assert_ne!(sim.trace_hash(), hashes[0], "different seed, different trace");
+        assert_ne!(
+            sim.trace_hash(),
+            hashes[0],
+            "different seed, different trace"
+        );
     }
 
     #[test]
@@ -763,7 +803,10 @@ mod tests {
         sim.crash_at(0, NodeId(1));
         sim.crash_at(0, NodeId(2));
         sim.invoke_at(10, NodeId(0), SnapshotOp::Write(1));
-        assert!(!sim.run_until_idle(200_000), "must time out without majority");
+        assert!(
+            !sim.run_until_idle(200_000),
+            "must time out without majority"
+        );
         assert_eq!(sim.outstanding_ops(), 1);
     }
 

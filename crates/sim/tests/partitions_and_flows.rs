@@ -87,7 +87,10 @@ fn full_partition_blocks_majority_less_side() {
     let mut s = sim(3);
     s.partition(&[&[NodeId(0)], &[NodeId(1), NodeId(2)]]);
     s.invoke_at(5, NodeId(0), SnapshotOp::Write(1));
-    assert!(!s.run_until_idle(500_000), "isolated node cannot reach majority");
+    assert!(
+        !s.run_until_idle(500_000),
+        "isolated node cannot reach majority"
+    );
     s.heal_partition();
     assert!(s.run_until_idle(5_000_000));
 }
@@ -120,7 +123,10 @@ fn flow_recording_captures_deliveries_in_order() {
     assert!(s.run_until_idle(5_000_000));
     let flows = s.flows();
     assert!(!flows.is_empty());
-    assert!(flows.windows(2).all(|w| w[0].time <= w[1].time), "time-ordered");
+    assert!(
+        flows.windows(2).all(|w| w[0].time <= w[1].time),
+        "time-ordered"
+    );
     assert!(flows.iter().any(|f| f.kind == MsgKind::Write));
     assert!(flows.iter().any(|f| f.kind == MsgKind::WriteAck));
     let count = flows.len();

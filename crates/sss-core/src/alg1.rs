@@ -78,9 +78,7 @@ impl ProtoMsg for Alg1Msg {
     fn size_bits(&self, nu: u32) -> u64 {
         const HDR: u64 = 64;
         match self {
-            Alg1Msg::Write { reg } | Alg1Msg::WriteAck { reg } => {
-                HDR + reg_array_bits(reg.n(), nu)
-            }
+            Alg1Msg::Write { reg } | Alg1Msg::WriteAck { reg } => HDR + reg_array_bits(reg.n(), nu),
             Alg1Msg::Snapshot { reg, .. } | Alg1Msg::SnapshotAck { reg, .. } => {
                 HDR + 64 + reg_array_bits(reg.n(), nu)
             }
@@ -215,7 +213,10 @@ impl Alg1 {
 
     /// The `merge(Rec)` macro (lines 5–7) for one received array.
     fn merge(&mut self, rec: &RegArray) {
-        self.ts = self.ts.max(self.reg.get(self.id).ts).max(rec.get(self.id).ts);
+        self.ts = self
+            .ts
+            .max(self.reg.get(self.id).ts)
+            .max(rec.get(self.id).ts);
         self.reg.merge_from(rec);
     }
 
@@ -232,10 +233,7 @@ impl Alg1 {
         self.ts += 1;
         self.reg.set(self.id, Tagged::new(v, self.ts));
         let lreg = self.reg.clone();
-        fx.broadcast(
-            self.n,
-            &Alg1Msg::Write { reg: lreg.clone() },
-        );
+        fx.broadcast(self.n, &Alg1Msg::Write { reg: lreg.clone() });
         self.active = Some(Active::Write(WriteOp {
             op: op_id,
             lreg,
@@ -563,7 +561,14 @@ mod tests {
         a.invoke(OpId(7), SnapshotOp::Snapshot, &mut e);
         assert_eq!(a.ssn(), 1);
         let reg = a.reg().clone();
-        a.on_message(NodeId(1), Alg1Msg::SnapshotAck { reg: reg.clone(), ssn: 1 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            Alg1Msg::SnapshotAck {
+                reg: reg.clone(),
+                ssn: 1,
+            },
+            &mut e,
+        );
         a.on_message(NodeId(2), Alg1Msg::SnapshotAck { reg, ssn: 1 }, &mut e);
         let done = e.take_completions();
         assert_eq!(done.len(), 1);
@@ -581,13 +586,34 @@ mod tests {
         // Acks that carry a newer write by p1: prev != reg after merge.
         let mut moved = a.reg().clone();
         moved.set(NodeId(1), Tagged::new(9, 1));
-        a.on_message(NodeId(1), Alg1Msg::SnapshotAck { reg: moved.clone(), ssn: 1 }, &mut e);
-        a.on_message(NodeId(2), Alg1Msg::SnapshotAck { reg: moved.clone(), ssn: 1 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            Alg1Msg::SnapshotAck {
+                reg: moved.clone(),
+                ssn: 1,
+            },
+            &mut e,
+        );
+        a.on_message(
+            NodeId(2),
+            Alg1Msg::SnapshotAck {
+                reg: moved.clone(),
+                ssn: 1,
+            },
+            &mut e,
+        );
         assert!(e.take_completions().is_empty(), "must iterate again");
         assert_eq!(a.ssn(), 2, "second query attempt armed");
         // Second attempt with stable values completes.
         let cur = a.reg().clone();
-        a.on_message(NodeId(1), Alg1Msg::SnapshotAck { reg: cur.clone(), ssn: 2 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            Alg1Msg::SnapshotAck {
+                reg: cur.clone(),
+                ssn: 2,
+            },
+            &mut e,
+        );
         a.on_message(NodeId(2), Alg1Msg::SnapshotAck { reg: cur, ssn: 2 }, &mut e);
         let done = e.take_completions();
         assert_eq!(done.len(), 1);
@@ -603,7 +629,14 @@ mod tests {
         let mut e = fx();
         a.invoke(OpId(7), SnapshotOp::Snapshot, &mut e);
         let reg = a.reg().clone();
-        a.on_message(NodeId(1), Alg1Msg::SnapshotAck { reg: reg.clone(), ssn: 99 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            Alg1Msg::SnapshotAck {
+                reg: reg.clone(),
+                ssn: 99,
+            },
+            &mut e,
+        );
         a.on_message(NodeId(2), Alg1Msg::SnapshotAck { reg, ssn: 0 }, &mut e);
         assert!(e.take_completions().is_empty());
     }
@@ -613,7 +646,13 @@ mod tests {
         let mut a = Alg1::new(NodeId(1), 3);
         // Transient fault zeroed ts but the system believes p1 wrote ts=5.
         let mut e = fx();
-        a.on_message(NodeId(0), Alg1Msg::Gossip { cell: Tagged::new(7, 5) }, &mut e);
+        a.on_message(
+            NodeId(0),
+            Alg1Msg::Gossip {
+                cell: Tagged::new(7, 5),
+            },
+            &mut e,
+        );
         assert_eq!(a.ts(), 5, "ts caught up via gossip");
         assert_eq!(a.reg().get(NodeId(1)), Tagged::new(7, 5));
         // Next write must not reuse a stale index.
@@ -678,7 +717,9 @@ mod tests {
     fn message_sizes_follow_the_paper() {
         let reg = RegArray::bottom(5);
         let w = Alg1Msg::Write { reg: reg.clone() };
-        let g = Alg1Msg::Gossip { cell: Tagged::new(0, 1) };
+        let g = Alg1Msg::Gossip {
+            cell: Tagged::new(0, 1),
+        };
         // WRITE is O(ν·n); GOSSIP is O(ν), independent of n.
         assert_eq!(w.size_bits(64), 64 + 5 * 128);
         assert_eq!(g.size_bits(64), 64 + 128);

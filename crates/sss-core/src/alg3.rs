@@ -48,14 +48,12 @@ use sss_types::{
 use std::collections::VecDeque;
 
 /// Configuration of [`Alg3`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct Alg3Config {
     /// The paper's input parameter `δ`: the number of observed concurrent
     /// writes after which writes block temporarily so snapshots terminate.
     pub delta: u64,
 }
-
 
 /// One entry of the `pndTsk` array (line 68): the control state of node
 /// `k`'s most recent snapshot task as known locally.
@@ -159,9 +157,7 @@ impl ProtoMsg for Alg3Msg {
     fn size_bits(&self, nu: u32) -> u64 {
         const HDR: u64 = 64;
         match self {
-            Alg3Msg::Write { reg } | Alg3Msg::WriteAck { reg } => {
-                HDR + reg_array_bits(reg.n(), nu)
-            }
+            Alg3Msg::Write { reg } | Alg3Msg::WriteAck { reg } => HDR + reg_array_bits(reg.n(), nu),
             Alg3Msg::Snapshot { tasks, reg, .. } => {
                 let task_bits: u64 = tasks
                     .iter()
@@ -337,7 +333,10 @@ impl Alg3 {
 
     /// The `merge(Rec)` macro (line 72) for one received array.
     fn merge(&mut self, rec: &RegArray) {
-        self.ts = self.ts.max(self.reg.get(self.id).ts).max(rec.get(self.id).ts);
+        self.ts = self
+            .ts
+            .max(self.reg.get(self.id).ts)
+            .max(rec.get(self.id).ts);
         self.reg.merge_from(rec);
     }
 
@@ -760,8 +759,7 @@ impl Protocol for Alg3 {
             // Lines 95–97.
             Alg3Msg::Save { entries } => {
                 self.apply_save_entries(&entries);
-                let ids: Vec<(usize, u64)> =
-                    entries.iter().map(|e| (e.node, e.sns)).collect();
+                let ids: Vec<(usize, u64)> = entries.iter().map(|e| (e.node, e.sns)).collect();
                 fx.send(from, Alg3Msg::SaveAck { ids });
                 self.on_tasks_changed(fx);
             }
@@ -901,9 +899,10 @@ impl Protocol for Alg3 {
             return false;
         }
         let vc_now = self.reg.vector_clock();
-        self.pnd_tsk
-            .iter()
-            .all(|e| e.vc.as_ref().is_none_or(|vc| vc.n() == self.n && vc.le(&vc_now)))
+        self.pnd_tsk.iter().all(|e| {
+            e.vc.as_ref()
+                .is_none_or(|vc| vc.n() == self.n && vc.le(&vc_now))
+        })
     }
 
     fn stats(&self) -> ProtocolStats {
@@ -929,7 +928,11 @@ impl crate::bounded::HasIndices for Alg3 {
             })
             .max()
             .unwrap_or(0);
-        self.ts.max(self.ssn).max(self.sns).max(reg_max).max(pnd_max)
+        self.ts
+            .max(self.ssn)
+            .max(self.sns)
+            .max(reg_max)
+            .max(pnd_max)
     }
 
     fn export_reg(&self) -> RegArray {
@@ -1033,7 +1036,14 @@ mod tests {
         a.on_round(&mut e); // starts base, broadcasts SNAPSHOT ssn=1
         e.take_sends();
         let reg = a.reg().clone();
-        a.on_message(NodeId(1), Alg3Msg::SnapshotAck { reg: reg.clone(), ssn: 1 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            Alg3Msg::SnapshotAck {
+                reg: reg.clone(),
+                ssn: 1,
+            },
+            &mut e,
+        );
         a.on_message(NodeId(2), Alg3Msg::SnapshotAck { reg, ssn: 1 }, &mut e);
         // prev == reg: SAVE broadcast goes out.
         let sends = e.take_sends();
@@ -1049,7 +1059,14 @@ mod tests {
         a.invoke(OpId(1), SnapshotOp::Snapshot, &mut e);
         a.on_round(&mut e);
         let reg = a.reg().clone();
-        a.on_message(NodeId(1), Alg3Msg::SnapshotAck { reg: reg.clone(), ssn: 1 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            Alg3Msg::SnapshotAck {
+                reg: reg.clone(),
+                ssn: 1,
+            },
+            &mut e,
+        );
         a.on_message(NodeId(2), Alg3Msg::SnapshotAck { reg, ssn: 1 }, &mut e);
         e.take_sends();
         // SAVEacks from a majority (including a self-ack path would be via
@@ -1073,8 +1090,19 @@ mod tests {
         // Acks carry a concurrent write by p1: prev != reg.
         let mut moved = a.reg().clone();
         moved.set(NodeId(1), Tagged::new(5, 1));
-        a.on_message(NodeId(1), Alg3Msg::SnapshotAck { reg: moved.clone(), ssn: 1 }, &mut e);
-        a.on_message(NodeId(2), Alg3Msg::SnapshotAck { reg: moved, ssn: 1 }, &mut e);
+        a.on_message(
+            NodeId(1),
+            Alg3Msg::SnapshotAck {
+                reg: moved.clone(),
+                ssn: 1,
+            },
+            &mut e,
+        );
+        a.on_message(
+            NodeId(2),
+            Alg3Msg::SnapshotAck { reg: moved, ssn: 1 },
+            &mut e,
+        );
         assert!(a.pnd_tsk()[0].vc.is_some(), "line 93 sampled VC");
     }
 

@@ -227,7 +227,8 @@ impl<P: HasIndices> Bounded<P> {
 
     /// Enters the wrapping mode towards `epoch` (idempotent).
     fn enter_wrapping(&mut self, epoch: u64, fx: &mut Effects<BoundedMsg<P::Msg>>) {
-        if matches!(self.mode, Mode::Wrapping) && self.reset.as_ref().is_none_or(|r| r.epoch >= epoch)
+        if matches!(self.mode, Mode::Wrapping)
+            && self.reset.as_ref().is_none_or(|r| r.epoch >= epoch)
         {
             return;
         }
@@ -235,7 +236,10 @@ impl<P: HasIndices> Bounded<P> {
         self.abort_drained(fx);
         if self.is_coordinator() {
             let st = ResetState::new(epoch, self.inner.export_reg(), self.inner.id());
-            fx.broadcast(self.inner.n(), &BoundedMsg::Reset(ResetMsg::SyncReq { epoch }));
+            fx.broadcast(
+                self.inner.n(),
+                &BoundedMsg::Reset(ResetMsg::SyncReq { epoch }),
+            );
             self.reset = Some(st);
         } else {
             fx.broadcast(
@@ -318,7 +322,12 @@ impl<P: HasIndices> Protocol for Bounded<P> {
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: BoundedMsg<P::Msg>, fx: &mut Effects<BoundedMsg<P::Msg>>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: BoundedMsg<P::Msg>,
+        fx: &mut Effects<BoundedMsg<P::Msg>>,
+    ) {
         match msg {
             BoundedMsg::Inner { epoch, msg } => {
                 if epoch != self.epoch || matches!(self.mode, Mode::Wrapping) {

@@ -32,7 +32,10 @@ fn snapshot_terminates_after_writes_cease_on_harsh_network() {
     }
     assert!(s.run_until_idle(50_000_000), "writes terminate");
     s.invoke_at(s.now(), NodeId(2), SnapshotOp::Snapshot);
-    assert!(s.run_until_idle(100_000_000), "snapshot terminates after writes");
+    assert!(
+        s.run_until_idle(100_000_000),
+        "snapshot terminates after writes"
+    );
 }
 
 #[test]

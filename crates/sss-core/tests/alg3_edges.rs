@@ -28,7 +28,11 @@ fn newer_task_supersedes_older_announcement() {
         a.on_message(
             NodeId(0),
             Alg3Msg::Snapshot {
-                tasks: vec![TaskRef { node: 0, sns, vc: None }],
+                tasks: vec![TaskRef {
+                    node: 0,
+                    sns,
+                    vc: None,
+                }],
                 reg: RegArray::bottom(3),
                 ssn: sns,
             },
@@ -40,7 +44,11 @@ fn newer_task_supersedes_older_announcement() {
     a.on_message(
         NodeId(2),
         Alg3Msg::Snapshot {
-            tasks: vec![TaskRef { node: 0, sns: 4, vc: None }],
+            tasks: vec![TaskRef {
+                node: 0,
+                sns: 4,
+                vc: None,
+            }],
             reg: RegArray::bottom(3),
             ssn: 9,
         },
@@ -56,7 +64,11 @@ fn save_for_newer_task_replaces_result() {
     a.on_message(
         NodeId(0),
         Alg3Msg::Save {
-            entries: vec![SaveEntry { node: 0, sns: 2, view: view(3) }],
+            entries: vec![SaveEntry {
+                node: 0,
+                sns: 2,
+                view: view(3),
+            }],
         },
         &mut e,
     );
@@ -65,7 +77,11 @@ fn save_for_newer_task_replaces_result() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Save {
-            entries: vec![SaveEntry { node: 0, sns: 7, view: view(3) }],
+            entries: vec![SaveEntry {
+                node: 0,
+                sns: 7,
+                view: view(3),
+            }],
         },
         &mut e,
     );
@@ -82,7 +98,11 @@ fn out_of_range_indices_in_messages_are_ignored() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Snapshot {
-            tasks: vec![TaskRef { node: 99, sns: 1, vc: None }],
+            tasks: vec![TaskRef {
+                node: 99,
+                sns: 1,
+                vc: None,
+            }],
             reg: RegArray::bottom(3),
             ssn: 1,
         },
@@ -91,7 +111,11 @@ fn out_of_range_indices_in_messages_are_ignored() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Save {
-            entries: vec![SaveEntry { node: 42, sns: 1, view: view(3) }],
+            entries: vec![SaveEntry {
+                node: 42,
+                sns: 1,
+                view: view(3),
+            }],
         },
         &mut e,
     );
@@ -109,7 +133,11 @@ fn second_snapshot_queues_until_first_completes() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Save {
-            entries: vec![SaveEntry { node: 0, sns: 1, view: view(3) }],
+            entries: vec![SaveEntry {
+                node: 0,
+                sns: 1,
+                view: view(3),
+            }],
         },
         &mut e,
     );
@@ -123,7 +151,11 @@ fn second_snapshot_queues_until_first_completes() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Save {
-            entries: vec![SaveEntry { node: 0, sns: 2, view: view(3) }],
+            entries: vec![SaveEntry {
+                node: 0,
+                sns: 2,
+                view: view(3),
+            }],
         },
         &mut e,
     );
@@ -155,7 +187,11 @@ fn delta_excludes_finished_tasks() {
     a.on_message(
         NodeId(0),
         Alg3Msg::Snapshot {
-            tasks: vec![TaskRef { node: 0, sns: 1, vc: None }],
+            tasks: vec![TaskRef {
+                node: 0,
+                sns: 1,
+                vc: None,
+            }],
             reg: RegArray::bottom(3),
             ssn: 1,
         },
@@ -164,7 +200,11 @@ fn delta_excludes_finished_tasks() {
     a.on_message(
         NodeId(2),
         Alg3Msg::Save {
-            entries: vec![SaveEntry { node: 0, sns: 1, view: view(3) }],
+            entries: vec![SaveEntry {
+                node: 0,
+                sns: 1,
+                view: view(3),
+            }],
         },
         &mut e,
     );
@@ -185,14 +225,20 @@ fn gossip_never_regresses_own_register() {
     // Establish a high own entry.
     a.on_message(
         NodeId(0),
-        Alg3Msg::Gossip { cell: Tagged::new(9, 8), pnd_sns: 0 },
+        Alg3Msg::Gossip {
+            cell: Tagged::new(9, 8),
+            pnd_sns: 0,
+        },
         &mut e,
     );
     assert_eq!(a.reg().get(NodeId(1)).ts, 8);
     // A stale gossip cell must not lower it.
     a.on_message(
         NodeId(2),
-        Alg3Msg::Gossip { cell: Tagged::new(1, 3), pnd_sns: 0 },
+        Alg3Msg::Gossip {
+            cell: Tagged::new(1, 3),
+            pnd_sns: 0,
+        },
         &mut e,
     );
     assert_eq!(a.reg().get(NodeId(1)).ts, 8);

@@ -32,7 +32,11 @@ fn reaching_maxint_triggers_a_global_reset_preserving_values() {
     // Perform max_int writes at node 0: the index hits the threshold.
     for seq in 1..=max_int {
         let t = s.now() + 1;
-        s.invoke_at(t, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), seq)));
+        s.invoke_at(
+            t,
+            NodeId(0),
+            SnapshotOp::Write(unique_value(NodeId(0), seq)),
+        );
         if !s.run_until_idle(50_000_000) {
             break; // the last write may be aborted by the reset — fine
         }
@@ -55,7 +59,11 @@ fn reaching_maxint_triggers_a_global_reset_preserving_values() {
         );
     }
     // The object is usable after the reset.
-    s.invoke_at(s.now(), NodeId(1), SnapshotOp::Write(unique_value(NodeId(1), 1)));
+    s.invoke_at(
+        s.now(),
+        NodeId(1),
+        SnapshotOp::Write(unique_value(NodeId(1), 1)),
+    );
     s.invoke_at(s.now() + 1, NodeId(2), SnapshotOp::Snapshot);
     assert!(s.run_until_idle(100_000_000));
     let snap = s
@@ -103,7 +111,11 @@ fn aborts_are_bounded_and_reported() {
     let mut s = sim1(3, max_int, 4);
     for seq in 1..=max_int + 2 {
         let t = s.now() + 1;
-        s.invoke_at(t, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), seq)));
+        s.invoke_at(
+            t,
+            NodeId(0),
+            SnapshotOp::Write(unique_value(NodeId(0), seq)),
+        );
         s.run_until_idle(50_000_000);
     }
     s.run_while(200_000_000, |sim| {
@@ -117,7 +129,10 @@ fn aborts_are_bounded_and_reported() {
         completed >= max_int as usize - 1,
         "most writes completed: {completed}"
     );
-    assert!(total_aborts <= 4, "only a bounded number aborted: {total_aborts}");
+    assert!(
+        total_aborts <= 4,
+        "only a bounded number aborted: {total_aborts}"
+    );
 }
 
 #[test]
@@ -132,7 +147,11 @@ fn bounded_alg3_also_resets() {
     });
     for seq in 1..=max_int {
         let t = s.now() + 1;
-        s.invoke_at(t, NodeId(1), SnapshotOp::Write(unique_value(NodeId(1), seq)));
+        s.invoke_at(
+            t,
+            NodeId(1),
+            SnapshotOp::Write(unique_value(NodeId(1), seq)),
+        );
         if !s.run_until_idle(50_000_000) {
             break;
         }
@@ -166,7 +185,11 @@ fn reset_requires_seldom_fairness() {
     // Drive the index to the threshold (majority is alive: writes work).
     for seq in 1..=max_int {
         let t = s.now() + 1;
-        s.invoke_at(t, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), seq)));
+        s.invoke_at(
+            t,
+            NodeId(0),
+            SnapshotOp::Write(unique_value(NodeId(0), seq)),
+        );
         if !s.run_until_idle(100_000_000) {
             break;
         }

@@ -34,7 +34,10 @@ fn fuzz_alg1(seed: u64, count: usize, invoke_first: bool) {
         prev = node.reg().clone();
         if i % 5 == 0 {
             node.on_round(&mut fx);
-            assert!(node.local_invariants_hold(), "round must restore invariants");
+            assert!(
+                node.local_invariants_hold(),
+                "round must restore invariants"
+            );
         }
         let _ = fx.take_sends();
         let _ = fx.take_completions();

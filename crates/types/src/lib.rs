@@ -54,7 +54,9 @@ mod vclock;
 pub use history::{History, LatencyStats, OpRecord};
 pub use node::{majority, NodeId, ProcessSet};
 pub use op::{OpId, OpResponse, SnapshotOp, SnapshotView};
-pub use protocol::{cell_bits, ArbitraryMsg, reg_array_bits, Effects, MsgKind, ProtoMsg, Protocol, ProtocolStats};
+pub use protocol::{
+    cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, ProtoMsg, Protocol, ProtocolStats,
+};
 pub use reg::RegArray;
 pub use value::{Tagged, Value, BOTTOM};
 pub use vclock::VectorClock;

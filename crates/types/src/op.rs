@@ -82,10 +82,7 @@ impl SnapshotView {
 
     /// Iterates over `(process, cell)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Tagged)> + '_ {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (NodeId(i), c))
+        self.cells.iter().enumerate().map(|(i, &c)| (NodeId(i), c))
     }
 }
 

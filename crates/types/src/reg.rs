@@ -92,10 +92,7 @@ impl RegArray {
 
     /// Iterates over `(process, cell)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Tagged)> + '_ {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (NodeId(i), c))
+        self.cells.iter().enumerate().map(|(i, &c)| (NodeId(i), c))
     }
 
     /// Replaces every cell with uniformly random garbage — the transient

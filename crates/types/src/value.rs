@@ -115,7 +115,12 @@ mod tests {
 
     #[test]
     fn join_laws() {
-        let cells = [BOTTOM, Tagged::new(3, 1), Tagged::new(4, 1), Tagged::new(1, 9)];
+        let cells = [
+            BOTTOM,
+            Tagged::new(3, 1),
+            Tagged::new(4, 1),
+            Tagged::new(1, 9),
+        ];
         for &a in &cells {
             assert_eq!(a.join(a), a, "idempotent");
             for &b in &cells {

@@ -8,10 +8,12 @@ use proptest::prelude::*;
 use sss_types::{NodeId, RegArray, Tagged, VectorClock};
 
 fn tagged() -> impl Strategy<Value = Tagged> {
-    (0u64..6, any::<u64>()).prop_map(|(ts, val)| if ts == 0 {
-        Tagged::default()
-    } else {
-        Tagged { ts, val: val % 8 }
+    (0u64..6, any::<u64>()).prop_map(|(ts, val)| {
+        if ts == 0 {
+            Tagged::default()
+        } else {
+            Tagged { ts, val: val % 8 }
+        }
     })
 }
 

@@ -10,8 +10,10 @@
 //!   histories black-box checkable by `sss-checker`.
 //! * [`schedule_open_loop`] — pre-scheduled operations at given times
 //!   (independent of completions), for overload and burst scenarios.
-//! * [`FaultPlan`] — a builder for crash / resume / restart / transient
-//!   corruption schedules, applied to a simulator before the run.
+//! * [`FaultPlan`] — the *shared fault plane*'s declarative schedule of
+//!   crashes / resumes / restarts / corruptions / partitions, re-exported
+//!   from `sss-net` and applied via `Sim::apply_plan` or
+//!   `Cluster::apply_plan`.
 //!
 //! All generators are seeded and deterministic.
 
@@ -21,15 +23,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sss_sim::{Ctl, Driver, Sim, SimTime};
-use sss_types::{NodeId, OpId, OpResponse, Protocol, SnapshotOp, Value};
+use sss_types::{NodeId, OpId, OpResponse, Protocol, SnapshotOp};
 
-/// Encodes a globally unique write value for `node`'s `seq`-th write.
-///
-/// Uniqueness across nodes and sequences is what lets the linearizability
-/// checker treat histories as black boxes.
-pub fn unique_value(node: NodeId, seq: u64) -> Value {
-    ((node.index() as u64 + 1) << 40) | seq
-}
+// The fault schedule and value encoding now live in the shared fault
+// plane; re-exported here so existing experiment code keeps compiling.
+pub use sss_net::{unique_value, FaultEvent, FaultPlan, WorkloadSpec};
 
 /// Configuration of a [`MixedDriver`].
 #[derive(Clone, Debug)]
@@ -231,77 +229,6 @@ pub fn skewed_writer(nodes: &[NodeId], rng: &mut StdRng) -> NodeId {
     nodes[n - 1]
 }
 
-/// One fault event in a [`FaultPlan`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FaultEvent {
-    /// Crash (stop taking steps).
-    Crash(NodeId),
-    /// Resume with state intact.
-    Resume(NodeId),
-    /// Detectable restart (variables re-initialized).
-    Restart(NodeId),
-    /// Transient fault (state arbitrarily corrupted).
-    Corrupt(NodeId),
-}
-
-/// A deterministic schedule of fault events.
-#[derive(Clone, Debug, Default)]
-pub struct FaultPlan {
-    events: Vec<(SimTime, FaultEvent)>,
-}
-
-impl FaultPlan {
-    /// An empty plan.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds an event at time `t` (builder-style).
-    pub fn at(mut self, t: SimTime, ev: FaultEvent) -> Self {
-        self.events.push((t, ev));
-        self
-    }
-
-    /// Crashes a random minority of nodes at `t`, returning the plan and
-    /// the crashed set.
-    pub fn crash_random_minority(
-        mut self,
-        n: usize,
-        t: SimTime,
-        seed: u64,
-    ) -> (Self, Vec<NodeId>) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let f = (n - 1) / 2;
-        let count = if f == 0 { 0 } else { rng.gen_range(1..=f) };
-        let mut pool: Vec<usize> = (0..n).collect();
-        let mut crashed = Vec::new();
-        for _ in 0..count {
-            let i = rng.gen_range(0..pool.len());
-            let node = NodeId(pool.swap_remove(i));
-            crashed.push(node);
-            self.events.push((t, FaultEvent::Crash(node)));
-        }
-        (self, crashed)
-    }
-
-    /// The scheduled events.
-    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
-        &self.events
-    }
-
-    /// Applies the plan to a simulator.
-    pub fn apply<P: Protocol>(&self, sim: &mut Sim<P>) {
-        for &(t, ev) in &self.events {
-            match ev {
-                FaultEvent::Crash(node) => sim.crash_at(t, node),
-                FaultEvent::Resume(node) => sim.resume_at(t, node),
-                FaultEvent::Restart(node) => sim.restart_at(t, node),
-                FaultEvent::Corrupt(node) => sim.corrupt_at(t, node),
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,7 +292,7 @@ mod tests {
             .crash_random_minority(5, 200, 42);
         assert!(!crashed.is_empty() && crashed.len() <= 2);
         let mut sim = Sim::new(SimConfig::small(5), |id| Alg1::new(id, 5));
-        plan.apply(&mut sim);
+        sim.apply_plan(&plan);
         sim.run_until(1_000);
         for node in crashed {
             assert!(sim.is_crashed(node));
@@ -390,8 +317,10 @@ mod tests {
         for _ in 0..4000 {
             counts[skewed_writer(&nodes, &mut rng).index()] += 1;
         }
-        assert!(counts[0] > counts[1] && counts[1] > counts[3],
-            "zipf ordering: {counts:?}");
+        assert!(
+            counts[0] > counts[1] && counts[1] > counts[3],
+            "zipf ordering: {counts:?}"
+        );
         assert!(counts[0] > 4000 * 4 / 10, "head node dominates: {counts:?}");
     }
 

@@ -14,7 +14,7 @@
 //! so the monitor's read completes.
 
 use sss_core::{Alg3, Alg3Config};
-use sss_runtime::{Cluster, ClusterConfig};
+use sss_runtime::{Cluster, ClusterConfig, FaultEvent, FaultPlan};
 use sss_types::NodeId;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -34,9 +34,11 @@ fn main() {
     let n = 5;
     let monitor_node = NodeId(0);
     let delta = 4; // let up to 4 writes pass before prioritizing a snapshot
-    let cluster = Cluster::new(ClusterConfig::new(n), move |id| {
-        Alg3::new(id, n, Alg3Config { delta })
-    });
+    let mut cfg = ClusterConfig::new(n);
+    // Short op timeout so a worker caught by the fault plan's crash
+    // window retries quickly instead of stalling the demo.
+    cfg.op_timeout = Duration::from_millis(150);
+    let cluster = Cluster::new(cfg, move |id| Alg3::new(id, n, Alg3Config { delta }));
 
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
@@ -46,19 +48,39 @@ fn main() {
         workers.push(std::thread::spawn(move || {
             let mut seq = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                seq += 1;
                 // A synthetic load curve, different phase per worker.
-                let load = (37 * seq + 13 * w as u64) % 100;
-                client.write(encode(seq, load)).expect("publish load");
+                let load = (37 * (seq + 1) + 13 * w as u64) % 100;
+                // A publish can time out while this worker is crashed by
+                // the fault plan; it simply retries on the next beat.
+                if client.write(encode(seq + 1, load)).is_ok() {
+                    seq += 1;
+                }
             }
             seq
         }));
     }
 
+    // Mid-run fault, declared up front through the shared fault plane:
+    // one worker crashes and later resumes. Times are model-µs; the
+    // cluster maps them onto the wall clock when the plan is replayed.
+    let victim = NodeId(n - 1);
+    let plan = FaultPlan::new()
+        .at(500, FaultEvent::Crash(victim))
+        .at(2_500, FaultEvent::Resume(victim));
+
     // The monitor takes five consistent global snapshots while the
     // workers keep writing at full speed.
     let monitor = cluster.client(monitor_node);
     for round in 1..=5 {
+        if round == 3 {
+            // Blocking replay: sleeps to each event's wall-clock offset
+            // while the workers keep publishing on their own threads.
+            println!(
+                "  (replaying fault plan: crash p{} then resume)",
+                victim.index()
+            );
+            cluster.apply_plan(&plan);
+        }
         let view = monitor.snapshot().expect("snapshot must terminate");
         let mut total = 0u64;
         let mut reporting = 0u64;
@@ -71,9 +93,33 @@ fn main() {
             }
         }
         let avg = total.checked_div(reporting).unwrap_or(0);
-        println!("report {round}: {reporting}/{} workers, avg load {avg}%", n - 1);
+        println!(
+            "report {round}: {reporting}/{} workers, avg load {avg}%",
+            n - 1
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
+
+    // The resumed worker needs a beat to clear the publish that timed
+    // out while it was down; then its heartbeat advances again.
+    let frozen = monitor
+        .snapshot()
+        .expect("snapshot")
+        .value_of(victim)
+        .map(|v| decode(v).0)
+        .unwrap_or(0);
+    std::thread::sleep(Duration::from_millis(400));
+    let recovered = monitor
+        .snapshot()
+        .expect("snapshot")
+        .value_of(victim)
+        .map(|v| decode(v).0)
+        .unwrap_or(0);
+    println!(
+        "recovery: worker p{} heartbeat {frozen} while down -> {recovered} after resume",
+        victim.index()
+    );
+    assert!(recovered > frozen, "resumed worker must publish again");
 
     stop.store(true, Ordering::Relaxed);
     let writes: u64 = workers.into_iter().map(|t| t.join().unwrap()).sum();

@@ -61,7 +61,10 @@ impl Driver<Alg3> for Load {
                 ctl.invoke(node, SnapshotOp::Snapshot);
             } else {
                 self.next_seq[k] += 1;
-                ctl.invoke(node, SnapshotOp::Write(unique_value(node, self.next_seq[k])));
+                ctl.invoke(
+                    node,
+                    SnapshotOp::Write(unique_value(node, self.next_seq[k])),
+                );
             }
         }
     }
@@ -85,7 +88,10 @@ impl Driver<Alg3> for Load {
             OpResponse::WriteDone => {
                 let k = node.index();
                 self.next_seq[k] += 1;
-                ctl.invoke(node, SnapshotOp::Write(unique_value(node, self.next_seq[k])));
+                ctl.invoke(
+                    node,
+                    SnapshotOp::Write(unique_value(node, self.next_seq[k])),
+                );
             }
         }
     }
@@ -103,7 +109,10 @@ fn main() {
 
     println!();
     let snaps = 8u64;
-    println!("== contended: {snaps} snapshots vs {} non-stop writers ==", n - 1);
+    println!(
+        "== contended: {snaps} snapshots vs {} non-stop writers ==",
+        n - 1
+    );
     println!(
         "{:>8} {:>14} {:>14} {:>14}",
         "delta", "snapmsgs/snap", "latency(us)", "writes done"
@@ -135,7 +144,9 @@ fn main() {
             .sum::<u64>()
             .checked_div(done)
             .unwrap_or(0);
-        let per_snap = snapshot_messages(sim.metrics()).checked_div(done).unwrap_or(0);
+        let per_snap = snapshot_messages(sim.metrics())
+            .checked_div(done)
+            .unwrap_or(0);
         println!(
             "{:>8} {:>14} {:>14} {:>14}",
             delta, per_snap, avg_latency, writes

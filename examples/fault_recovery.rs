@@ -15,7 +15,7 @@
 
 use sss_baselines::Dgfr1;
 use sss_core::Alg1;
-use sss_sim::{Sim, SimConfig};
+use sss_sim::{FaultEvent, FaultPlan, Sim, SimConfig};
 use sss_types::{NodeId, OpResponse, Protocol, SnapshotOp};
 
 const VICTIM: NodeId = NodeId(0);
@@ -33,10 +33,13 @@ fn scenario<P: Protocol>(label: &str, mk: impl FnMut(NodeId) -> P) -> bool {
         assert!(sim.run_until_idle(10_000_000));
     }
 
-    // Transient fault: the victim's variables are re-initialized (a
-    // detectable restart is the mildest "corruption" — it zeroes ts).
+    // Transient fault, declared through the shared fault plane: the
+    // victim's variables are re-initialized (a detectable restart is the
+    // mildest "corruption" — it zeroes ts). The same plan could be
+    // replayed verbatim on the threaded runtime via `Cluster::apply_plan`.
     println!("[{label}] injecting fault: victim state re-initialized");
-    sim.restart_at(sim.now() + 1, VICTIM);
+    let plan = FaultPlan::new().at(sim.now() + 1, FaultEvent::Restart(VICTIM));
+    sim.apply_plan(&plan);
     sim.run_until(sim.now() + 10);
 
     // Give the system a few asynchronous cycles to (maybe) repair.

@@ -1,0 +1,158 @@
+//! The shared fault plane, end to end: one declarative `FaultPlan` and one
+//! `WorkloadSpec` replayed through the `Backend` trait on both execution
+//! models — the discrete-event simulator and the threaded runtime — must
+//! yield linearizable histories on each, with every issued operation
+//! accounted for. Plus the threaded mirror of the simulator's
+//! crash → partition → heal → recovery scenario
+//! (`crates/sim/tests/partitions_and_flows.rs`), validated by the checker.
+
+use sss_checker::check;
+use sss_core::Alg1;
+use sss_runtime::{Cluster, ClusterConfig, ClusterError, ThreadBackend};
+use sss_sim::{Backend, RunReport, SimBackend, SimConfig};
+use sss_types::NodeId;
+use sss_workload::{unique_value, FaultEvent, FaultPlan, WorkloadSpec};
+use std::time::Duration;
+
+/// Crash a node, partition it away, heal, resume — the canonical recovery
+/// arc. No corruption here on purpose: corrupted registers may surface
+/// never-written values in snapshots, so only the post-recovery *suffix*
+/// is linearizable after a `Corrupt` (Dijkstra's criterion); cross-backend
+/// full-history checks use crash/partition/link faults only.
+fn recovery_plan() -> FaultPlan {
+    FaultPlan::new()
+        .at(2_000, FaultEvent::Crash(NodeId(3)))
+        .at(
+            3_000,
+            FaultEvent::Partition(vec![vec![NodeId(0), NodeId(1), NodeId(2)], vec![NodeId(3)]]),
+        )
+        .at(7_000, FaultEvent::Heal)
+        .at(9_000, FaultEvent::Resume(NodeId(3)))
+}
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        ops_per_node: 6,
+        think: (200, 2_000),
+        op_timeout: 20_000,
+        ..WorkloadSpec::default()
+    }
+}
+
+fn assert_linearizable_and_accounted(report: &RunReport, n: usize, total_ops: u64) {
+    let v = check(&report.history, n);
+    assert!(
+        v.is_linearizable(),
+        "[{}] history must be linearizable: {:?}",
+        report.backend,
+        v.violations
+    );
+    assert_eq!(
+        report.stats.ops_completed + report.stats.ops_timed_out,
+        total_ops,
+        "[{}] every issued op either completes or times out",
+        report.backend
+    );
+    assert!(
+        report.stats.ops_completed > 0,
+        "[{}] the majority side must make progress",
+        report.backend
+    );
+}
+
+/// Regression test for the sim/runtime partition-semantics divergence:
+/// the *same* group-based fault plan, replayed through the shared
+/// `Backend` trait, yields a linearizable history on both backends.
+#[test]
+fn same_fault_plan_linearizable_on_both_backends() {
+    let n = 4;
+    let plan = recovery_plan();
+    let spec = workload();
+    let total = (n * spec.ops_per_node) as u64;
+
+    let mut backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(SimBackend::new(SimConfig::small(n), move |id| {
+            Alg1::new(id, n)
+        })),
+        Box::new(ThreadBackend::new(ClusterConfig::new(n), move |id| {
+            Alg1::new(id, n)
+        })),
+    ];
+    for backend in &mut backends {
+        let report = backend.run(&plan, &spec);
+        assert_linearizable_and_accounted(&report, n, total);
+        assert!(
+            report.stats.messages_dropped > 0,
+            "[{}] the partition window must drop traffic",
+            report.backend
+        );
+    }
+}
+
+/// The simulated backend is a deterministic function of
+/// (config, plan, workload): two runs produce identical histories.
+#[test]
+fn sim_backend_is_deterministic() {
+    let n = 4;
+    let plan = recovery_plan();
+    let spec = workload();
+    let run = || SimBackend::new(SimConfig::small(n), move |id| Alg1::new(id, n)).run(&plan, &spec);
+    let (a, b) = (run(), run());
+    assert_eq!(a.stats.ops_completed, b.stats.ops_completed);
+    assert_eq!(a.stats.ops_timed_out, b.stats.ops_timed_out);
+    assert_eq!(a.stats.messages_dropped, b.stats.messages_dropped);
+    assert_eq!(a.stats.model_time, b.stats.model_time);
+    let recs = |r: &RunReport| -> Vec<_> { r.history.completed().cloned().collect() };
+    assert_eq!(recs(&a), recs(&b), "histories must be identical");
+}
+
+/// Threaded mirror of `crates/sim/tests/partitions_and_flows.rs`:
+/// crash → (resume) → partition → heal → recovery on real threads, with
+/// the full history checked for linearizability.
+#[test]
+fn threads_crash_partition_heal_recovery() {
+    let n = 3;
+    let mut cfg = ClusterConfig::new(n);
+    cfg.op_timeout = Duration::from_millis(250);
+    let cluster = Cluster::new(cfg, move |id| Alg1::new(id, n));
+
+    // Healthy baseline.
+    cluster
+        .client(NodeId(0))
+        .write(unique_value(NodeId(0), 1))
+        .unwrap();
+
+    // Crash a minority: the survivors still form a majority.
+    cluster.crash(NodeId(2));
+    cluster
+        .client(NodeId(1))
+        .write(unique_value(NodeId(1), 1))
+        .unwrap();
+    cluster.resume(NodeId(2));
+
+    // Group partition: the singleton side has no majority and must block.
+    cluster.partition(&[&[NodeId(0)], &[NodeId(1), NodeId(2)]]);
+    assert_eq!(
+        cluster.client(NodeId(0)).write(unique_value(NodeId(0), 2)),
+        Err(ClusterError::Timeout),
+        "isolated minority must time out"
+    );
+    assert!(
+        cluster.messages_dropped() > 0,
+        "partition drops must be accounted"
+    );
+
+    // Heal: the previously isolated node recovers full service.
+    cluster.heal_partition();
+    cluster
+        .client(NodeId(0))
+        .write(unique_value(NodeId(0), 3))
+        .unwrap();
+    let view = cluster.client(NodeId(2)).snapshot().unwrap();
+    assert_eq!(view.value_of(NodeId(0)), Some(unique_value(NodeId(0), 3)));
+
+    let h = cluster.history();
+    cluster.shutdown();
+    let v = check(&h, n);
+    assert!(v.is_linearizable(), "{:?}", v.violations);
+}

@@ -60,7 +60,7 @@ fn run_and_check<P: Protocol>(
         } else {
             plan
         };
-        plan.apply(&mut sim);
+        sim.apply_plan(&plan);
     }
     // Crashed-without-resume ops may stay pending: bounded horizon.
     sim.run_until_idle(8_000_000);

@@ -18,9 +18,13 @@ fn run_mixed<P: Protocol>(
     let mut sim = Sim::new(cfg, mk);
     // With mid-run crashes some ops never complete and the driver cannot
     // stop on its own; 30M virtual µs is plenty for every surviving op.
-    let horizon = if faults.is_some() { 30_000_000 } else { 3_000_000_000 };
+    let horizon = if faults.is_some() {
+        30_000_000
+    } else {
+        3_000_000_000
+    };
     if let Some(plan) = faults {
-        plan.apply(&mut sim);
+        sim.apply_plan(&plan);
     }
     let mut driver = MixedDriver::new(n, wl);
     sim.run_with_driver(&mut driver, horizon);
@@ -211,7 +215,11 @@ fn self_stabilizing_protocols_linearizable_post_recovery() {
     for i in 0..n {
         let node = NodeId(i);
         let t = sim.now() + 1;
-        sim.invoke_at(t, node, sss_types::SnapshotOp::Write(sss_workload::unique_value(node, 900 + i as u64)));
+        sim.invoke_at(
+            t,
+            node,
+            sss_types::SnapshotOp::Write(sss_workload::unique_value(node, 900 + i as u64)),
+        );
         assert!(sim.run_until_idle(3_000_000_000), "barrier write at {node}");
     }
     // Post-recovery workload.

@@ -18,23 +18,20 @@ fn majority_side_keeps_serving_during_partition() {
     let n = 5;
     let mut sim = Sim::new(SimConfig::small(n).with_seed(1), move |id| Alg1::new(id, n));
     // {p0,p1,p2} | {p3,p4}
-    sim.partition(&[
-        &[NodeId(0), NodeId(1), NodeId(2)],
-        &[NodeId(3), NodeId(4)],
-    ]);
+    sim.partition(&[&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
     sim.invoke_at(10, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), 1)));
     sim.invoke_at(20, NodeId(1), SnapshotOp::Snapshot);
-    assert!(sim.run_until_idle(50_000_000), "majority side makes progress");
+    assert!(
+        sim.run_until_idle(50_000_000),
+        "majority side makes progress"
+    );
 }
 
 #[test]
 fn minority_side_blocks_until_heal() {
     let n = 5;
     let mut sim = Sim::new(SimConfig::small(n).with_seed(2), move |id| Alg1::new(id, n));
-    sim.partition(&[
-        &[NodeId(0), NodeId(1), NodeId(2)],
-        &[NodeId(3), NodeId(4)],
-    ]);
+    sim.partition(&[&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
     sim.invoke_at(10, NodeId(3), SnapshotOp::Write(unique_value(NodeId(3), 1)));
     assert!(!sim.run_until_idle(5_000_000), "minority blocks");
     sim.heal_partition();
@@ -48,17 +45,22 @@ fn writes_across_partition_are_linearizable_after_heal() {
         Alg3::new(id, n, Alg3Config { delta: 1 })
     });
     // Majority-side traffic during the partition.
-    sim.partition(&[
-        &[NodeId(0), NodeId(1), NodeId(2)],
-        &[NodeId(3), NodeId(4)],
-    ]);
+    sim.partition(&[&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
     for seq in 1..=3u64 {
         let t = sim.now() + 1;
-        sim.invoke_at(t, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), seq)));
+        sim.invoke_at(
+            t,
+            NodeId(0),
+            SnapshotOp::Write(unique_value(NodeId(0), seq)),
+        );
         assert!(sim.run_until_idle(50_000_000));
     }
     // Minority writes queue up (pending).
-    sim.invoke_at(sim.now() + 1, NodeId(4), SnapshotOp::Write(unique_value(NodeId(4), 1)));
+    sim.invoke_at(
+        sim.now() + 1,
+        NodeId(4),
+        SnapshotOp::Write(unique_value(NodeId(4), 1)),
+    );
     sim.run_until(sim.now() + 2_000);
     // Heal: everything completes; history is linearizable.
     sim.heal_partition();
@@ -88,16 +90,17 @@ fn repeated_partition_churn_preserves_safety() {
     let mut seq = 0u64;
     for round in 0..4 {
         if round % 2 == 0 {
-            sim.partition(&[
-                &[NodeId(0), NodeId(1), NodeId(2)],
-                &[NodeId(3), NodeId(4)],
-            ]);
+            sim.partition(&[&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
         } else {
             sim.heal_partition();
         }
         seq += 1;
         let t = sim.now() + 1;
-        sim.invoke_at(t, NodeId(1), SnapshotOp::Write(unique_value(NodeId(1), seq)));
+        sim.invoke_at(
+            t,
+            NodeId(1),
+            SnapshotOp::Write(unique_value(NodeId(1), seq)),
+        );
         sim.invoke_at(t + 5, NodeId(2), SnapshotOp::Snapshot);
         assert!(sim.run_until_idle(100_000_000), "round {round}");
     }

@@ -16,10 +16,9 @@ fn unique(node: usize, seq: u64) -> u64 {
 #[test]
 fn concurrent_clients_with_loss_are_linearizable() {
     let n = 3;
-    let cluster = Cluster::new(
-        ClusterConfig::new(n).with_chaos(0.15, 0.1),
-        move |id| Alg1::new(id, n),
-    );
+    let cluster = Cluster::new(ClusterConfig::new(n).with_chaos(0.15, 0.1), move |id| {
+        Alg1::new(id, n)
+    });
     let mut joins = Vec::new();
     for i in 0..n {
         let client = cluster.client(NodeId(i));
@@ -94,10 +93,10 @@ fn crash_resume_cycles_on_real_threads() {
     cfg.op_timeout = Duration::from_secs(10);
     let cluster = Cluster::new(cfg, move |id| Alg1::new(id, n));
     for round in 0..3 {
-        let victim = NodeId((round % n) as usize);
+        let victim = NodeId(round % n);
         cluster.crash(victim);
         // Any non-crashed client still finishes (majority alive).
-        let writer = NodeId(((round + 1) % n) as usize);
+        let writer = NodeId((round + 1) % n);
         cluster
             .client(writer)
             .write(unique(writer.index(), round as u64 + 1))
@@ -116,10 +115,7 @@ fn partition_then_heal_on_real_threads() {
     let mut cfg = ClusterConfig::new(n);
     cfg.op_timeout = Duration::from_millis(250);
     let cluster = Cluster::new(cfg, move |id| Alg1::new(id, n));
-    cluster.partition(&[
-        &[NodeId(0), NodeId(1), NodeId(2)],
-        &[NodeId(3), NodeId(4)],
-    ]);
+    cluster.partition(&[&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
     cluster.client(NodeId(0)).write(unique(0, 1)).unwrap();
     assert_eq!(
         cluster.client(NodeId(4)).write(unique(4, 1)),

@@ -29,7 +29,11 @@ where
         }
     }
     let t = sim.now() + 1;
-    sim.invoke_at(t, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), 999)));
+    sim.invoke_at(
+        t,
+        NodeId(0),
+        SnapshotOp::Write(unique_value(NodeId(0), 999)),
+    );
     sim.invoke_at(t + 1, NodeId(n - 1), SnapshotOp::Snapshot);
     if !sim.run_until_idle(4_000_000_000) {
         return Err("operations did not terminate after recovery".into());

@@ -23,7 +23,10 @@ impl Driver<Alg3> for SnapStream {
         ctl.invoke(NodeId(0), SnapshotOp::Snapshot);
         for k in 1..ctl.n() {
             self.seqs[k] += 1;
-            ctl.invoke(NodeId(k), SnapshotOp::Write(unique_value(NodeId(k), self.seqs[k])));
+            ctl.invoke(
+                NodeId(k),
+                SnapshotOp::Write(unique_value(NodeId(k), self.seqs[k])),
+            );
         }
     }
     fn on_completion(
@@ -45,7 +48,10 @@ impl Driver<Alg3> for SnapStream {
             OpResponse::WriteDone => {
                 let k = node.index();
                 self.seqs[k] += 1;
-                ctl.invoke(node, SnapshotOp::Write(unique_value(NodeId(k), self.seqs[k])));
+                ctl.invoke(
+                    node,
+                    SnapshotOp::Write(unique_value(NodeId(k), self.seqs[k])),
+                );
             }
         }
     }
@@ -95,7 +101,11 @@ fn alg1_writes_terminate_under_snapshot_pressure() {
         sim.invoke_at(5 + i as u64, NodeId(i), SnapshotOp::Snapshot);
     }
     for s in 0..5u64 {
-        sim.invoke_at(10 + s * 30, NodeId(0), SnapshotOp::Write(unique_value(NodeId(0), s + 1)));
+        sim.invoke_at(
+            10 + s * 30,
+            NodeId(0),
+            SnapshotOp::Write(unique_value(NodeId(0), s + 1)),
+        );
     }
     assert!(sim.run_until_idle(500_000_000));
 }

@@ -1,0 +1,162 @@
+//! A minimal, offline, API-compatible subset of `criterion` (0.5
+//! surface), vendored so the workspace builds without a crates.io
+//! registry. It is a *functional* harness — each benchmark closure is
+//! timed over a handful of iterations and a mean is printed — but it
+//! performs none of criterion's statistics, warm-up, or reporting.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark case.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter display.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            total_ns: 0,
+        };
+        f(&mut b);
+        let mean = b.total_ns / b.iters.max(1) as u128;
+        println!("{}/{id}: {} ns/iter ({} iters)", self.name, mean, b.iters);
+    }
+
+    /// Runs a benchmark by name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner (stub: a plain function calling
+/// each registered benchmark with a fresh [`Criterion`]).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 3)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,127 @@
+//! A minimal, offline, API-compatible subset of `crossbeam` (0.8
+//! surface), vendored so the workspace builds without a crates.io
+//! registry. Only the `channel` module pieces this workspace uses are
+//! provided, implemented over `std::sync::mpsc`.
+
+/// Multi-producer channels with timeouts (subset of `crossbeam-channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a channel. Unifies std's `Sender`/`SyncSender`
+    /// behind crossbeam's single-type API.
+    pub enum Sender<T> {
+        /// Unbounded (asynchronous) sender.
+        Unbounded(mpsc::Sender<T>),
+        /// Bounded (synchronous) sender.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking if the channel is bounded and full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(msg),
+                Sender::Bounded(tx) => tx.send(msg),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.rx.recv()
+        }
+
+        /// Blocks until a message arrives, the timeout elapses, or all
+        /// senders disconnect.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { rx })
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv().unwrap(), 7);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(1u8).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(1));
+        }
+
+        #[test]
+        fn disconnect_is_reported() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn senders_work_across_threads() {
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            drop(tx);
+            let mut got: Vec<u64> = std::iter::from_fn(|| rx.recv().ok()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! A minimal, offline, API-compatible subset of `proptest` (1.x
+//! surface), vendored so the workspace builds without a crates.io
+//! registry. It runs each property over `ProptestConfig::cases`
+//! deterministically-seeded random inputs (seed derived from the test
+//! name, so failures reproduce run-to-run). No shrinking, no
+//! persistence files — a failing case panics with its case index and
+//! seed.
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// A boxed sampling function, as stored in [`Union`] arms.
+    pub type Sampler<V> = Box<dyn Fn(&mut StdRng) -> V>;
+
+    /// Weighted choice among boxed strategies (backs `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, Sampler<V>)>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from `(weight, sampler)` arms.
+        pub fn new(arms: Vec<(u32, Sampler<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.gen_range(0..total.max(1));
+            for (w, f) in &self.arms {
+                if pick < *w {
+                    return f(rng);
+                }
+                pick -= w;
+            }
+            (self.arms[0].1)(rng)
+        }
+    }
+
+    /// Boxes a strategy's sampler for use in [`Union`] arms.
+    pub fn dyn_arm<S: Strategy + 'static>(s: S) -> Sampler<S::Value> {
+        Box::new(move |rng| s.sample(rng))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A size specification: an exact length or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` (returned by [`vec`]).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-runner plumbing used by the `proptest!` macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (subset: case count only).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError { msg }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `case` for `config.cases` deterministically-seeded inputs,
+    /// panicking (test failure) on the first erroring case.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        for i in 0..config.cases {
+            let seed = base.wrapping_add(i as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest '{name}' failed at case {i} (seed {seed:#x}): {e}");
+            }
+        }
+    }
+}
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]`-attributed zero-arg function running the body
+/// over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run(stringify!($name), &config, |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __pt_rng);)*
+                    let __pt_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __pt_result
+                });
+            }
+        )*
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies with a common
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::dyn_arm($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Asserts a condition inside a property body (fails the case, not the
+/// process, on violation).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pt_l == *__pt_r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __pt_l,
+            __pt_r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        $crate::prop_assert!(*__pt_l == *__pt_r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pt_l != *__pt_r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __pt_l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_pairs() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..10, 0u64..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Sampled ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..9, y in 0usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuples_and_maps(p in small_pairs().prop_map(|(a, b)| a + b)) {
+            prop_assert!(p <= 18);
+        }
+
+        #[test]
+        fn vectors_obey_size(v in collection::vec(0u8..4, 2..5), w in collection::vec(any::<bool>(), 3usize)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn oneof_respects_arms(z in prop_oneof![3 => 0u64..5, 1 => Just(99u64)]) {
+            prop_assert!(z < 5 || z == 99);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(clippy::assertions_on_constants)]
+            fn always_fails(_x in 0u64..2) {
+                prop_assert!(false, "boom");
+            }
+        }
+        always_fails();
+    }
+}
