@@ -16,8 +16,8 @@
 use rand::RngCore;
 use sss_quorum::AckTracker;
 use sss_types::{
-    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg,
-    Protocol, ProtocolStats, RegArray, SnapshotOp, Tagged, Value,
+    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, Payload, ProcessSet,
+    ProtoMsg, Protocol, ProtocolStats, RegArray, SharedReg, SnapshotOp, Tagged, Value,
 };
 use std::collections::VecDeque;
 
@@ -27,24 +27,24 @@ pub enum Dgfr1Msg {
     /// Client-side `WRITE(lReg)` broadcast.
     Write {
         /// The writer's register array at invocation.
-        reg: RegArray,
+        reg: Payload,
     },
     /// Server-side `WRITEack(reg)` reply.
     WriteAck {
         /// The server's merged register array.
-        reg: RegArray,
+        reg: Payload,
     },
     /// Client-side `SNAPSHOT(reg, ssn)` broadcast.
     Snapshot {
         /// The querier's register array.
-        reg: RegArray,
+        reg: Payload,
         /// The snapshot query index.
         ssn: u64,
     },
     /// Server-side `SNAPSHOTack(reg, ssn)` reply.
     SnapshotAck {
         /// The server's merged register array.
-        reg: RegArray,
+        reg: Payload,
         /// Echo of the query index.
         ssn: u64,
     },
@@ -89,14 +89,18 @@ impl ArbitraryMsg for Dgfr1Msg {
             a
         };
         match rng.next_u32() % 4 {
-            0 => Dgfr1Msg::Write { reg: arr(rng) },
-            1 => Dgfr1Msg::WriteAck { reg: arr(rng) },
+            0 => Dgfr1Msg::Write {
+                reg: arr(rng).into(),
+            },
+            1 => Dgfr1Msg::WriteAck {
+                reg: arr(rng).into(),
+            },
             2 => Dgfr1Msg::Snapshot {
-                reg: arr(rng),
+                reg: arr(rng).into(),
                 ssn: rng.next_u64() % (max_index + 1),
             },
             _ => Dgfr1Msg::SnapshotAck {
-                reg: arr(rng),
+                reg: arr(rng).into(),
                 ssn: rng.next_u64() % (max_index + 1),
             },
         }
@@ -106,14 +110,14 @@ impl ArbitraryMsg for Dgfr1Msg {
 #[derive(Clone, Debug)]
 struct WriteOp {
     op: OpId,
-    lreg: RegArray,
+    lreg: Payload,
     acks: ProcessSet,
 }
 
 #[derive(Clone, Debug)]
 struct SnapOp {
     op: OpId,
-    prev: RegArray,
+    prev: Payload,
     acks: AckTracker,
 }
 
@@ -131,7 +135,7 @@ pub struct Dgfr1 {
     n: usize,
     ts: u64,
     ssn: u64,
-    reg: RegArray,
+    reg: SharedReg,
     active: Option<Active>,
     pending: VecDeque<(OpId, SnapshotOp)>,
     rounds: u64,
@@ -146,7 +150,7 @@ impl Dgfr1 {
             n,
             ts: 0,
             ssn: 0,
-            reg: RegArray::bottom(n),
+            reg: SharedReg::bottom(n),
             active: None,
             pending: VecDeque::new(),
             rounds: 0,
@@ -173,7 +177,7 @@ impl Dgfr1 {
     fn start_write(&mut self, op_id: OpId, v: Value, fx: &mut Effects<Dgfr1Msg>) {
         self.ts += 1;
         self.reg.set(self.id, Tagged::new(v, self.ts));
-        let lreg = self.reg.clone();
+        let lreg = self.reg.payload();
         fx.broadcast(self.n, &Dgfr1Msg::Write { reg: lreg.clone() });
         self.active = Some(Active::Write(WriteOp {
             op: op_id,
@@ -183,14 +187,14 @@ impl Dgfr1 {
     }
 
     fn start_snapshot_iteration(&mut self, op_id: OpId, fx: &mut Effects<Dgfr1Msg>) {
-        let prev = self.reg.clone();
+        let prev = self.reg.payload();
         self.ssn += 1;
         let mut acks = AckTracker::new(self.n);
         acks.arm(self.ssn);
         fx.broadcast(
             self.n,
             &Dgfr1Msg::Snapshot {
-                reg: self.reg.clone(),
+                reg: prev.clone(),
                 ssn: self.ssn,
             },
         );
@@ -237,9 +241,10 @@ impl Protocol for Dgfr1 {
                 fx.broadcast(self.n, &msg);
             }
             Some(Active::Snap(s)) => {
+                let ssn = s.acks.tag();
                 let msg = Dgfr1Msg::Snapshot {
-                    reg: self.reg.clone(),
-                    ssn: s.acks.tag(),
+                    reg: self.reg.payload(),
+                    ssn,
                 };
                 fx.broadcast(self.n, &msg);
             }
@@ -251,22 +256,13 @@ impl Protocol for Dgfr1 {
         match msg {
             Dgfr1Msg::Write { reg } => {
                 self.reg.merge_from(&reg);
-                fx.send(
-                    from,
-                    Dgfr1Msg::WriteAck {
-                        reg: self.reg.clone(),
-                    },
-                );
+                let reg = self.reg.payload();
+                fx.send(from, Dgfr1Msg::WriteAck { reg });
             }
             Dgfr1Msg::Snapshot { reg, ssn } => {
                 self.reg.merge_from(&reg);
-                fx.send(
-                    from,
-                    Dgfr1Msg::SnapshotAck {
-                        reg: self.reg.clone(),
-                        ssn,
-                    },
-                );
+                let reg = self.reg.payload();
+                fx.send(from, Dgfr1Msg::SnapshotAck { reg, ssn });
             }
             Dgfr1Msg::WriteAck { reg } => {
                 let accepted = match &mut self.active {
@@ -299,8 +295,8 @@ impl Protocol for Dgfr1 {
                         _ => None,
                     };
                     if let Some((op, prev)) = majority {
-                        if prev == self.reg {
-                            let view = (&self.reg).into();
+                        if *prev == *self.reg {
+                            let view = (&*self.reg).into();
                             self.finish_active(OpResponse::Snapshot(view), fx);
                         } else {
                             self.start_snapshot_iteration(op, fx);
@@ -339,12 +335,12 @@ impl Protocol for Dgfr1 {
         match &mut self.active {
             Some(Active::Write(w)) => {
                 w.acks.clear();
-                w.lreg = self.reg.clone();
+                w.lreg = self.reg.payload();
             }
             Some(Active::Snap(s)) => {
                 let tag = rng.next_u64() % M;
                 s.acks.arm(tag);
-                s.prev = self.reg.clone();
+                s.prev = self.reg.payload();
             }
             None => {}
         }
@@ -380,7 +376,7 @@ mod tests {
         let mut a = Dgfr1::new(NodeId(0), 3);
         let mut e = Effects::new();
         a.invoke(OpId(1), SnapshotOp::Write(4), &mut e);
-        let lreg = a.reg().clone();
+        let lreg: Payload = a.reg().clone().into();
         a.on_message(NodeId(1), Dgfr1Msg::WriteAck { reg: lreg.clone() }, &mut e);
         a.on_message(NodeId(2), Dgfr1Msg::WriteAck { reg: lreg }, &mut e);
         assert_eq!(e.take_completions().len(), 1);
@@ -422,7 +418,7 @@ mod tests {
         let mut a = Dgfr1::new(NodeId(0), 3);
         let mut e = Effects::new();
         a.invoke(OpId(5), SnapshotOp::Snapshot, &mut e);
-        let reg = a.reg().clone();
+        let reg: Payload = a.reg().clone().into();
         a.on_message(
             NodeId(1),
             Dgfr1Msg::SnapshotAck {

@@ -18,8 +18,9 @@
 use rand::RngCore;
 use sss_quorum::{RbId, RbMsg, ReliableBroadcast};
 use sss_types::{
-    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg,
-    Protocol, ProtocolStats, RegArray, SnapshotOp, SnapshotView, Tagged, Value,
+    reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, Payload, ProcessSet,
+    ProtoMsg, Protocol, ProtocolStats, RegArray, SharedReg, SnapshotOp, SnapshotView, Tagged,
+    Value,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -53,19 +54,19 @@ pub enum Dgfr2Msg {
     /// `WRITE(lReg)`.
     Write {
         /// The writer's register array at invocation.
-        reg: RegArray,
+        reg: Payload,
     },
     /// `WRITEack(reg)`.
     WriteAck {
         /// The server's merged register array.
-        reg: RegArray,
+        reg: Payload,
     },
     /// `SNAPSHOT(s, t, reg, ssn)` (line 56).
     Snapshot {
         /// The task being helped.
         task: SnapTask,
         /// The querier's register array.
-        reg: RegArray,
+        reg: Payload,
         /// The query index.
         ssn: u64,
     },
@@ -74,7 +75,7 @@ pub enum Dgfr2Msg {
         /// The task being helped.
         task: SnapTask,
         /// The server's merged register array.
-        reg: RegArray,
+        reg: Payload,
         /// Echo of the query index.
         ssn: u64,
     },
@@ -128,13 +129,13 @@ impl ArbitraryMsg for Dgfr2Msg {
             );
         }
         match rng.next_u32() % 3 {
-            0 => Dgfr2Msg::Write { reg: a },
+            0 => Dgfr2Msg::Write { reg: a.into() },
             1 => Dgfr2Msg::Snapshot {
                 task: (
                     (rng.next_u32() as usize) % n,
                     rng.next_u64() % (max_index + 1),
                 ),
-                reg: a,
+                reg: a.into(),
                 ssn: rng.next_u64() % (max_index + 1),
             },
             _ => Dgfr2Msg::Rb(RbMsg::Flood {
@@ -154,14 +155,14 @@ impl ArbitraryMsg for Dgfr2Msg {
 #[derive(Clone, Debug)]
 struct WriteOp {
     op: OpId,
-    lreg: RegArray,
+    lreg: Payload,
     acks: ProcessSet,
 }
 
 #[derive(Clone, Debug)]
 struct BaseSnap {
     task: SnapTask,
-    prev: RegArray,
+    prev: Payload,
     ssn: u64,
     acks: ProcessSet,
 }
@@ -174,7 +175,7 @@ pub struct Dgfr2 {
     ts: u64,
     ssn: u64,
     sns: u64,
-    reg: RegArray,
+    reg: SharedReg,
     /// The unbounded `repSnap[k, s]` table (line 35).
     rep_snap: HashMap<SnapTask, SnapshotView>,
     /// Delivered but unfinished tasks, ordered oldest-first.
@@ -198,7 +199,7 @@ impl Dgfr2 {
             ts: 0,
             ssn: 0,
             sns: 0,
-            reg: RegArray::bottom(n),
+            reg: SharedReg::bottom(n),
             rep_snap: HashMap::new(),
             tasks: BTreeSet::new(),
             rb: ReliableBroadcast::new(id, n),
@@ -230,7 +231,7 @@ impl Dgfr2 {
     fn start_write(&mut self, op: OpId, v: Value, fx: &mut Effects<Dgfr2Msg>) {
         self.ts += 1;
         self.reg.set(self.id, Tagged::new(v, self.ts));
-        let lreg = self.reg.clone();
+        let lreg = self.reg.payload();
         fx.broadcast(self.n, &Dgfr2Msg::Write { reg: lreg.clone() });
         self.write = Some(WriteOp {
             op,
@@ -242,12 +243,12 @@ impl Dgfr2 {
     /// Lines 53–57: one outer iteration of `baseSnapshot`.
     fn outer_iteration(&mut self, task: SnapTask, fx: &mut Effects<Dgfr2Msg>) {
         self.ssn += 1;
-        let prev = self.reg.clone();
+        let prev = self.reg.payload();
         fx.broadcast(
             self.n,
             &Dgfr2Msg::Snapshot {
                 task,
-                reg: self.reg.clone(),
+                reg: prev.clone(),
                 ssn: self.ssn,
             },
         );
@@ -358,10 +359,11 @@ impl Protocol for Dgfr2 {
         }
         if self.write.is_none() {
             if let Some(b) = &self.base {
+                let (task, ssn) = (b.task, b.ssn);
                 let msg = Dgfr2Msg::Snapshot {
-                    task: b.task,
-                    reg: self.reg.clone(),
-                    ssn: b.ssn,
+                    task,
+                    reg: self.reg.payload(),
+                    ssn,
                 };
                 fx.broadcast(self.n, &msg);
             } else {
@@ -374,12 +376,8 @@ impl Protocol for Dgfr2 {
         match msg {
             Dgfr2Msg::Write { reg } => {
                 self.reg.merge_from(&reg);
-                fx.send(
-                    from,
-                    Dgfr2Msg::WriteAck {
-                        reg: self.reg.clone(),
-                    },
-                );
+                let reg = self.reg.payload();
+                fx.send(from, Dgfr2Msg::WriteAck { reg });
             }
             Dgfr2Msg::WriteAck { reg } => {
                 let accepted = match &mut self.write {
@@ -398,14 +396,8 @@ impl Protocol for Dgfr2 {
             }
             Dgfr2Msg::Snapshot { task, reg, ssn } => {
                 self.reg.merge_from(&reg);
-                fx.send(
-                    from,
-                    Dgfr2Msg::SnapshotAck {
-                        task,
-                        reg: self.reg.clone(),
-                        ssn,
-                    },
-                );
+                let reg = self.reg.payload();
+                fx.send(from, Dgfr2Msg::SnapshotAck { task, reg, ssn });
             }
             Dgfr2Msg::SnapshotAck { task, reg, ssn } => {
                 let accepted = match &mut self.base {
@@ -419,9 +411,9 @@ impl Protocol for Dgfr2 {
                         _ => None,
                     };
                     if let Some((task, prev)) = state {
-                        if prev == self.reg {
+                        if *prev == *self.reg {
                             // Line 59: reliably broadcast END.
-                            let view: SnapshotView = (&self.reg).into();
+                            let view: SnapshotView = (&*self.reg).into();
                             let mut out = Vec::new();
                             let (_, payload) = self.rb.broadcast(
                                 RbPayload::End {
@@ -502,7 +494,7 @@ impl Protocol for Dgfr2 {
         }
         if let Some(w) = &mut self.write {
             w.acks.clear();
-            w.lreg = self.reg.clone();
+            w.lreg = self.reg.payload();
         }
         self.base = None;
     }
@@ -574,7 +566,7 @@ mod tests {
         a.invoke(OpId(1), SnapshotOp::Snapshot, &mut e);
         a.on_round(&mut e); // starts baseSnapshot(0, 1) with ssn=1
         e.take_sends();
-        let reg = a.reg().clone();
+        let reg: Payload = a.reg().clone().into();
         a.on_message(
             NodeId(1),
             Dgfr2Msg::SnapshotAck {

@@ -20,8 +20,8 @@
 
 use rand::RngCore;
 use sss_types::{
-    cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse,
-    ProcessSet, ProtoMsg, Protocol, ProtocolStats, RegArray, SnapshotOp, Tagged, Value,
+    cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, Payload,
+    ProcessSet, ProtoMsg, Protocol, ProtocolStats, RegArray, SharedReg, SnapshotOp, Tagged, Value,
 };
 use std::collections::VecDeque;
 
@@ -46,14 +46,14 @@ pub enum StackedMsg {
     /// Reply to `Query`.
     QueryAck {
         /// The server's register array.
-        reg: RegArray,
+        reg: Payload,
         /// Echo of the query id.
         qid: u64,
     },
     /// Collect phase 2: write back the merged array (read must write).
     WriteBack {
         /// The merged array being written back.
-        reg: RegArray,
+        reg: Payload,
         /// The collect's query id.
         qid: u64,
     },
@@ -112,11 +112,11 @@ impl ArbitraryMsg for StackedMsg {
                 qid: rng.next_u64() % (max_index + 1),
             },
             2 => StackedMsg::QueryAck {
-                reg: a,
+                reg: a.into(),
                 qid: rng.next_u64() % (max_index + 1),
             },
             _ => StackedMsg::WriteBack {
-                reg: a,
+                reg: a.into(),
                 qid: rng.next_u64() % (max_index + 1),
             },
         }
@@ -129,7 +129,7 @@ enum CollectPhase {
     /// Querying a majority.
     Query { acc: RegArray, acks: ProcessSet },
     /// Writing the merged array back to a majority.
-    WriteBack { acc: RegArray, acks: ProcessSet },
+    WriteBack { acc: Payload, acks: ProcessSet },
 }
 
 #[derive(Clone, Debug)]
@@ -149,7 +149,7 @@ enum Active {
     Snap {
         op: OpId,
         /// The previous collect's result; `None` before the first collect.
-        first: Option<RegArray>,
+        first: Option<Payload>,
         collect: Collect,
     },
 }
@@ -162,7 +162,7 @@ pub struct Stacked {
     n: usize,
     ts: u64,
     next_qid: u64,
-    reg: RegArray,
+    reg: SharedReg,
     active: Option<Active>,
     pending: VecDeque<(OpId, SnapshotOp)>,
     rounds: u64,
@@ -177,7 +177,7 @@ impl Stacked {
             n,
             ts: 0,
             next_qid: 0,
-            reg: RegArray::bottom(n),
+            reg: SharedReg::bottom(n),
             active: None,
             pending: VecDeque::new(),
             rounds: 0,
@@ -222,7 +222,7 @@ impl Stacked {
         Collect {
             qid: self.next_qid,
             phase: CollectPhase::Query {
-                acc: self.reg.clone(),
+                acc: self.reg.to_reg(),
                 acks: ProcessSet::new(self.n),
             },
         }
@@ -240,14 +240,14 @@ impl Stacked {
     }
 
     /// Advances the snapshot after its current collect produced `result`.
-    fn collect_done(&mut self, result: RegArray, fx: &mut Effects<StackedMsg>) {
+    fn collect_done(&mut self, result: Payload, fx: &mut Effects<StackedMsg>) {
         let first = match &mut self.active {
             Some(Active::Snap { first, .. }) => first.take(),
             _ => unreachable!("collect without snapshot"),
         };
         match first {
             Some(prev) if prev == result => {
-                self.finish(OpResponse::Snapshot((&result).into()), fx);
+                self.finish(OpResponse::Snapshot((&*result).into()), fx);
             }
             _ => {
                 // First collect, or a dirty double collect: go again with
@@ -318,13 +318,8 @@ impl Protocol for Stacked {
                 }
             }
             StackedMsg::Query { qid } => {
-                fx.send(
-                    from,
-                    StackedMsg::QueryAck {
-                        reg: self.reg.clone(),
-                        qid,
-                    },
-                );
+                let reg = self.reg.payload();
+                fx.send(from, StackedMsg::QueryAck { reg, qid });
             }
             StackedMsg::QueryAck { reg, qid } => {
                 let ready = match &mut self.active {
@@ -347,6 +342,7 @@ impl Protocol for Stacked {
                 if let Some(acc) = ready {
                     // Phase 2: write the read value back before returning it.
                     self.reg.merge_from(&acc);
+                    let acc: Payload = acc.into();
                     if let Some(Active::Snap { collect, .. }) = &mut self.active {
                         collect.phase = CollectPhase::WriteBack {
                             acc: acc.clone(),
@@ -459,7 +455,7 @@ mod tests {
         let mut a = Stacked::new(NodeId(0), 3);
         let mut e = Effects::new();
         a.invoke(OpId(1), SnapshotOp::Snapshot, &mut e);
-        let reg = a.reg().clone();
+        let reg: Payload = a.reg().clone().into();
         // Collect 1, phase 1.
         a.on_message(
             NodeId(1),
@@ -509,9 +505,10 @@ mod tests {
         let mut a = Stacked::new(NodeId(0), 3);
         let mut e = Effects::new();
         a.invoke(OpId(1), SnapshotOp::Snapshot, &mut e);
-        let clean = a.reg().clone();
-        let mut moved = clean.clone();
+        let clean: Payload = a.reg().clone().into();
+        let mut moved = a.reg().clone();
         moved.set(NodeId(1), Tagged::new(4, 1));
+        let moved: Payload = moved.into();
         // Collect 1 returns the clean array.
         a.on_message(
             NodeId(1),

@@ -1,11 +1,11 @@
-//! Benchmark comparing the per-operation simulation cost of every
-//! protocol: one write + one snapshot on an idle 5-node system.
+//! Protocol-level benchmarks: per-operation simulation cost of every
+//! protocol, the simulator's raw event loop, and payload fan-out.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sss_baselines::{Dgfr1, Dgfr2, Stacked};
-use sss_core::{Alg1, Alg3, Alg3Config};
-use sss_sim::{Sim, SimConfig};
-use sss_types::{NodeId, Protocol, SnapshotOp};
+use sss_core::{Alg1, Alg1Msg, Alg3, Alg3Config};
+use sss_sim::{Driver, Sim, SimConfig};
+use sss_types::{Effects, NodeId, Payload, Protocol, RegArray, SnapshotOp, Tagged};
 
 fn one_round_trip<P: Protocol>(mk: impl FnMut(NodeId) -> P) {
     let mut sim = Sim::new(SimConfig::small(5).with_seed(6), mk);
@@ -41,5 +41,59 @@ fn bench_protocols(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_protocols);
+/// A driver that invokes nothing: the sim runs on gossip and rounds
+/// alone, so the measurement isolates the event queue, link model, and
+/// message plane from client-side operation logic.
+struct Idle;
+impl<P: Protocol> Driver<P> for Idle {}
+
+/// The simulator's hot loop: schedule → pop → deliver, with Algorithm
+/// 1's O(n²)-per-cycle gossip as the workload. Tracks the calendar
+/// event queue and the `Effects` recycling on the runner.
+fn bench_sim_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_event_loop");
+    g.sample_size(30);
+    for n in [8usize, 32] {
+        g.bench_function(&format!("gossip_n{n}"), |b| {
+            b.iter(|| {
+                let cfg = SimConfig::small(n).with_seed(7);
+                let mut sim = Sim::new(cfg, move |id| Alg1::new(id, n));
+                sim.run_with_driver(&mut Idle, 2_000);
+                black_box(sim.metrics().total_sent());
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fan-out cost of one `WRITE(lReg)` broadcast: with `Payload` sharing
+/// this is n refcount bumps; a deep-copy message plane would clone
+/// O(ν·n) bits per recipient.
+fn bench_broadcast_payload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast_payload");
+    for n in [8usize, 64] {
+        let mut reg = RegArray::bottom(n);
+        for k in 0..n {
+            reg.set(NodeId(k), Tagged::new(k as u64, 1 + k as u64));
+        }
+        let msg = Alg1Msg::Write {
+            reg: Payload::new(reg),
+        };
+        g.bench_function(&format!("write_n{n}"), |b| {
+            let mut fx = Effects::new();
+            b.iter(|| {
+                fx.broadcast(n, black_box(&msg));
+                black_box(fx.drain_sends().count());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocols,
+    bench_sim_event_loop,
+    bench_broadcast_payload
+);
 criterion_main!(benches);

@@ -1,0 +1,353 @@
+//! E14 — Message-plane throughput: events/sec and bytes-cloned under a
+//! gossip-heavy write storm, for n ∈ {8, 16, 32, 64}, on both backends.
+//!
+//! This is the tracking benchmark behind the zero-copy message plane:
+//! every node writes back-to-back while Algorithm 1's gossip floods
+//! O(n²) messages per cycle, so per-event cost is dominated by payload
+//! handling. Results are written to `BENCH_throughput.json` at the repo
+//! root so subsequent PRs can track the trajectory:
+//!
+//! * `baseline` — the pre-optimization numbers (recorded once with
+//!   `--record-baseline`, then preserved verbatim on every rerun);
+//! * `current` — the numbers from the latest default run.
+//!
+//! Event counting: on the simulator an event is one processed round or
+//! one message delivery; on the threaded runtime (no per-message
+//! counters) it is one executed round or one completed operation.
+//!
+//! Each configuration is measured three times and the fastest run is
+//! kept — a minimum-noise estimator, since on a shared/virtualized box
+//! external interference only ever slows a run down, never speeds it up.
+//!
+//! Modes:
+//! * default — full sweep, rewrites the `current` section;
+//! * `--record-baseline` — full sweep, rewrites both sections;
+//! * `--smoke` — CI gate: re-measures the smallest configuration on the
+//!   simulator, validates `BENCH_throughput.json`, and fails (exit 1) if
+//!   throughput regressed more than 30% below the committed baseline;
+//! * `--backend {sim,threads,both}` — restrict the full sweep.
+
+use sss_bench::BackendChoice;
+use sss_core::Alg1;
+use sss_runtime::{Cluster, ClusterConfig};
+use sss_sim::{Ctl, Driver, Sim, SimConfig};
+use sss_types::{clone_stats, NodeId, OpId, OpResponse, Protocol, SnapshotOp};
+use std::time::{Duration, Instant};
+
+const SIZES: &[usize] = &[8, 16, 32, 64];
+const RESULT_PATH: &str = "BENCH_throughput.json";
+/// Regression tolerance of the `--smoke` gate, relative to baseline.
+const SMOKE_TOLERANCE: f64 = 0.70;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+struct Row {
+    backend: String,
+    n: usize,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    deep_clones: u64,
+    cells_copied: u64,
+    bytes_cloned: u64,
+}
+
+/// Virtual-time budget for one simulator run: events per interval grow
+/// ~n², so shrink the horizon accordingly for comparable event totals.
+fn sim_horizon(n: usize) -> u64 {
+    (8_000_000 / (n * n) as u64).max(2_000)
+}
+
+/// Closed-loop write storm: every node writes back-to-back, forever.
+struct WriteStorm {
+    seqs: Vec<u64>,
+}
+
+impl WriteStorm {
+    fn new(n: usize) -> Self {
+        WriteStorm { seqs: vec![0; n] }
+    }
+    fn next_write(&mut self, node: NodeId) -> SnapshotOp {
+        self.seqs[node.index()] += 1;
+        SnapshotOp::Write(sss_workload::unique_value(node, self.seqs[node.index()]))
+    }
+}
+
+impl<P: Protocol> Driver<P> for WriteStorm {
+    fn init(&mut self, ctl: &mut Ctl<'_, P::Msg>) {
+        for k in 0..ctl.n() {
+            let op = self.next_write(NodeId(k));
+            ctl.invoke(NodeId(k), op);
+        }
+    }
+    fn on_completion(
+        &mut self,
+        node: NodeId,
+        _id: OpId,
+        _resp: &OpResponse,
+        ctl: &mut Ctl<'_, P::Msg>,
+    ) {
+        let op = self.next_write(node);
+        ctl.invoke(node, op);
+    }
+}
+
+/// Repetitions per configuration; the fastest is kept.
+const REPS: usize = 3;
+
+fn best_of(measure: impl Fn() -> Row) -> Row {
+    (0..REPS)
+        .map(|_| measure())
+        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+        .expect("REPS > 0")
+}
+
+fn measure_sim(n: usize) -> Row {
+    let cfg = SimConfig::small(n).with_seed(0xE14 + n as u64);
+    let mut sim = Sim::new(cfg, move |id| Alg1::new(id, n));
+    let mut driver = WriteStorm::new(n);
+    clone_stats::reset();
+    let start = Instant::now();
+    sim.run_with_driver(&mut driver, sim_horizon(n));
+    let wall = start.elapsed().as_secs_f64();
+    let m = sim.metrics();
+    let delivered: u64 = m.kinds().map(|(_, c)| c.delivered).sum();
+    let events = m.rounds + delivered;
+    finish_row("sim", n, events, wall, cfg.nu_bits)
+}
+
+fn measure_threads(n: usize) -> Row {
+    let cfg = ClusterConfig::new(n);
+    let cluster = Cluster::new(cfg, move |id| Alg1::new(id, n));
+    clone_stats::reset();
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(400);
+    let mut joins = Vec::new();
+    for k in 0..n {
+        let client = cluster.client(NodeId(k));
+        joins.push(std::thread::spawn(move || {
+            let mut seq = 0u64;
+            let mut done = 0u64;
+            while Instant::now() < deadline {
+                seq += 1;
+                if client
+                    .write(sss_workload::unique_value(NodeId(k), seq))
+                    .is_ok()
+                {
+                    done += 1;
+                }
+            }
+            done
+        }));
+    }
+    let ops: u64 = joins.into_iter().map(|j| j.join().expect("writer")).sum();
+    let wall = start.elapsed().as_secs_f64();
+    let rounds: u64 = cluster
+        .shutdown()
+        .into_iter()
+        .map(|p| p.stats().rounds)
+        .sum();
+    finish_row("threads", n, rounds + ops, wall, 64)
+}
+
+fn finish_row(backend: &str, n: usize, events: u64, wall: f64, nu_bits: u32) -> Row {
+    let deep_clones = clone_stats::deep_clones();
+    let cells_copied = clone_stats::cells_copied();
+    Row {
+        backend: backend.to_string(),
+        n,
+        events,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall.max(1e-9),
+        deep_clones,
+        cells_copied,
+        bytes_cloned: cells_copied * (nu_bits as u64 + 64) / 8,
+    }
+}
+
+// ----- BENCH_throughput.json (no serde: tiny hand-rolled format) -------
+
+fn render(baseline: &[Row], current: &[Row]) -> String {
+    let section = |rows: &[Row]| {
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "    {{\"backend\": \"{}\", \"n\": {}, \"events\": {}, \"wall_secs\": {:.4}, \
+                     \"events_per_sec\": {:.1}, \"deep_clones\": {}, \"cells_copied\": {}, \
+                     \"bytes_cloned\": {}}}",
+                    r.backend,
+                    r.n,
+                    r.events,
+                    r.wall_secs,
+                    r.events_per_sec,
+                    r.deep_clones,
+                    r.cells_copied,
+                    r.bytes_cloned
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    format!(
+        "{{\n  \"benchmark\": \"e14_throughput\",\n  \"workload\": \"gossip-heavy write storm (Alg1, all nodes writing closed-loop)\",\n  \"baseline\": [\n{}\n  ],\n  \"current\": [\n{}\n  ]\n}}\n",
+        section(baseline),
+        section(current)
+    )
+}
+
+fn parse_section(json: &str, name: &str) -> Option<Vec<Row>> {
+    let key = format!("\"{name}\"");
+    let start = json.find(&key)?;
+    let rest = &json[start + key.len()..];
+    let open = rest.find('[')?;
+    let close = rest[open..].find(']')? + open;
+    let body = &rest[open + 1..close];
+    let mut rows = Vec::new();
+    for obj in body.split('}') {
+        let Some(brace) = obj.find('{') else { continue };
+        let obj = &obj[brace + 1..];
+        let backend = parse_str(obj, "backend")?;
+        rows.push(Row {
+            backend,
+            n: parse_num(obj, "n")? as usize,
+            events: parse_num(obj, "events")? as u64,
+            wall_secs: parse_num(obj, "wall_secs")?,
+            events_per_sec: parse_num(obj, "events_per_sec")?,
+            deep_clones: parse_num(obj, "deep_clones")? as u64,
+            cells_copied: parse_num(obj, "cells_copied")? as u64,
+            bytes_cloned: parse_num(obj, "bytes_cloned")? as u64,
+        });
+    }
+    Some(rows)
+}
+
+fn parse_num(obj: &str, key: &str) -> Option<f64> {
+    let key = format!("\"{key}\":");
+    let start = obj.find(&key)? + key.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_str(obj: &str, key: &str) -> Option<String> {
+    let key = format!("\"{key}\":");
+    let start = obj.find(&key)? + key.len();
+    let rest = obj[start..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn load_existing() -> Option<(Vec<Row>, Vec<Row>)> {
+    let json = std::fs::read_to_string(RESULT_PATH).ok()?;
+    Some((
+        parse_section(&json, "baseline")?,
+        parse_section(&json, "current")?,
+    ))
+}
+
+fn print_rows(rows: &[Row]) {
+    let mut t = sss_bench::Table::new(&[
+        "backend",
+        "n",
+        "events",
+        "wall (s)",
+        "events/sec",
+        "deep clones",
+        "bytes cloned",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.backend.clone(),
+            r.n.to_string(),
+            r.events.to_string(),
+            format!("{:.3}", r.wall_secs),
+            format!("{:.0}", r.events_per_sec),
+            r.deep_clones.to_string(),
+            r.bytes_cloned.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn smoke() -> ! {
+    let Some((baseline, current)) = load_existing() else {
+        eprintln!("SMOKE FAIL: {RESULT_PATH} missing or malformed");
+        std::process::exit(1);
+    };
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!("SMOKE FAIL: {RESULT_PATH} has empty baseline/current sections");
+        std::process::exit(1);
+    }
+    let n = SIZES[0];
+    let Some(base) = baseline.iter().find(|r| r.backend == "sim" && r.n == n) else {
+        eprintln!("SMOKE FAIL: no sim/n={n} baseline entry in {RESULT_PATH}");
+        std::process::exit(1);
+    };
+    // Warm up once (first-touch allocation, lazy page faults), measure second.
+    let _ = measure_sim(n);
+    let row = measure_sim(n);
+    println!(
+        "smoke: sim n={n}: {:.0} events/sec (baseline {:.0}, gate {:.0})",
+        row.events_per_sec,
+        base.events_per_sec,
+        base.events_per_sec * SMOKE_TOLERANCE
+    );
+    if row.events_per_sec < base.events_per_sec * SMOKE_TOLERANCE {
+        eprintln!(
+            "SMOKE FAIL: events/sec regressed >{:.0}% vs committed baseline",
+            (1.0 - SMOKE_TOLERANCE) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("smoke: OK");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+    }
+    let record_baseline = args.iter().any(|a| a == "--record-baseline");
+    let backends = match BackendChoice::from_args() {
+        // The tracked sweep defaults to both backends.
+        BackendChoice::Sim if !args.iter().any(|a| a == "--backend") => BackendChoice::Both,
+        other => other,
+    };
+    println!("E14: message-plane throughput — gossip-heavy write storm, n ∈ {SIZES:?}\n");
+    let mut rows = Vec::new();
+    for &n in SIZES {
+        if backends.sim() {
+            rows.push(best_of(|| measure_sim(n)));
+        }
+        if backends.threads() {
+            rows.push(best_of(|| measure_threads(n)));
+        }
+    }
+    print_rows(&rows);
+    let baseline = if record_baseline {
+        rows.clone()
+    } else {
+        match load_existing() {
+            Some((base, _)) => base,
+            None => {
+                println!("\n(no committed baseline found: recording this run as baseline)");
+                rows.clone()
+            }
+        }
+    };
+    if let (Some(b), Some(c)) = (
+        baseline.iter().find(|r| r.backend == "sim" && r.n == 64),
+        rows.iter().find(|r| r.backend == "sim" && r.n == 64),
+    ) {
+        println!(
+            "\nsim n=64: {:.0} events/sec vs baseline {:.0} ({:.2}x)",
+            c.events_per_sec,
+            b.events_per_sec,
+            c.events_per_sec / b.events_per_sec.max(1e-9)
+        );
+    }
+    std::fs::write(RESULT_PATH, render(&baseline, &rows)).expect("write BENCH_throughput.json");
+    println!("wrote {RESULT_PATH}");
+}

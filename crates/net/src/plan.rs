@@ -104,11 +104,16 @@ impl FaultPlan {
     }
 
     /// The events sorted by time (stable, so equal-time events keep
-    /// insertion order) — the order backends replay them in.
-    pub fn sorted_events(&self) -> Vec<(ModelTime, FaultEvent)> {
-        let mut evs = self.events.clone();
-        evs.sort_by_key(|(t, _)| *t);
-        evs
+    /// insertion order) — the order backends replay them in. Only the
+    /// (time, position) keys are sorted; the events themselves are
+    /// borrowed, not cloned.
+    pub fn sorted_events(&self) -> impl Iterator<Item = (ModelTime, &FaultEvent)> {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| self.events[i].0);
+        order.into_iter().map(|i| {
+            let (t, ev) = &self.events[i];
+            (*t, ev)
+        })
     }
 
     /// The time of the last scheduled event (0 for an empty plan);
@@ -139,11 +144,11 @@ mod tests {
             .at(500, FaultEvent::Heal)
             .at(100, FaultEvent::Crash(NodeId(1)))
             .at(500, FaultEvent::Resume(NodeId(1)));
-        let sorted = plan.sorted_events();
-        assert_eq!(sorted[0], (100, FaultEvent::Crash(NodeId(1))));
+        let sorted: Vec<_> = plan.sorted_events().collect();
+        assert_eq!(sorted[0], (100, &FaultEvent::Crash(NodeId(1))));
         // Stable sort: equal-time events keep insertion order.
-        assert_eq!(sorted[1], (500, FaultEvent::Heal));
-        assert_eq!(sorted[2], (500, FaultEvent::Resume(NodeId(1))));
+        assert_eq!(sorted[1], (500, &FaultEvent::Heal));
+        assert_eq!(sorted[2], (500, &FaultEvent::Resume(NodeId(1))));
         assert_eq!(plan.last_event_time(), 500);
     }
 

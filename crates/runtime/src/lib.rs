@@ -275,13 +275,13 @@ impl<P: Protocol + 'static> Cluster<P> {
                 std::thread::sleep(wait);
             }
             match ev {
-                FaultEvent::Crash(node) => self.crash(node),
-                FaultEvent::Resume(node) => self.resume(node),
-                FaultEvent::Restart(node) => self.restart(node),
-                FaultEvent::Corrupt(node) => self.corrupt(node, plan.corruption_seed(t, node)),
-                FaultEvent::Partition(groups) => self.partition_groups(&groups),
+                FaultEvent::Crash(node) => self.crash(*node),
+                FaultEvent::Resume(node) => self.resume(*node),
+                FaultEvent::Restart(node) => self.restart(*node),
+                FaultEvent::Corrupt(node) => self.corrupt(*node, plan.corruption_seed(t, *node)),
+                FaultEvent::Partition(groups) => self.partition_groups(groups),
                 FaultEvent::Heal => self.heal_partition(),
-                FaultEvent::SetLink { from, to, up } => self.set_link(from, to, up),
+                FaultEvent::SetLink { from, to, up } => self.set_link(*from, *to, *up),
             }
         }
     }
@@ -410,13 +410,15 @@ fn node_loop<P: Protocol>(
     let mut pending: Vec<(OpId, Sender<OpResponse>)> = Vec::new();
     let mut crashed = false;
     let mut next_round = Instant::now() + cfg.round_interval;
+    // One reusable effect buffer for the thread's lifetime: `apply` drains
+    // it in place, so steady-state steps allocate nothing.
+    let mut fx = Effects::new();
     loop {
         // Run the `do forever` iteration on schedule even under a
         // continuous message stream (a busy inbox must not starve gossip,
         // retransmission, or Algorithm 3's write/snapshot scheduling).
         if Instant::now() >= next_round {
             if !crashed {
-                let mut fx = Effects::new();
                 proto.on_round(&mut fx);
                 apply(me, &mut fx, &peers, &mut pending, &shared);
             }
@@ -442,7 +444,6 @@ fn node_loop<P: Protocol>(
                     shared.links.lock().on_delivered(from, me);
                 }
                 if !crashed {
-                    let mut fx = Effects::new();
                     proto.on_message(from, msg, &mut fx);
                     apply(me, &mut fx, &peers, &mut pending, &shared);
                 } else {
@@ -458,7 +459,6 @@ fn node_loop<P: Protocol>(
                 // against a crashed node.
                 pending.push((id, done));
                 if !crashed {
-                    let mut fx = Effects::new();
                     proto.invoke(id, op, &mut fx);
                     apply(me, &mut fx, &peers, &mut pending, &shared);
                 }
@@ -478,7 +478,7 @@ fn apply<M: Clone>(
     pending: &mut Vec<(OpId, Sender<OpResponse>)>,
     shared: &Shared,
 ) {
-    for (to, msg) in fx.take_sends() {
+    for (to, msg) in fx.drain_sends() {
         if to == me {
             // Self-delivery: reliable, immediate (an internal step).
             let _ = peers[to.index()].send(NodeMsg::Net { from: me, msg });
@@ -502,13 +502,13 @@ fn apply<M: Clone>(
             }
         }
     }
-    for (id, resp) in fx.take_completions() {
+    for (id, resp) in fx.drain_completions() {
         if let Some(pos) = pending.iter().position(|(pid, _)| *pid == id) {
             let (_, done) = pending.swap_remove(pos);
             let _ = done.send(resp);
         }
     }
-    for id in fx.take_aborts() {
+    for id in fx.drain_aborts() {
         // Aborted operations (bounded-counter resets) unblock the client
         // with a WriteDone-shaped error path: drop the sender so the
         // client times out quickly... better: send nothing; the client

@@ -23,12 +23,22 @@
 
 use crate::SimTime;
 use sss_types::{NodeId, ProcessSet};
-use std::collections::HashSet;
 
 #[derive(Debug)]
 enum Phase {
-    Rounds { seen: ProcessSet },
-    Drain { pending: HashSet<u64>, stage: u8 },
+    Rounds {
+        seen: ProcessSet,
+    },
+    /// Waiting for `pending` captured messages to leave the network. A
+    /// message was captured iff its seq is below `watermark` (sequence
+    /// numbers are monotone and each seq leaves exactly once, so a
+    /// sub-watermark departure is always one of the captured messages —
+    /// no set materialization needed on the per-message path).
+    Drain {
+        pending: u64,
+        watermark: u64,
+        stage: u8,
+    },
 }
 
 /// Counts asynchronous cycles as the simulation progresses.
@@ -36,7 +46,10 @@ enum Phase {
 pub struct CycleTracker {
     n: usize,
     phase: Phase,
-    in_flight: HashSet<u64>,
+    /// Messages currently in the network.
+    in_flight: u64,
+    /// One past the largest seq ever sent.
+    high: u64,
     completed: u64,
     boundaries: Vec<SimTime>,
 }
@@ -49,7 +62,8 @@ impl CycleTracker {
             phase: Phase::Rounds {
                 seen: ProcessSet::new(n),
             },
-            in_flight: HashSet::new(),
+            in_flight: 0,
+            high: 0,
             completed: 0,
             boundaries: Vec::new(),
         }
@@ -67,14 +81,20 @@ impl CycleTracker {
 
     /// Notifies that message `seq` entered the network.
     pub fn on_send(&mut self, seq: u64) {
-        self.in_flight.insert(seq);
+        self.in_flight += 1;
+        self.high = self.high.max(seq + 1);
     }
 
     /// Notifies that message `seq` left the network (delivered or dropped).
     pub fn on_gone(&mut self, seq: u64, now: SimTime) {
-        self.in_flight.remove(&seq);
-        if let Phase::Drain { pending, .. } = &mut self.phase {
-            pending.remove(&seq);
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if let Phase::Drain {
+            pending, watermark, ..
+        } = &mut self.phase
+        {
+            if seq < *watermark && *pending > 0 {
+                *pending -= 1;
+            }
         }
         self.advance(None, now);
     }
@@ -107,8 +127,8 @@ impl CycleTracker {
                     }
                 }
             }
-            Phase::Drain { pending, stage } => {
-                if pending.is_empty() {
+            Phase::Drain { pending, stage, .. } => {
+                if *pending == 0 {
                     let stage = *stage;
                     if stage == 1 {
                         self.enter_drain(2, now);
@@ -125,8 +145,11 @@ impl CycleTracker {
     }
 
     fn enter_drain(&mut self, stage: u8, now: SimTime) {
-        let pending: HashSet<u64> = self.in_flight.iter().copied().collect();
-        self.phase = Phase::Drain { pending, stage };
+        self.phase = Phase::Drain {
+            pending: self.in_flight,
+            watermark: self.high,
+            stage,
+        };
         // The captured set may already be empty; cascade immediately.
         self.advance(None, now);
     }

@@ -3,7 +3,6 @@
 
 use crate::SimTime;
 use sss_types::{MsgKind, SnapshotOp};
-use std::collections::BTreeMap;
 
 /// The two client-visible operation classes, used to bucket latency
 /// samples (the paper reports write and snapshot latency separately).
@@ -88,7 +87,9 @@ pub struct KindCounter {
 /// the paper's per-operation message counts.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    kinds: BTreeMap<MsgKind, KindCounter>,
+    /// Per-kind counters, indexed by [`MsgKind::index`] — a dense array
+    /// so the per-delivery accounting is one indexed add, not a map walk.
+    kinds: [KindCounter; MsgKind::COUNT],
     /// Total `do forever` iterations executed across all nodes.
     pub rounds: u64,
     /// Operations completed.
@@ -109,17 +110,17 @@ impl Metrics {
     }
 
     pub(crate) fn on_sent(&mut self, kind: MsgKind, bits: u64) {
-        let c = self.kinds.entry(kind).or_default();
+        let c = &mut self.kinds[kind.index()];
         c.sent += 1;
         c.bits_sent += bits;
     }
 
     pub(crate) fn on_delivered(&mut self, kind: MsgKind) {
-        self.kinds.entry(kind).or_default().delivered += 1;
+        self.kinds[kind.index()].delivered += 1;
     }
 
     pub(crate) fn on_dropped(&mut self, kind: MsgKind) {
-        self.kinds.entry(kind).or_default().dropped += 1;
+        self.kinds[kind.index()].dropped += 1;
     }
 
     pub(crate) fn record_latency(&mut self, class: OpClass, latency: SimTime) {
@@ -146,25 +147,27 @@ impl Metrics {
 
     /// The counter for one message kind.
     pub fn kind(&self, kind: MsgKind) -> KindCounter {
-        self.kinds.get(&kind).copied().unwrap_or_default()
+        self.kinds[kind.index()]
     }
 
     /// All kinds with non-zero counters, in `MsgKind` order.
     pub fn kinds(&self) -> impl Iterator<Item = (MsgKind, KindCounter)> + '_ {
-        self.kinds.iter().map(|(&k, &c)| (k, c))
+        MsgKind::ALL
+            .into_iter()
+            .map(|k| (k, self.kinds[k.index()]))
+            .filter(|(_, c)| *c != KindCounter::default())
     }
 
     /// Total messages sent, all kinds.
     pub fn total_sent(&self) -> u64 {
-        self.kinds.values().map(|c| c.sent).sum()
+        self.kinds.iter().map(|c| c.sent).sum()
     }
 
     /// Total messages sent excluding background gossip — the figure the
     /// paper's per-operation message counts use ("the gossip messages do
     /// not interfere with other messages", Fig. 1).
     pub fn op_messages_sent(&self) -> u64 {
-        self.kinds
-            .iter()
+        self.kinds()
             .filter(|(k, _)| !k.is_gossip())
             .map(|(_, c)| c.sent)
             .sum()
@@ -172,8 +175,7 @@ impl Metrics {
 
     /// Total gossip messages sent.
     pub fn gossip_sent(&self) -> u64 {
-        self.kinds
-            .iter()
+        self.kinds()
             .filter(|(k, _)| k.is_gossip())
             .map(|(_, c)| c.sent)
             .sum()
@@ -181,7 +183,7 @@ impl Metrics {
 
     /// Total bits sent, all kinds.
     pub fn total_bits(&self) -> u64 {
-        self.kinds.values().map(|c| c.bits_sent).sum()
+        self.kinds.iter().map(|c| c.bits_sent).sum()
     }
 
     /// The difference `self − earlier`, counter by counter.
@@ -191,19 +193,15 @@ impl Metrics {
     /// Panics (debug builds) if `earlier` is not component-wise ≤ `self`,
     /// which would mean the snapshots were taken out of order.
     pub fn delta_since(&self, earlier: &Metrics) -> MetricsDelta {
-        let mut kinds = BTreeMap::new();
-        for (&k, &now) in &self.kinds {
-            let before = earlier.kind(k);
+        let mut kinds = [KindCounter::default(); MsgKind::COUNT];
+        for (i, (now, before)) in self.kinds.iter().zip(&earlier.kinds).enumerate() {
             debug_assert!(before.sent <= now.sent, "metrics snapshots out of order");
-            kinds.insert(
-                k,
-                KindCounter {
-                    sent: now.sent - before.sent,
-                    delivered: now.delivered - before.delivered,
-                    dropped: now.dropped - before.dropped,
-                    bits_sent: now.bits_sent - before.bits_sent,
-                },
-            );
+            kinds[i] = KindCounter {
+                sent: now.sent - before.sent,
+                delivered: now.delivered - before.delivered,
+                dropped: now.dropped - before.dropped,
+                bits_sent: now.bits_sent - before.bits_sent,
+            };
         }
         MetricsDelta {
             m: Metrics {

@@ -12,7 +12,6 @@ use sss_types::{
     ArbitraryMsg, Effects, History, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg,
     Protocol, SnapshotOp,
 };
-use std::collections::HashMap;
 
 /// One delivered message, as recorded by flow tracing (see
 /// [`Sim::enable_flow_recording`]); used to regenerate the paper's
@@ -133,7 +132,12 @@ pub struct Sim<P: Protocol> {
     next_op: u64,
     outstanding: usize,
     links: LinkModel,
-    op_meta: HashMap<u64, (SimTime, OpClass)>,
+    /// Invocation time and class per operation, indexed by `OpId` (ids are
+    /// allocated densely from 0, so a flat vector beats hashing).
+    op_meta: Vec<Option<(SimTime, OpClass)>>,
+    /// Reusable effect buffer: drained in place after every protocol step,
+    /// so the hot loop never allocates per event.
+    scratch: Effects<P::Msg>,
     trace: u64,
     flows: Option<Vec<FlowRecord>>,
 }
@@ -152,7 +156,9 @@ impl<P: Protocol> Sim<P> {
             nodes,
             crashed: ProcessSet::new(cfg.n),
             round_token: vec![0; cfg.n],
-            queue: EventQueue::new(),
+            // Steady state holds O(n²) in-flight messages plus one round
+            // event per node; pre-size so the heap never reallocates.
+            queue: EventQueue::with_capacity(4 * cfg.n * cfg.n + 2 * cfg.n + 16),
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             metrics: Metrics::new(),
@@ -163,7 +169,8 @@ impl<P: Protocol> Sim<P> {
             // The link model gets its own seed stream so fault-plane
             // coins stay independent of round jitter and corruption.
             links: LinkModel::new(cfg.n, cfg.net, cfg.seed ^ 0x11_4e7),
-            op_meta: HashMap::new(),
+            op_meta: Vec::new(),
+            scratch: Effects::new(),
             trace: 0xcbf29ce484222325,
             flows: None,
             cfg,
@@ -353,21 +360,33 @@ impl<P: Protocol> Sim<P> {
         for (t, ev) in plan.sorted_events() {
             let at = t.max(self.now);
             match ev {
-                FaultEvent::Crash(node) => self.crash_at(t, node),
-                FaultEvent::Resume(node) => self.resume_at(t, node),
-                FaultEvent::Restart(node) => self.restart_at(t, node),
+                FaultEvent::Crash(node) => self.crash_at(t, *node),
+                FaultEvent::Resume(node) => self.resume_at(t, *node),
+                FaultEvent::Restart(node) => self.restart_at(t, *node),
                 FaultEvent::Corrupt(node) => {
-                    let seed = Some(plan.corruption_seed(t, node));
-                    self.queue.push(at, Ev::Corrupt { node, seed });
+                    let seed = Some(plan.corruption_seed(t, *node));
+                    self.queue.push(at, Ev::Corrupt { node: *node, seed });
                 }
                 FaultEvent::Partition(groups) => {
-                    self.queue.push(at, Ev::Partition { groups });
+                    self.queue.push(
+                        at,
+                        Ev::Partition {
+                            groups: groups.clone(),
+                        },
+                    );
                 }
                 FaultEvent::Heal => {
                     self.queue.push(at, Ev::Heal);
                 }
                 FaultEvent::SetLink { from, to, up } => {
-                    self.queue.push(at, Ev::SetLink { from, to, up });
+                    self.queue.push(
+                        at,
+                        Ev::SetLink {
+                            from: *from,
+                            to: *to,
+                            up: *up,
+                        },
+                    );
                 }
             }
         }
@@ -473,12 +492,11 @@ impl<P: Protocol> Sim<P> {
                 if self.crashed.contains(node) || token != self.round_token[node.index()] {
                     return; // chain dies; Resume/Restart starts a new one
                 }
-                let mut fx = Effects::new();
-                self.nodes[node.index()].on_round(&mut fx);
+                self.nodes[node.index()].on_round(&mut self.scratch);
                 self.metrics.rounds += 1;
                 let live = self.live();
                 self.cycles.on_round(node, &live, self.now);
-                self.apply_effects(node, fx, driver, stop);
+                self.apply_effects(node, driver, stop);
                 let jitter = if self.cfg.round_jitter > 0 {
                     self.rng.gen_range(0..=self.cfg.round_jitter)
                 } else {
@@ -506,20 +524,22 @@ impl<P: Protocol> Sim<P> {
                         kind: msg.kind(),
                     });
                 }
-                let mut fx = Effects::new();
-                self.nodes[to.index()].on_message(from, msg, &mut fx);
-                self.apply_effects(to, fx, driver, stop);
+                self.nodes[to.index()].on_message(from, msg, &mut self.scratch);
+                self.apply_effects(to, driver, stop);
             }
             Ev::Invoke { node, id, op } => {
                 self.trace = fold(self.trace, 0x200 + node.index() as u64);
                 self.history.record_invoke(node, id, op, self.now);
-                self.op_meta.insert(id.0, (self.now, OpClass::of(&op)));
+                let idx = id.0 as usize;
+                if self.op_meta.len() <= idx {
+                    self.op_meta.resize(idx + 1, None);
+                }
+                self.op_meta[idx] = Some((self.now, OpClass::of(&op)));
                 if self.crashed.contains(node) {
                     return; // invoked at a crashed node: never completes
                 }
-                let mut fx = Effects::new();
-                self.nodes[node.index()].invoke(id, op, &mut fx);
-                self.apply_effects(node, fx, driver, stop);
+                self.nodes[node.index()].invoke(id, op, &mut self.scratch);
+                self.apply_effects(node, driver, stop);
             }
             Ev::Crash { node } => {
                 self.trace = fold(self.trace, 0x300 + node.index() as u64);
@@ -584,14 +604,13 @@ impl<P: Protocol> Sim<P> {
         }
     }
 
-    fn apply_effects<D: Driver<P>>(
-        &mut self,
-        at: NodeId,
-        mut fx: Effects<P::Msg>,
-        driver: &mut D,
-        stop: &mut bool,
-    ) {
-        for (to, msg) in fx.take_sends() {
+    /// Drains `self.scratch` — the reusable effect buffer the preceding
+    /// protocol step wrote into — scheduling sends and reporting
+    /// completions/aborts. Draining in place keeps the buffer's capacity,
+    /// and field-disjoint borrows let the loop mutate the queue, metrics
+    /// and link model while the drain iterator holds `self.scratch`.
+    fn apply_effects<D: Driver<P>>(&mut self, at: NodeId, driver: &mut D, stop: &mut bool) {
+        for (to, msg) in self.scratch.drain_sends() {
             let kind = msg.kind();
             let bits = msg.size_bits(self.cfg.nu_bits);
             self.metrics.on_sent(kind, bits);
@@ -624,10 +643,10 @@ impl<P: Protocol> Sim<P> {
                 }
             }
         }
-        for (id, resp) in fx.take_completions() {
+        for (id, resp) in self.scratch.drain_completions() {
             self.history.record_complete(id, resp.clone(), self.now);
             self.metrics.ops_completed += 1;
-            if let Some((t0, class)) = self.op_meta.remove(&id.0) {
+            if let Some((t0, class)) = self.op_meta.get_mut(id.0 as usize).and_then(Option::take) {
                 self.metrics.record_latency(class, self.now - t0);
             }
             self.outstanding = self.outstanding.saturating_sub(1);
@@ -641,10 +660,10 @@ impl<P: Protocol> Sim<P> {
             };
             driver.on_completion(at, id, &resp, &mut ctl);
         }
-        for id in fx.take_aborts() {
+        for id in self.scratch.drain_aborts() {
             self.history.record_abort(id, self.now);
             self.metrics.ops_aborted += 1;
-            self.op_meta.remove(&id.0);
+            self.op_meta.get_mut(id.0 as usize).and_then(Option::take);
             self.outstanding = self.outstanding.saturating_sub(1);
             let mut ctl = Ctl {
                 now: self.now,
@@ -842,6 +861,26 @@ mod tests {
         sim.node_mut(NodeId(0)).echoers.insert(NodeId(2));
         sim.corrupt_node_now(NodeId(0));
         assert!(sim.node(NodeId(0)).echoers.is_empty());
+    }
+
+    #[test]
+    fn scratch_effects_do_not_leak_across_steps() {
+        // The runner recycles one Effects buffer for every protocol step;
+        // an entry surviving a drain would be re-applied on the next step
+        // and show up as phantom traffic. Toy nodes send nothing while no
+        // op is pending, so once the write completes the network must go
+        // and stay quiet.
+        let mut sim = Sim::new(SimConfig::small(3), toy(3));
+        sim.invoke_at(0, NodeId(0), SnapshotOp::Write(1));
+        assert!(sim.run_until_idle(100_000));
+        let sent_after_op = sim.metrics().total_sent();
+        let t = sim.now();
+        sim.run_until(t + 50_000);
+        assert_eq!(
+            sim.metrics().total_sent(),
+            sent_after_op,
+            "idle rounds must not send; a leaked scratch entry would"
+        );
     }
 
     #[test]

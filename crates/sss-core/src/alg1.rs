@@ -24,8 +24,8 @@
 use rand::RngCore;
 use sss_quorum::AckTracker;
 use sss_types::{
-    cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse,
-    ProcessSet, ProtoMsg, Protocol, ProtocolStats, RegArray, SnapshotOp, Tagged, Value,
+    cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, Payload,
+    ProcessSet, ProtoMsg, Protocol, ProtocolStats, RegArray, SharedReg, SnapshotOp, Tagged, Value,
 };
 use std::collections::VecDeque;
 
@@ -34,25 +34,26 @@ use std::collections::VecDeque;
 pub enum Alg1Msg {
     /// Client-side `WRITE(lReg)` broadcast (line 14).
     Write {
-        /// The writer's register array at invocation.
-        reg: RegArray,
+        /// The writer's register array at invocation (shared, not copied,
+        /// across the broadcast fan-out).
+        reg: Payload,
     },
     /// Server-side `WRITEack(reg)` reply (line 28).
     WriteAck {
         /// The server's merged register array.
-        reg: RegArray,
+        reg: Payload,
     },
     /// Client-side `SNAPSHOT(reg, ssn)` broadcast (line 20).
     Snapshot {
         /// The querier's current register array.
-        reg: RegArray,
+        reg: Payload,
         /// The snapshot query index.
         ssn: u64,
     },
     /// Server-side `SNAPSHOTack(reg, ssn)` reply (line 31).
     SnapshotAck {
         /// The server's merged register array.
-        reg: RegArray,
+        reg: Payload,
         /// Echo of the query index.
         ssn: u64,
     },
@@ -107,14 +108,18 @@ impl ArbitraryMsg for Alg1Msg {
             a
         };
         match rng.next_u32() % 5 {
-            0 => Alg1Msg::Write { reg: arr(rng) },
-            1 => Alg1Msg::WriteAck { reg: arr(rng) },
+            0 => Alg1Msg::Write {
+                reg: arr(rng).into(),
+            },
+            1 => Alg1Msg::WriteAck {
+                reg: arr(rng).into(),
+            },
             2 => Alg1Msg::Snapshot {
-                reg: arr(rng),
+                reg: arr(rng).into(),
                 ssn: rng.next_u64() % (max_index + 1),
             },
             3 => Alg1Msg::SnapshotAck {
-                reg: arr(rng),
+                reg: arr(rng).into(),
                 ssn: rng.next_u64() % (max_index + 1),
             },
             _ => Alg1Msg::Gossip { cell: cell(rng) },
@@ -126,7 +131,8 @@ impl ArbitraryMsg for Alg1Msg {
 #[derive(Clone, Debug)]
 struct WriteOp {
     op: OpId,
-    lreg: RegArray,
+    /// Shared with every retransmitted `WRITE` — rebroadcasts are free.
+    lreg: Payload,
     acks: ProcessSet,
 }
 
@@ -134,7 +140,7 @@ struct WriteOp {
 #[derive(Clone, Debug)]
 struct SnapOp {
     op: OpId,
-    prev: RegArray,
+    prev: Payload,
     acks: AckTracker,
 }
 
@@ -156,8 +162,9 @@ pub struct Alg1 {
     ts: u64,
     /// Snapshot-operation index (line 3).
     ssn: u64,
-    /// Local copy of all shared registers (line 4).
-    reg: RegArray,
+    /// Local copy of all shared registers (line 4), with a cached
+    /// outgoing payload so acks between mutations share one allocation.
+    reg: SharedReg,
     active: Option<Active>,
     pending: VecDeque<(OpId, SnapshotOp)>,
     /// Gossip every `gossip_every`-th `do forever` iteration (1 = every
@@ -178,7 +185,7 @@ impl Alg1 {
             n,
             ts: 0,
             ssn: 0,
-            reg: RegArray::bottom(n),
+            reg: SharedReg::bottom(n),
             active: None,
             pending: VecDeque::new(),
             gossip_every: 1,
@@ -212,12 +219,12 @@ impl Alg1 {
     }
 
     /// The `merge(Rec)` macro (lines 5–7) for one received array.
-    fn merge(&mut self, rec: &RegArray) {
+    fn merge(&mut self, from: NodeId, rec: &Payload) {
         self.ts = self
             .ts
             .max(self.reg.get(self.id).ts)
             .max(rec.get(self.id).ts);
-        self.reg.merge_from(rec);
+        self.reg.merge_from_payload(from, rec);
     }
 
     fn start_op(&mut self, op_id: OpId, op: SnapshotOp, fx: &mut Effects<Alg1Msg>) {
@@ -232,7 +239,7 @@ impl Alg1 {
     fn start_write(&mut self, op_id: OpId, v: Value, fx: &mut Effects<Alg1Msg>) {
         self.ts += 1;
         self.reg.set(self.id, Tagged::new(v, self.ts));
-        let lreg = self.reg.clone();
+        let lreg = self.reg.payload();
         fx.broadcast(self.n, &Alg1Msg::Write { reg: lreg.clone() });
         self.active = Some(Active::Write(WriteOp {
             op: op_id,
@@ -244,14 +251,14 @@ impl Alg1 {
     /// Lines 19–20: one iteration of the outer repeat-until — record
     /// `prev`, bump `ssn`, broadcast `SNAPSHOT(reg, ssn)`.
     fn start_snapshot_iteration(&mut self, op_id: OpId, fx: &mut Effects<Alg1Msg>) {
-        let prev = self.reg.clone();
+        let prev = self.reg.payload();
         self.ssn += 1;
         let mut acks = AckTracker::new(self.n);
         acks.arm(self.ssn);
         fx.broadcast(
             self.n,
             &Alg1Msg::Snapshot {
-                reg: self.reg.clone(),
+                reg: prev.clone(),
                 ssn: self.ssn,
             },
         );
@@ -306,7 +313,7 @@ impl Protocol for Alg1 {
         }
         // Re-issue the in-progress client broadcast (the pseudo-code's
         // `repeat broadcast …`).
-        match &self.active {
+        match &mut self.active {
             Some(Active::Write(w)) => {
                 let msg = Alg1Msg::Write {
                     reg: w.lreg.clone(),
@@ -315,7 +322,7 @@ impl Protocol for Alg1 {
             }
             Some(Active::Snap(s)) => {
                 let msg = Alg1Msg::Snapshot {
-                    reg: self.reg.clone(),
+                    reg: self.reg.payload(),
                     ssn: s.acks.tag(),
                 };
                 fx.broadcast(self.n, &msg);
@@ -328,33 +335,37 @@ impl Protocol for Alg1 {
         match msg {
             // Lines 26–28 (server side of write).
             Alg1Msg::Write { reg } => {
-                self.reg.merge_from(&reg);
+                self.reg.merge_from_payload(from, &reg);
                 fx.send(
                     from,
                     Alg1Msg::WriteAck {
-                        reg: self.reg.clone(),
+                        reg: self.reg.payload(),
                     },
                 );
             }
             // Lines 29–31 (server side of snapshot).
             Alg1Msg::Snapshot { reg, ssn } => {
-                self.reg.merge_from(&reg);
+                self.reg.merge_from_payload(from, &reg);
                 fx.send(
                     from,
                     Alg1Msg::SnapshotAck {
-                        reg: self.reg.clone(),
+                        reg: self.reg.payload(),
                         ssn,
                     },
                 );
             }
-            // Line 14's until-condition plus line 15's merge.
+            // Line 14's until-condition plus line 15's merge. Duplicate
+            // acks (one per retransmitted WRITE) are rejected before the
+            // O(n) covering check.
             Alg1Msg::WriteAck { reg } => {
                 let accepted = match &mut self.active {
-                    Some(Active::Write(w)) if w.lreg.le(&reg) => w.acks.insert(from),
+                    Some(Active::Write(w)) if !w.acks.contains(from) && w.lreg.le(&reg) => {
+                        w.acks.insert(from)
+                    }
                     _ => false,
                 };
                 if accepted {
-                    self.merge(&reg);
+                    self.merge(from, &reg);
                     let majority = matches!(
                         &self.active,
                         Some(Active::Write(w)) if w.acks.is_majority()
@@ -371,7 +382,7 @@ impl Protocol for Alg1 {
                     _ => false,
                 };
                 if accepted {
-                    self.merge(&reg);
+                    self.merge(from, &reg);
                     let majority = match &self.active {
                         Some(Active::Snap(s)) if s.acks.has_majority() => {
                             Some((s.op, s.prev.clone()))
@@ -379,9 +390,9 @@ impl Protocol for Alg1 {
                         _ => None,
                     };
                     if let Some((op, prev)) = majority {
-                        if prev == self.reg {
+                        if *prev == *self.reg {
                             // Line 23: return(reg).
-                            let view = (&self.reg).into();
+                            let view = (&*self.reg).into();
                             self.finish_active(OpResponse::Snapshot(view), fx);
                         } else {
                             // Concurrent writes moved reg: iterate again.
@@ -431,12 +442,12 @@ impl Protocol for Alg1 {
         match &mut self.active {
             Some(Active::Write(w)) => {
                 w.acks.clear();
-                w.lreg = self.reg.clone();
+                w.lreg = self.reg.payload();
             }
             Some(Active::Snap(s)) => {
                 let tag = rng.next_u64() % M;
                 s.acks.arm(tag);
-                s.prev = self.reg.clone();
+                s.prev = self.reg.payload();
             }
             None => {}
         }
@@ -469,13 +480,13 @@ impl crate::bounded::HasIndices for Alg1 {
     }
 
     fn export_reg(&self) -> RegArray {
-        self.reg.clone()
+        self.reg.to_reg()
     }
 
     fn install_reset(&mut self, reg: RegArray) {
         self.ts = reg.get(self.id).ts;
         self.ssn = 0;
-        self.reg = reg;
+        self.reg = reg.into();
         self.active = None;
         self.pending.clear();
     }
@@ -516,11 +527,11 @@ mod tests {
         let mut a = Alg1::new(NodeId(0), 3);
         let mut e = fx();
         a.invoke(OpId(1), SnapshotOp::Write(42), &mut e);
-        let lreg = a.reg().clone();
+        let lreg: Payload = a.reg().clone().into();
         // Ack from p1 with a covering array.
         a.on_message(NodeId(1), Alg1Msg::WriteAck { reg: lreg.clone() }, &mut e);
         assert!(a.is_busy(), "one ack is not a majority of 3");
-        a.on_message(NodeId(2), Alg1Msg::WriteAck { reg: lreg.clone() }, &mut e);
+        a.on_message(NodeId(2), Alg1Msg::WriteAck { reg: lreg }, &mut e);
         let done = e.take_completions();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0], (OpId(1), OpResponse::WriteDone));
@@ -533,7 +544,7 @@ mod tests {
         let mut e = fx();
         a.invoke(OpId(1), SnapshotOp::Write(42), &mut e);
         // A stale ack that does not include the write.
-        let stale = RegArray::bottom(3);
+        let stale: Payload = RegArray::bottom(3).into();
         a.on_message(NodeId(1), Alg1Msg::WriteAck { reg: stale.clone() }, &mut e);
         a.on_message(NodeId(2), Alg1Msg::WriteAck { reg: stale }, &mut e);
         assert!(e.take_completions().is_empty());
@@ -546,7 +557,13 @@ mod tests {
         let mut e = fx();
         let mut incoming = RegArray::bottom(3);
         incoming.set(NodeId(0), Tagged::new(5, 1));
-        a.on_message(NodeId(0), Alg1Msg::Write { reg: incoming }, &mut e);
+        a.on_message(
+            NodeId(0),
+            Alg1Msg::Write {
+                reg: incoming.into(),
+            },
+            &mut e,
+        );
         assert_eq!(a.reg().get(NodeId(0)), Tagged::new(5, 1));
         let sends = e.take_sends();
         assert_eq!(sends.len(), 1);
@@ -560,7 +577,7 @@ mod tests {
         let mut e = fx();
         a.invoke(OpId(7), SnapshotOp::Snapshot, &mut e);
         assert_eq!(a.ssn(), 1);
-        let reg = a.reg().clone();
+        let reg: Payload = a.reg().clone().into();
         a.on_message(
             NodeId(1),
             Alg1Msg::SnapshotAck {
@@ -586,6 +603,7 @@ mod tests {
         // Acks that carry a newer write by p1: prev != reg after merge.
         let mut moved = a.reg().clone();
         moved.set(NodeId(1), Tagged::new(9, 1));
+        let moved: Payload = moved.into();
         a.on_message(
             NodeId(1),
             Alg1Msg::SnapshotAck {
@@ -605,7 +623,7 @@ mod tests {
         assert!(e.take_completions().is_empty(), "must iterate again");
         assert_eq!(a.ssn(), 2, "second query attempt armed");
         // Second attempt with stable values completes.
-        let cur = a.reg().clone();
+        let cur: Payload = a.reg().clone().into();
         a.on_message(
             NodeId(1),
             Alg1Msg::SnapshotAck {
@@ -628,7 +646,7 @@ mod tests {
         let mut a = Alg1::new(NodeId(0), 3);
         let mut e = fx();
         a.invoke(OpId(7), SnapshotOp::Snapshot, &mut e);
-        let reg = a.reg().clone();
+        let reg: Payload = a.reg().clone().into();
         a.on_message(
             NodeId(1),
             Alg1Msg::SnapshotAck {
@@ -681,7 +699,7 @@ mod tests {
         let mut e = fx();
         a.invoke(OpId(1), SnapshotOp::Write(1), &mut e);
         a.invoke(OpId(2), SnapshotOp::Write(2), &mut e);
-        let lreg = a.reg().clone();
+        let lreg: Payload = a.reg().clone().into();
         a.on_message(NodeId(1), Alg1Msg::WriteAck { reg: lreg.clone() }, &mut e);
         a.on_message(NodeId(2), Alg1Msg::WriteAck { reg: lreg }, &mut e);
         let done = e.take_completions();
@@ -716,7 +734,9 @@ mod tests {
     #[test]
     fn message_sizes_follow_the_paper() {
         let reg = RegArray::bottom(5);
-        let w = Alg1Msg::Write { reg: reg.clone() };
+        let w = Alg1Msg::Write {
+            reg: reg.clone().into(),
+        };
         let g = Alg1Msg::Gossip {
             cell: Tagged::new(0, 1),
         };

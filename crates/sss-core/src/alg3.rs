@@ -41,11 +41,12 @@
 use rand::RngCore;
 use sss_quorum::AckTracker;
 use sss_types::{
-    cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse,
-    ProcessSet, ProtoMsg, Protocol, ProtocolStats, RegArray, SnapshotOp, SnapshotView, Tagged,
-    Value, VectorClock,
+    cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, OpResponse, Payload,
+    ProcessSet, ProtoMsg, Protocol, ProtocolStats, RegArray, SharedReg, SnapshotOp, SnapshotView,
+    Tagged, Value, VectorClock,
 };
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Configuration of [`Alg3`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -98,34 +99,36 @@ pub enum Alg3Msg {
     /// `WRITE(lReg)` (line 84 client / 100 server).
     Write {
         /// The writer's register array at invocation.
-        reg: RegArray,
+        reg: Payload,
     },
     /// `WRITEack(reg)` (line 102).
     WriteAck {
         /// The server's merged register array.
-        reg: RegArray,
+        reg: Payload,
     },
     /// `SNAPSHOT(S∩Δ, reg, ssn)` (line 88 client / 103 server).
     Snapshot {
-        /// The pending tasks this query is helping.
-        tasks: Vec<TaskRef>,
+        /// The pending tasks this query is helping (shared across the
+        /// broadcast fan-out).
+        tasks: Arc<Vec<TaskRef>>,
         /// The querier's register array.
-        reg: RegArray,
+        reg: Payload,
         /// The query index.
         ssn: u64,
     },
     /// `SNAPSHOTack(reg, ssn)` (line 107).
     SnapshotAck {
         /// The server's merged register array.
-        reg: RegArray,
+        reg: Payload,
         /// Echo of the query index.
         ssn: u64,
     },
     /// `SAVE(A)` (line 71 client / 95 server), also used for the result
     /// forwarding of line 107.
     Save {
-        /// The results being stored.
-        entries: Vec<SaveEntry>,
+        /// The results being stored (shared across the broadcast fan-out
+        /// and every retransmission).
+        entries: Arc<Vec<SaveEntry>>,
     },
     /// `SAVEack({(k,s)})` (line 97).
     SaveAck {
@@ -195,27 +198,31 @@ impl ArbitraryMsg for Alg3Msg {
             a
         };
         match rng.next_u32() % 7 {
-            0 => Alg3Msg::Write { reg: arr(rng) },
-            1 => Alg3Msg::WriteAck { reg: arr(rng) },
+            0 => Alg3Msg::Write {
+                reg: arr(rng).into(),
+            },
+            1 => Alg3Msg::WriteAck {
+                reg: arr(rng).into(),
+            },
             2 => Alg3Msg::Snapshot {
-                tasks: vec![TaskRef {
+                tasks: Arc::new(vec![TaskRef {
                     node: (rng.next_u32() as usize) % n,
                     sns: idx(rng),
                     vc: None,
-                }],
-                reg: arr(rng),
+                }]),
+                reg: arr(rng).into(),
                 ssn: idx(rng),
             },
             3 => Alg3Msg::SnapshotAck {
-                reg: arr(rng),
+                reg: arr(rng).into(),
                 ssn: idx(rng),
             },
             4 => Alg3Msg::Save {
-                entries: vec![SaveEntry {
+                entries: Arc::new(vec![SaveEntry {
                     node: (rng.next_u32() as usize) % n,
                     sns: idx(rng),
                     view: (&arr(rng)).into(),
-                }],
+                }]),
             },
             5 => Alg3Msg::SaveAck {
                 ids: vec![((rng.next_u32() as usize) % n, idx(rng))],
@@ -235,7 +242,8 @@ impl ArbitraryMsg for Alg3Msg {
 #[derive(Clone, Debug)]
 struct WriteOp {
     op: OpId,
-    lreg: RegArray,
+    /// Shared with every retransmitted `WRITE` — rebroadcasts are free.
+    lreg: Payload,
     acks: ProcessSet,
 }
 
@@ -246,7 +254,7 @@ enum BasePhase {
     Inner,
     /// Line 91 / 71: broadcasting `SAVE(A)` and collecting `SAVEack`s.
     SaveReg {
-        entries: Vec<SaveEntry>,
+        entries: Arc<Vec<SaveEntry>>,
         acks: ProcessSet,
     },
 }
@@ -257,7 +265,7 @@ struct BaseSnap {
     /// The sampled task set `S`: `(node, sns)` pairs.
     s: Vec<(usize, u64)>,
     /// `prev` of the current outer iteration.
-    prev: RegArray,
+    prev: Payload,
     /// Ack collection for the current `ssn`.
     acks: AckTracker,
     phase: BasePhase,
@@ -276,8 +284,9 @@ pub struct Alg3 {
     ssn: u64,
     /// Snapshot *operation* index (line 68).
     sns: u64,
-    /// Local copy of all shared registers.
-    reg: RegArray,
+    /// Local copy of all shared registers, with a cached outgoing
+    /// payload so acks between mutations share one allocation.
+    reg: SharedReg,
     /// Per-node snapshot-task control state.
     pnd_tsk: Vec<PndEntry>,
     write: Option<WriteOp>,
@@ -300,7 +309,7 @@ impl Alg3 {
             ts: 0,
             ssn: 0,
             sns: 0,
-            reg: RegArray::bottom(n),
+            reg: SharedReg::bottom(n),
             pnd_tsk: vec![PndEntry::default(); n],
             write: None,
             write_queue: VecDeque::new(),
@@ -398,7 +407,7 @@ impl Alg3 {
     fn start_write(&mut self, op: OpId, v: Value, fx: &mut Effects<Alg3Msg>) {
         self.ts += 1;
         self.reg.set(self.id, Tagged::new(v, self.ts));
-        let lreg = self.reg.clone();
+        let lreg = self.reg.payload();
         fx.broadcast(self.n, &Alg3Msg::Write { reg: lreg.clone() });
         self.write = Some(WriteOp {
             op,
@@ -456,7 +465,7 @@ impl Alg3 {
             .collect();
         self.base = Some(BaseSnap {
             s,
-            prev: self.reg.clone(),
+            prev: self.reg.payload(),
             acks: AckTracker::new(self.n),
             phase: BasePhase::Inner,
         });
@@ -468,13 +477,14 @@ impl Alg3 {
         self.ssn += 1;
         let cur = self.s_cap_delta();
         let refs = self.task_refs(&cur);
+        let snap = self.reg.payload();
         let Some(base) = &mut self.base else { return };
-        base.prev = self.reg.clone();
+        base.prev = snap.clone();
         base.acks.arm(self.ssn);
         base.phase = BasePhase::Inner;
         let msg = Alg3Msg::Snapshot {
-            tasks: refs,
-            reg: self.reg.clone(),
+            tasks: Arc::new(refs),
+            reg: snap,
             ssn: self.ssn,
         };
         fx.broadcast(self.n, &msg);
@@ -493,18 +503,19 @@ impl Alg3 {
             return;
         }
         // Inner loop done (line 89); merging already happened on arrival.
-        let prev_stable = base.prev == self.reg;
+        let prev_stable = *base.prev == *self.reg;
         if prev_stable && !cur.is_empty() {
             // Line 91: store the double-clean read in the safe register.
-            let view: SnapshotView = (&base.prev).into();
-            let entries: Vec<SaveEntry> = cur
-                .iter()
-                .map(|&(k, _)| SaveEntry {
-                    node: k,
-                    sns: self.pnd_tsk[k].sns,
-                    view: view.clone(),
-                })
-                .collect();
+            let view: SnapshotView = (&*base.prev).into();
+            let entries: Arc<Vec<SaveEntry>> = Arc::new(
+                cur.iter()
+                    .map(|&(k, _)| SaveEntry {
+                        node: k,
+                        sns: self.pnd_tsk[k].sns,
+                        view: view.clone(),
+                    })
+                    .collect(),
+            );
             let msg = Alg3Msg::Save {
                 entries: entries.clone(),
             };
@@ -648,10 +659,11 @@ impl Protocol for Alg3 {
                     BasePhase::Inner => {
                         let cur = self.s_cap_delta();
                         let refs = self.task_refs(&cur);
+                        let ssn = base.acks.tag();
                         let msg = Alg3Msg::Snapshot {
-                            tasks: refs,
-                            reg: self.reg.clone(),
-                            ssn: base.acks.tag(),
+                            tasks: Arc::new(refs),
+                            reg: self.reg.payload(),
+                            ssn,
                         };
                         fx.broadcast(self.n, &msg);
                     }
@@ -676,7 +688,7 @@ impl Protocol for Alg3 {
                 fx.send(
                     from,
                     Alg3Msg::WriteAck {
-                        reg: self.reg.clone(),
+                        reg: self.reg.payload(),
                     },
                 );
             }
@@ -705,7 +717,7 @@ impl Protocol for Alg3 {
             Alg3Msg::Snapshot { tasks, reg, ssn } => {
                 self.reg.merge_from(&reg);
                 // Line 105: adopt newer task announcements.
-                for t in &tasks {
+                for t in tasks.iter() {
                     if t.node >= self.n {
                         continue;
                     }
@@ -736,12 +748,17 @@ impl Protocol for Alg3 {
                 fx.send(
                     from,
                     Alg3Msg::SnapshotAck {
-                        reg: self.reg.clone(),
+                        reg: self.reg.payload(),
                         ssn,
                     },
                 );
                 if !known.is_empty() {
-                    fx.send(from, Alg3Msg::Save { entries: known });
+                    fx.send(
+                        from,
+                        Alg3Msg::Save {
+                            entries: Arc::new(known),
+                        },
+                    );
                 }
                 self.on_tasks_changed(fx);
             }
@@ -765,7 +782,7 @@ impl Protocol for Alg3 {
             }
             // safeReg's until-condition (line 71).
             Alg3Msg::SaveAck { ids } => {
-                let mut finished: Option<Vec<SaveEntry>> = None;
+                let mut finished: Option<Arc<Vec<SaveEntry>>> = None;
                 if let Some(base) = &mut self.base {
                     if let BasePhase::SaveReg { entries, acks } = &mut base.phase {
                         let expected: Vec<(usize, u64)> =
@@ -863,7 +880,7 @@ impl Protocol for Alg3 {
                     None
                 },
                 fnl: if rng.next_u32().is_multiple_of(2) {
-                    Some((&self.reg).into())
+                    Some((&*self.reg).into())
                 } else {
                     None
                 },
@@ -872,7 +889,7 @@ impl Protocol for Alg3 {
         // Scramble the in-flight phase machines too.
         if let Some(w) = &mut self.write {
             w.acks.clear();
-            w.lreg = self.reg.clone();
+            w.lreg = self.reg.payload();
         }
         self.base = None;
         // A waiting client op rides on whatever task id the corrupted
@@ -936,14 +953,14 @@ impl crate::bounded::HasIndices for Alg3 {
     }
 
     fn export_reg(&self) -> RegArray {
-        self.reg.clone()
+        self.reg.to_reg()
     }
 
     fn install_reset(&mut self, reg: RegArray) {
         self.ts = reg.get(self.id).ts;
         self.ssn = 0;
         self.sns = 0;
-        self.reg = reg;
+        self.reg = reg.into();
         self.pnd_tsk = vec![PndEntry::default(); self.n];
         self.write = None;
         self.base = None;
@@ -1035,7 +1052,7 @@ mod tests {
         a.invoke(OpId(1), SnapshotOp::Snapshot, &mut e);
         a.on_round(&mut e); // starts base, broadcasts SNAPSHOT ssn=1
         e.take_sends();
-        let reg = a.reg().clone();
+        let reg: Payload = a.reg().clone().into();
         a.on_message(
             NodeId(1),
             Alg3Msg::SnapshotAck {
@@ -1058,7 +1075,7 @@ mod tests {
         let mut e = fx();
         a.invoke(OpId(1), SnapshotOp::Snapshot, &mut e);
         a.on_round(&mut e);
-        let reg = a.reg().clone();
+        let reg: Payload = a.reg().clone().into();
         a.on_message(
             NodeId(1),
             Alg3Msg::SnapshotAck {
@@ -1090,6 +1107,7 @@ mod tests {
         // Acks carry a concurrent write by p1: prev != reg.
         let mut moved = a.reg().clone();
         moved.set(NodeId(1), Tagged::new(5, 1));
+        let moved: Payload = moved.into();
         a.on_message(
             NodeId(1),
             Alg3Msg::SnapshotAck {
@@ -1114,11 +1132,11 @@ mod tests {
         a.on_message(
             NodeId(0),
             Alg3Msg::Save {
-                entries: vec![SaveEntry {
+                entries: Arc::new(vec![SaveEntry {
                     node: 0,
                     sns: 3,
                     view,
-                }],
+                }]),
             },
             &mut e,
         );
@@ -1144,11 +1162,11 @@ mod tests {
         a.on_message(
             NodeId(1),
             Alg3Msg::Save {
-                entries: vec![SaveEntry {
+                entries: Arc::new(vec![SaveEntry {
                     node: 0,
                     sns: 3,
                     view,
-                }],
+                }]),
             },
             &mut e,
         );
@@ -1169,12 +1187,12 @@ mod tests {
         a.on_message(
             NodeId(1),
             Alg3Msg::Snapshot {
-                tasks: vec![TaskRef {
+                tasks: Arc::new(vec![TaskRef {
                     node: 0,
                     sns: 3,
                     vc: None,
-                }],
-                reg: RegArray::bottom(3),
+                }]),
+                reg: RegArray::bottom(3).into(),
                 ssn: 9,
             },
             &mut e,
@@ -1245,8 +1263,8 @@ mod tests {
         // Gossip stays O(ν), independent of n.
         assert_eq!(g.size_bits(64), 64 + 128 + 64);
         let s = Alg3Msg::Snapshot {
-            tasks: vec![],
-            reg: RegArray::bottom(4),
+            tasks: Arc::new(vec![]),
+            reg: RegArray::bottom(4).into(),
             ssn: 1,
         };
         assert_eq!(s.size_bits(64), 64 + 64 + 4 * 128);

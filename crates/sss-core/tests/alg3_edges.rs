@@ -5,8 +5,10 @@
 
 use sss_core::{Alg3, Alg3Config, Alg3Msg, SaveEntry, TaskRef};
 use sss_types::{
-    Effects, NodeId, OpId, OpResponse, Protocol, RegArray, SnapshotOp, SnapshotView, Tagged,
+    Effects, NodeId, OpId, OpResponse, Payload, Protocol, RegArray, SnapshotOp, SnapshotView,
+    Tagged,
 };
+use std::sync::Arc;
 
 fn node(i: usize, n: usize, delta: u64) -> Alg3 {
     Alg3::new(NodeId(i), n, Alg3Config { delta })
@@ -28,12 +30,12 @@ fn newer_task_supersedes_older_announcement() {
         a.on_message(
             NodeId(0),
             Alg3Msg::Snapshot {
-                tasks: vec![TaskRef {
+                tasks: Arc::new(vec![TaskRef {
                     node: 0,
                     sns,
                     vc: None,
-                }],
-                reg: RegArray::bottom(3),
+                }]),
+                reg: RegArray::bottom(3).into(),
                 ssn: sns,
             },
             &mut e,
@@ -44,12 +46,12 @@ fn newer_task_supersedes_older_announcement() {
     a.on_message(
         NodeId(2),
         Alg3Msg::Snapshot {
-            tasks: vec![TaskRef {
+            tasks: Arc::new(vec![TaskRef {
                 node: 0,
                 sns: 4,
                 vc: None,
-            }],
-            reg: RegArray::bottom(3),
+            }]),
+            reg: RegArray::bottom(3).into(),
             ssn: 9,
         },
         &mut e,
@@ -64,11 +66,11 @@ fn save_for_newer_task_replaces_result() {
     a.on_message(
         NodeId(0),
         Alg3Msg::Save {
-            entries: vec![SaveEntry {
+            entries: Arc::new(vec![SaveEntry {
                 node: 0,
                 sns: 2,
                 view: view(3),
-            }],
+            }]),
         },
         &mut e,
     );
@@ -77,11 +79,11 @@ fn save_for_newer_task_replaces_result() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Save {
-            entries: vec![SaveEntry {
+            entries: Arc::new(vec![SaveEntry {
                 node: 0,
                 sns: 7,
                 view: view(3),
-            }],
+            }]),
         },
         &mut e,
     );
@@ -98,12 +100,12 @@ fn out_of_range_indices_in_messages_are_ignored() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Snapshot {
-            tasks: vec![TaskRef {
+            tasks: Arc::new(vec![TaskRef {
                 node: 99,
                 sns: 1,
                 vc: None,
-            }],
-            reg: RegArray::bottom(3),
+            }]),
+            reg: RegArray::bottom(3).into(),
             ssn: 1,
         },
         &mut e,
@@ -111,11 +113,11 @@ fn out_of_range_indices_in_messages_are_ignored() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Save {
-            entries: vec![SaveEntry {
+            entries: Arc::new(vec![SaveEntry {
                 node: 42,
                 sns: 1,
                 view: view(3),
-            }],
+            }]),
         },
         &mut e,
     );
@@ -133,11 +135,11 @@ fn second_snapshot_queues_until_first_completes() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Save {
-            entries: vec![SaveEntry {
+            entries: Arc::new(vec![SaveEntry {
                 node: 0,
                 sns: 1,
                 view: view(3),
-            }],
+            }]),
         },
         &mut e,
     );
@@ -151,11 +153,11 @@ fn second_snapshot_queues_until_first_completes() {
     a.on_message(
         NodeId(1),
         Alg3Msg::Save {
-            entries: vec![SaveEntry {
+            entries: Arc::new(vec![SaveEntry {
                 node: 0,
                 sns: 2,
                 view: view(3),
-            }],
+            }]),
         },
         &mut e,
     );
@@ -170,7 +172,7 @@ fn write_returns_writedone_not_snapshot() {
     let mut a = node(0, 3, 0);
     let mut e = fx();
     a.invoke(OpId(1), SnapshotOp::Write(7), &mut e);
-    let lreg = a.reg().clone();
+    let lreg: Payload = a.reg().clone().into();
     a.on_message(NodeId(1), Alg3Msg::WriteAck { reg: lreg.clone() }, &mut e);
     a.on_message(NodeId(2), Alg3Msg::WriteAck { reg: lreg }, &mut e);
     let done = e.take_completions();
@@ -187,12 +189,12 @@ fn delta_excludes_finished_tasks() {
     a.on_message(
         NodeId(0),
         Alg3Msg::Snapshot {
-            tasks: vec![TaskRef {
+            tasks: Arc::new(vec![TaskRef {
                 node: 0,
                 sns: 1,
                 vc: None,
-            }],
-            reg: RegArray::bottom(3),
+            }]),
+            reg: RegArray::bottom(3).into(),
             ssn: 1,
         },
         &mut e,
@@ -200,11 +202,11 @@ fn delta_excludes_finished_tasks() {
     a.on_message(
         NodeId(2),
         Alg3Msg::Save {
-            entries: vec![SaveEntry {
+            entries: Arc::new(vec![SaveEntry {
                 node: 0,
                 sns: 1,
                 view: view(3),
-            }],
+            }]),
         },
         &mut e,
     );

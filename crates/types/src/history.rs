@@ -2,6 +2,7 @@
 //! linearizability checker consumes.
 
 use crate::{NodeId, OpId, OpResponse, SnapshotOp};
+use std::collections::HashMap;
 
 /// One operation's lifetime as observed at the client boundary.
 ///
@@ -57,6 +58,9 @@ impl OpRecord {
 #[derive(Clone, Debug, Default)]
 pub struct History {
     records: Vec<OpRecord>,
+    /// `id → records` position, so completions stay O(1) with millions of
+    /// operations recorded (a linear scan here dominates long runs).
+    index: HashMap<OpId, usize>,
 }
 
 impl History {
@@ -67,6 +71,7 @@ impl History {
 
     /// Records an invocation.
     pub fn record_invoke(&mut self, node: NodeId, id: OpId, op: SnapshotOp, at: u64) {
+        self.index.insert(id, self.records.len());
         self.records.push(OpRecord {
             node,
             id,
@@ -85,11 +90,11 @@ impl History {
     /// Panics if `id` was never invoked or already completed — either is a
     /// driver bug worth failing loudly on.
     pub fn record_complete(&mut self, id: OpId, resp: OpResponse, at: u64) {
-        let rec = self
-            .records
-            .iter_mut()
-            .find(|r| r.id == id)
+        let i = *self
+            .index
+            .get(&id)
             .expect("completion for unknown operation");
+        let rec = &mut self.records[i];
         assert!(rec.completed_at.is_none(), "operation completed twice");
         rec.completed_at = Some(at);
         rec.response = Some(resp);
@@ -97,11 +102,8 @@ impl History {
 
     /// Marks a previously invoked operation as aborted by a global reset.
     pub fn record_abort(&mut self, id: OpId, at: u64) {
-        let rec = self
-            .records
-            .iter_mut()
-            .find(|r| r.id == id)
-            .expect("abort for unknown operation");
+        let i = *self.index.get(&id).expect("abort for unknown operation");
+        let rec = &mut self.records[i];
         rec.completed_at = Some(at);
         rec.aborted = true;
     }
@@ -137,14 +139,14 @@ impl History {
     /// (used to check only the post-recovery suffix after a transient
     /// fault, as Dijkstra's criterion prescribes).
     pub fn suffix_from(&self, t: u64) -> History {
-        History {
-            records: self
-                .records
-                .iter()
-                .filter(|r| r.invoked_at >= t)
-                .cloned()
-                .collect(),
-        }
+        let records: Vec<OpRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.invoked_at >= t)
+            .cloned()
+            .collect();
+        let index = records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        History { records, index }
     }
 
     /// Latency distribution of the completed operations selected by

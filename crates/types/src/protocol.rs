@@ -66,6 +66,37 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
+    /// Every kind, in declaration (= `Ord`) order. Lets accounting code
+    /// use dense per-kind arrays instead of map lookups on the delivery
+    /// hot path.
+    pub const ALL: [MsgKind; 16] = [
+        MsgKind::Write,
+        MsgKind::WriteAck,
+        MsgKind::Snapshot,
+        MsgKind::SnapshotAck,
+        MsgKind::Gossip,
+        MsgKind::Save,
+        MsgKind::SaveAck,
+        MsgKind::Snap,
+        MsgKind::End,
+        MsgKind::RbEcho,
+        MsgKind::RbAck,
+        MsgKind::Reset,
+        MsgKind::Query,
+        MsgKind::QueryAck,
+        MsgKind::WriteBack,
+        MsgKind::WriteBackAck,
+    ];
+
+    /// Number of kinds (the length of [`MsgKind::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// This kind's position in [`MsgKind::ALL`] — a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether this is background gossip (sent every round regardless of
     /// operations) as opposed to operation-driven traffic.
     pub fn is_gossip(self) -> bool {
@@ -174,6 +205,23 @@ impl<M: Clone> Effects<M> {
     /// Drains and returns all buffered aborts.
     pub fn take_aborts(&mut self) -> Vec<OpId> {
         std::mem::take(&mut self.aborts)
+    }
+
+    /// Drains the buffered sends in order, keeping the buffer's allocation
+    /// so the same `Effects` can be reused across protocol steps without
+    /// re-allocating (the hot path of both drivers).
+    pub fn drain_sends(&mut self) -> std::vec::Drain<'_, (NodeId, M)> {
+        self.sends.drain(..)
+    }
+
+    /// Drains the buffered completions in order, keeping the allocation.
+    pub fn drain_completions(&mut self) -> std::vec::Drain<'_, (OpId, OpResponse)> {
+        self.completions.drain(..)
+    }
+
+    /// Drains the buffered aborts in order, keeping the allocation.
+    pub fn drain_aborts(&mut self) -> std::vec::Drain<'_, OpId> {
+        self.aborts.drain(..)
     }
 
     /// Whether nothing has been buffered.
@@ -304,6 +352,36 @@ mod tests {
         assert!(!fx.is_empty());
         assert_eq!(fx.take_completions().len(), 1);
         assert_eq!(fx.take_aborts(), vec![OpId(8)]);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn drains_keep_order_empty_the_buffer_and_reuse_it() {
+        let mut fx: Effects<Ping> = Effects::new();
+        fx.send(NodeId(2), Ping);
+        fx.send(NodeId(0), Ping);
+        fx.complete(OpId(1), OpResponse::WriteDone);
+        fx.abort(OpId(9));
+        let order: Vec<NodeId> = fx.drain_sends().map(|(to, _)| to).collect();
+        assert_eq!(order, vec![NodeId(2), NodeId(0)], "send order preserved");
+        assert_eq!(fx.drain_completions().count(), 1);
+        assert_eq!(fx.drain_aborts().next(), Some(OpId(9)));
+        assert!(fx.is_empty(), "drains must leave nothing behind");
+        // The same buffer keeps working after a full drain cycle — the
+        // runner reuses one Effects for every protocol step.
+        fx.broadcast(3, &Ping);
+        assert_eq!(fx.drain_sends().count(), 3);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn partial_drain_drops_the_rest_on_drop() {
+        let mut fx: Effects<Ping> = Effects::new();
+        fx.broadcast(4, &Ping);
+        // Consuming only part of the iterator still clears the buffer
+        // (std::vec::Drain removes the full range when dropped).
+        let first = fx.drain_sends().next().map(|(to, _)| to);
+        assert_eq!(first, Some(NodeId(0)));
         assert!(fx.is_empty());
     }
 

@@ -4,6 +4,15 @@ use crate::{NodeId, Tagged, VectorClock};
 use rand::Rng;
 use std::fmt;
 
+/// The cell order `(ts, val)` as one unsigned 128-bit key (both fields
+/// are `u64`, so lexicographic order equals integer order on
+/// `ts·2⁶⁴ + val`) — one branch-free compare per cell on the merge/`⪯`
+/// hot paths instead of the derived two-field chain.
+#[inline(always)]
+fn lex_key(c: &Tagged) -> u128 {
+    ((c.ts as u128) << 64) | c.val as u128
+}
+
 /// A node's local copy of all `n` shared registers (the paper's `reg`
 /// variable, Algorithm 1 line 4).
 ///
@@ -21,9 +30,21 @@ use std::fmt;
 /// s.set(NodeId(1), Tagged::new(6, 1));
 /// assert!(r.le(&s) && !s.le(&r));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct RegArray {
     cells: Vec<Tagged>,
+}
+
+/// Deep copies are counted (see [`crate::clone_stats`]) so experiments
+/// can attribute bytes-cloned to the message plane; share a
+/// [`crate::Payload`] instead of cloning where possible.
+impl Clone for RegArray {
+    fn clone(&self) -> Self {
+        crate::payload::clone_stats::on_clone(self.cells.len());
+        RegArray {
+            cells: self.cells.clone(),
+        }
+    }
 }
 
 impl RegArray {
@@ -64,19 +85,33 @@ impl RegArray {
     /// The `merge` macro restricted to one source: entrywise join of
     /// `other` into `self`.
     pub fn merge_from(&mut self, other: &RegArray) {
-        debug_assert_eq!(self.n(), other.n());
-        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
-            *mine = mine.join(*theirs);
-        }
+        self.merge_from_changed(other);
     }
 
-    /// The paper's `⪯` on arrays: entrywise `⪯` on every cell.
+    /// Entrywise join of `other` into `self`, reporting whether any cell
+    /// advanced — one pass over the cells, writing only where the join
+    /// moves (lets [`crate::SharedReg`] keep its outgoing payload cached
+    /// across no-op merges without a separate comparison pass).
+    pub fn merge_from_changed(&mut self, other: &RegArray) -> bool {
+        debug_assert_eq!(self.n(), other.n());
+        let mut changed = false;
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            if lex_key(theirs) > lex_key(mine) {
+                *mine = *theirs;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The paper's `⪯` on arrays: entrywise `⪯` on every cell. The cell
+    /// order is lexicographic `(ts, val)`, the order `join` maximizes.
     pub fn le(&self, other: &RegArray) -> bool {
         debug_assert_eq!(self.n(), other.n());
         self.cells
             .iter()
             .zip(&other.cells)
-            .all(|(a, b)| a.ts < b.ts || (a.ts == b.ts && a <= b))
+            .all(|(a, b)| lex_key(a) <= lex_key(b))
     }
 
     /// The paper's strict `≺`: `a ⪯ b ∧ a ≠ b`.
