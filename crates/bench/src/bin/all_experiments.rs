@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E13) in sequence — the full reproduction of
+//! Runs every experiment (E1–E13, E15) in sequence — the full reproduction of
 //! the paper's quantitative claims. The per-experiment binaries do the
 //! work; this wrapper just invokes their entry points via `cargo run`:
 //! build once with `--release`, then this binary shells out to its
@@ -22,6 +22,7 @@ const EXPERIMENTS: &[&str] = &[
     "e11_stacking",
     "e12_crash_tolerance",
     "e13_linearizability",
+    "e15_recovery_trace",
     "figures_message_flows",
     "ablation_gossip",
 ];

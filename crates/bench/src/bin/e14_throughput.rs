@@ -29,8 +29,9 @@
 
 use sss_bench::BackendChoice;
 use sss_core::Alg1;
+use sss_obs::JsonlSink;
 use sss_runtime::{Cluster, ClusterConfig};
-use sss_sim::{Ctl, Driver, Sim, SimConfig};
+use sss_sim::{Ctl, Driver, Sim, SimConfig, Tracer};
 use sss_types::{clone_stats, NodeId, OpId, OpResponse, Protocol, SnapshotOp};
 use std::time::{Duration, Instant};
 
@@ -103,8 +104,13 @@ fn best_of(measure: impl Fn() -> Row) -> Row {
 }
 
 fn measure_sim(n: usize) -> Row {
+    measure_sim_traced(n, Tracer::off())
+}
+
+fn measure_sim_traced(n: usize, tracer: Tracer) -> Row {
     let cfg = SimConfig::small(n).with_seed(0xE14 + n as u64);
     let mut sim = Sim::new(cfg, move |id| Alg1::new(id, n));
+    sim.set_tracer(tracer);
     let mut driver = WriteStorm::new(n);
     clone_stats::reset();
     let start = Instant::now();
@@ -114,6 +120,41 @@ fn measure_sim(n: usize) -> Row {
     let delivered: u64 = m.kinds().map(|(_, c)| c.delivered).sum();
     let events = m.rounds + delivered;
     finish_row("sim", n, events, wall, cfg.nu_bits)
+}
+
+/// `--measure-trace-overhead`: per-event cost of the trace plane on the
+/// hot simulator path, for the DESIGN.md overhead table. Three
+/// configurations: tracer off (the zero-cost claim), flight recorder
+/// only, and full JSONL streaming to a temp file.
+fn measure_trace_overhead() -> ! {
+    let n = 32;
+    let jsonl_path = std::env::temp_dir().join("e14_trace_overhead.jsonl");
+    let mut t = sss_bench::Table::new(&["tracer", "events/sec", "vs off"]);
+    let best = |mk: &dyn Fn() -> Tracer| {
+        (0..REPS)
+            .map(|_| measure_sim_traced(n, mk()).events_per_sec)
+            .fold(0.0f64, f64::max)
+    };
+    let _ = best(&Tracer::off); // warm-up (first-touch allocation)
+    let off = best(&Tracer::off);
+    let ring = best(&|| Tracer::new(n));
+    let jsonl = best(&|| {
+        Tracer::new(n).with_sink(JsonlSink::create(&jsonl_path).expect("temp trace file"))
+    });
+    for (label, v) in [
+        ("off", off),
+        ("flight recorder", ring),
+        ("jsonl sink", jsonl),
+    ] {
+        t.row(vec![
+            label.into(),
+            format!("{v:.0}"),
+            format!("{:.3}x", v / off.max(1e-9)),
+        ]);
+    }
+    t.print();
+    let _ = std::fs::remove_file(&jsonl_path);
+    std::process::exit(0);
 }
 
 fn measure_threads(n: usize) -> Row {
@@ -308,6 +349,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--smoke") {
         smoke();
+    }
+    if args.iter().any(|a| a == "--measure-trace-overhead") {
+        measure_trace_overhead();
     }
     let record_baseline = args.iter().any(|a| a == "--record-baseline");
     let backends = match BackendChoice::from_args() {

@@ -63,7 +63,8 @@ fn main() {
     // how δ trades snapshot latency against write throughput.
     println!();
     println!("latency distribution (virtual µs) under a 60/40 write/snapshot mix:");
-    let mut lat = Table::new(&["δ", "class", "count", "p50", "p95", "p99", "max"]);
+    let mut lat = Table::new(&["δ", "class", "count", "p50", "p95", "p99", "p99.9", "max"]);
+    let mut hists = Vec::new();
     for &delta in &[0u64, 4, 16] {
         let mut sim = Sim::new(SimConfig::harsh(n).with_seed(5), move |id| {
             Alg3::new(id, n, Alg3Config { delta })
@@ -88,11 +89,25 @@ fn main() {
                 s.p50.to_string(),
                 s.p95.to_string(),
                 s.p99.to_string(),
+                s.p999.to_string(),
                 s.max.to_string(),
             ]);
+            if class == OpClass::Snapshot {
+                hists.push((delta, s));
+            }
         }
     }
     lat.print();
+    println!();
+    println!("snapshot latency histograms (log₂ buckets, virtual µs):");
+    for (delta, s) in &hists {
+        println!("  δ = {delta}:");
+        let peak = s.histogram.nonzero().map(|(_, _, c)| c).max().unwrap_or(1);
+        for (lo, hi, count) in s.histogram.nonzero() {
+            let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+            println!("    [{lo:>9} .. {hi:>10})  {count:>4}  {bar}");
+        }
+    }
     println!();
     println!("expected shape: snapshot p95/p99 grow with δ (each snapshot may");
     println!("admit ~δ concurrent writes before blocking them), while write");

@@ -13,42 +13,70 @@
 //! * **Figure 3**: Algorithm 3 — the upper drawing's single snapshot
 //!   costs `O(n)` messages again; the lower drawing's all-node concurrent
 //!   snapshots are batched.
+//!
+//! The flows come from the trace plane: a [`MemorySink`] subscribed to
+//! the simulation collects [`TraceEvent::Deliver`] records per phase.
 
 use sss_baselines::{Dgfr1, Dgfr2};
 use sss_bench::Table;
 use sss_core::{Alg1, Alg3, Alg3Config};
-use sss_sim::{FlowRecord, Sim, SimConfig};
+use sss_sim::{MemorySink, Sim, SimConfig, TraceBuffer, TraceEvent, Tracer};
 use sss_types::{MsgKind, NodeId, Protocol, SnapshotOp};
 
 const N: usize = 3;
 
-/// Runs write(p0) → snapshot(p1) → write(p0) with flow recording,
+/// One message delivery extracted from the trace.
+struct Flow {
+    time: u64,
+    from: NodeId,
+    to: NodeId,
+    kind: MsgKind,
+}
+
+/// The `Deliver` events of a trace buffer, as flows.
+fn deliveries(buf: &TraceBuffer) -> Vec<Flow> {
+    buf.records()
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Deliver { from, to, kind } => Some(Flow {
+                time: r.at,
+                from,
+                to,
+                kind,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Runs write(p0) → snapshot(p1) → write(p0) under a tracing simulator,
 /// returning the recorded deliveries of the middle (snapshot) phase and
 /// totals for all phases.
-fn scenario<P: Protocol>(mk: impl FnMut(NodeId) -> P) -> (Vec<FlowRecord>, [usize; 3]) {
+fn scenario<P: Protocol>(mk: impl FnMut(NodeId) -> P) -> (Vec<Flow>, [usize; 3]) {
     let mut sim = Sim::new(SimConfig::small(N).with_seed(1), mk);
     sim.run_until(2_000);
-    sim.enable_flow_recording();
+    let (sink, buf) = MemorySink::new();
+    sim.set_tracer(Tracer::new(N).with_sink(sink));
     let mut counts = [0usize; 3];
     // Phase 1: write.
     sim.invoke_at(sim.now(), NodeId(0), SnapshotOp::Write(101));
     assert!(sim.run_until_idle(100_000_000));
-    counts[0] = sim.flows().len();
-    sim.clear_flows();
+    counts[0] = deliveries(&buf).len();
+    buf.clear();
     // Phase 2: snapshot (recorded in detail).
     sim.invoke_at(sim.now(), NodeId(1), SnapshotOp::Snapshot);
     assert!(sim.run_until_idle(100_000_000));
-    let snap_flows: Vec<FlowRecord> = sim.flows().to_vec();
+    let snap_flows = deliveries(&buf);
     counts[1] = snap_flows.len();
-    sim.clear_flows();
+    buf.clear();
     // Phase 3: write again.
     sim.invoke_at(sim.now(), NodeId(0), SnapshotOp::Write(102));
     assert!(sim.run_until_idle(100_000_000));
-    counts[2] = sim.flows().len();
+    counts[2] = deliveries(&buf).len();
     (snap_flows, counts)
 }
 
-fn print_flows(label: &str, flows: &[FlowRecord], counts: [usize; 3]) {
+fn print_flows(label: &str, flows: &[Flow], counts: [usize; 3]) {
     println!("--- {label} ---");
     println!(
         "deliveries per phase: write₁ = {}, snapshot = {}, write₂ = {}",
@@ -106,12 +134,13 @@ fn main() {
         Alg3::new(id, N, Alg3Config { delta: 0 })
     });
     sim.run_until(2_000);
-    sim.enable_flow_recording();
+    let (sink, buf) = MemorySink::new();
+    sim.set_tracer(Tracer::new(N).with_sink(sink));
     for i in 0..N {
         sim.invoke_at(sim.now() + i as u64, NodeId(i), SnapshotOp::Snapshot);
     }
     assert!(sim.run_until_idle(200_000_000));
-    let all: Vec<FlowRecord> = sim.flows().to_vec();
+    let all = deliveries(&buf);
     let op_msgs = all.iter().filter(|f| !f.kind.is_gossip()).count();
     println!("--- Figure 3 (lower): all {N} nodes snapshot concurrently (δ = 0) ---");
     println!(

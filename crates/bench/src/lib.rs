@@ -19,8 +19,10 @@
 #![warn(missing_docs)]
 
 use sss_net::{Backend, FaultPlan, WorkloadSpec};
+use sss_obs::{ChromeTraceSink, JsonlSink, Tracer};
 use sss_sim::{Metrics, MetricsDelta, Sim, SimConfig, SimTime};
 use sss_types::{MsgKind, NodeId, Protocol, SnapshotOp};
+use std::path::{Path, PathBuf};
 
 /// Which execution backend(s) an experiment binary should run its
 /// cross-backend scenario on, from the `--backend {sim,threads,both}`
@@ -65,15 +67,100 @@ impl BackendChoice {
     }
 }
 
+/// The `--trace <path>` CLI option shared by the experiment binaries:
+/// when present, runs write their structured event trace there. A
+/// `.json` extension selects the Chrome `trace_event` format (open the
+/// file in Perfetto / `chrome://tracing`); anything else gets JSON
+/// Lines, one event per line.
+#[derive(Clone, Debug, Default)]
+pub struct TraceArgs {
+    path: Option<PathBuf>,
+}
+
+impl TraceArgs {
+    /// Parses `--trace <path>` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if `--trace` is present without a path.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let path = args.iter().position(|a| a == "--trace").map(|i| {
+            PathBuf::from(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("--trace takes a file path")),
+            )
+        });
+        TraceArgs { path }
+    }
+
+    /// Whether tracing was requested.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// A tracer for an `n`-node run, writing to the configured path with
+    /// `label` inserted before the extension (so e.g. the `sim` and
+    /// `threads` replays of one experiment land in separate files).
+    /// Returns [`Tracer::off`] when `--trace` was not given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace file cannot be created.
+    pub fn tracer(&self, n: usize, label: &str) -> Tracer {
+        if !self.enabled() {
+            return Tracer::off();
+        }
+        self.attach(Tracer::new(n), label)
+    }
+
+    /// Adds the configured file sink to an already-built `tracer` (e.g.
+    /// one that also carries a memory sink for in-process analysis).
+    /// Returns `tracer` unchanged when `--trace` was not given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace file cannot be created.
+    pub fn attach(&self, tracer: Tracer, label: &str) -> Tracer {
+        let Some(base) = &self.path else {
+            return tracer;
+        };
+        let path = Self::labelled(base, label);
+        let opened = if path.extension().is_some_and(|e| e == "json") {
+            ChromeTraceSink::create(&path).map(|s| tracer.with_sink(s))
+        } else {
+            JsonlSink::create(&path).map(|s| tracer.with_sink(s))
+        };
+        eprintln!("tracing -> {}", path.display());
+        opened.unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()))
+    }
+
+    fn labelled(base: &Path, label: &str) -> PathBuf {
+        if label.is_empty() {
+            return base.to_path_buf();
+        }
+        let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        let name = match base.extension().and_then(|e| e.to_str()) {
+            Some(ext) => format!("{stem}.{label}.{ext}"),
+            None => format!("{stem}.{label}"),
+        };
+        base.with_file_name(name)
+    }
+}
+
 /// Replays one `(plan, workload)` scenario on each backend and prints a
 /// summary table with the linearizability verdict of each recorded
 /// history. Returns whether every history checked out.
+///
+/// Honors `--trace <path>` ([`TraceArgs`]): each backend's replay
+/// streams its event trace to a per-backend file.
 pub fn run_cross_backend(
     n: usize,
     backends: Vec<Box<dyn Backend>>,
     plan: &FaultPlan,
     workload: &WorkloadSpec,
 ) -> bool {
+    let trace = TraceArgs::from_args();
     let mut t = Table::new(&[
         "backend",
         "completed",
@@ -84,7 +171,9 @@ pub fn run_cross_backend(
     ]);
     let mut all_ok = true;
     for mut b in backends {
-        let report = b.run(plan, workload);
+        let tracer = trace.tracer(n, b.label());
+        let report = b.run_traced(plan, workload, &tracer);
+        drop(tracer); // last handle: flushes and closes the sink files
         let ok = sss_checker::check(&report.history, n).is_linearizable();
         all_ok &= ok;
         t.row(vec![

@@ -4,6 +4,7 @@
 use crate::{FaultPlan, ModelTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sss_obs::Tracer;
 use sss_types::{History, NodeId, SnapshotOp, Value};
 
 /// Encodes a globally unique write value for `node`'s `seq`-th write.
@@ -115,9 +116,24 @@ pub trait Backend {
     /// A short stable name for reports and `--backend` flags.
     fn label(&self) -> &'static str;
 
-    /// Replays `plan` while `workload` runs, returning the recorded
-    /// history and outcome counters.
-    fn run(&mut self, plan: &FaultPlan, workload: &WorkloadSpec) -> RunReport;
+    /// Replays `plan` while `workload` runs, emitting structured trace
+    /// events through `tracer` (which may be [`Tracer::off`]), and
+    /// returns the recorded history and outcome counters.
+    ///
+    /// Both backends emit the same `sss_obs::TraceEvent` schema with
+    /// model-microsecond timestamps, so one scenario yields comparable
+    /// logical traces across execution models.
+    fn run_traced(
+        &mut self,
+        plan: &FaultPlan,
+        workload: &WorkloadSpec,
+        tracer: &Tracer,
+    ) -> RunReport;
+
+    /// [`Backend::run_traced`] with tracing disabled.
+    fn run(&mut self, plan: &FaultPlan, workload: &WorkloadSpec) -> RunReport {
+        self.run_traced(plan, workload, &Tracer::off())
+    }
 }
 
 fn mix(seed: u64, salt: u64) -> u64 {

@@ -17,8 +17,10 @@
 //!   partitions, heals and single-link cuts. Times are in **model
 //!   microseconds**; the simulator interprets them as virtual time, the
 //!   threaded runtime scales them onto the wall clock.
-//! * [`Backend`] — `run(plan, workload) -> RunReport`: the interface
-//!   experiment bins use to replay one scenario on either backend.
+//! * [`Backend`] — `run_traced(plan, workload, tracer) -> RunReport`:
+//!   the interface experiment bins use to replay one scenario on either
+//!   backend, with structured `sss_obs` trace events emitted along the
+//!   way (or [`Backend::run`] for an untraced run).
 //!
 //! Corruption is seeded *by the plan* ([`FaultPlan::corruption_seed`]),
 //! so the "arbitrary" post-fault state is identical across backends.

@@ -79,6 +79,19 @@ pub enum DropReason {
     Capacity,
 }
 
+impl From<DropReason> for sss_obs::DropCause {
+    /// Maps a link-model drop verdict onto the trace-plane cause (the
+    /// trace plane adds one more cause, `Crashed`, for receiver-side
+    /// drops the link model never sees).
+    fn from(r: DropReason) -> Self {
+        match r {
+            DropReason::LinkDown => sss_obs::DropCause::LinkDown,
+            DropReason::Loss => sss_obs::DropCause::Loss,
+            DropReason::Capacity => sss_obs::DropCause::Capacity,
+        }
+    }
+}
+
 /// The link model's decision for one send.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LinkVerdict {

@@ -122,6 +122,31 @@ impl FaultPlan {
         self.events.iter().map(|(t, _)| *t).max().unwrap_or(0)
     }
 
+    /// Builds the trace event recording one plan event's injection —
+    /// both backends emit exactly this mapping, so fault records are
+    /// identical across execution models.
+    pub fn trace_event(ev: &FaultEvent) -> sss_obs::TraceEvent {
+        use sss_obs::FaultKind;
+        let (kind, node, peer) = match ev {
+            FaultEvent::Crash(n) => (FaultKind::Crash, Some(*n), None),
+            FaultEvent::Resume(n) => (FaultKind::Resume, Some(*n), None),
+            FaultEvent::Restart(n) => (FaultKind::Restart, Some(*n), None),
+            FaultEvent::Corrupt(n) => (FaultKind::Corrupt, Some(*n), None),
+            FaultEvent::Partition(_) => (FaultKind::Partition, None, None),
+            FaultEvent::Heal => (FaultKind::Heal, None, None),
+            FaultEvent::SetLink { from, to, up } => (
+                if *up {
+                    FaultKind::LinkUp
+                } else {
+                    FaultKind::LinkDown
+                },
+                Some(*from),
+                Some(*to),
+            ),
+        };
+        sss_obs::TraceEvent::Fault { kind, node, peer }
+    }
+
     /// The RNG seed for the corruption injected at `(t, node)`: a pure
     /// function of the plan seed, so every backend corrupts the node
     /// into the same "arbitrary" state.

@@ -1,0 +1,183 @@
+//! Hand-rolled JSON rendering of trace records (the workspace vendors no
+//! serde; the schema is flat enough that string assembly is simpler and
+//! faster anyway).
+
+use crate::event::{TraceEvent, TraceRecord};
+
+/// Renders one record as a single JSONL object (no trailing newline).
+pub(crate) fn to_jsonl(rec: &TraceRecord) -> String {
+    let head = format!("{{\"seq\":{},\"t\":{}", rec.seq, rec.at);
+    let body = match &rec.event {
+        TraceEvent::OpInvoke { node, id, class } => format!(
+            "\"ev\":\"op_invoke\",\"node\":{},\"op\":{},\"class\":\"{}\"",
+            node.index(),
+            id.0,
+            class.label()
+        ),
+        TraceEvent::OpComplete { node, id, class } => format!(
+            "\"ev\":\"op_complete\",\"node\":{},\"op\":{},\"class\":\"{}\"",
+            node.index(),
+            id.0,
+            class.label()
+        ),
+        TraceEvent::OpAbort { node, id } => format!(
+            "\"ev\":\"op_abort\",\"node\":{},\"op\":{}",
+            node.index(),
+            id.0
+        ),
+        TraceEvent::Send {
+            from,
+            to,
+            kind,
+            bits,
+        } => format!(
+            "\"ev\":\"send\",\"from\":{},\"to\":{},\"kind\":\"{:?}\",\"bits\":{}",
+            from.index(),
+            to.index(),
+            kind,
+            bits
+        ),
+        TraceEvent::Deliver { from, to, kind } => format!(
+            "\"ev\":\"deliver\",\"from\":{},\"to\":{},\"kind\":\"{:?}\"",
+            from.index(),
+            to.index(),
+            kind
+        ),
+        TraceEvent::Drop {
+            from,
+            to,
+            kind,
+            cause,
+        } => format!(
+            "\"ev\":\"drop\",\"from\":{},\"to\":{},\"kind\":\"{:?}\",\"cause\":\"{}\"",
+            from.index(),
+            to.index(),
+            kind,
+            cause.label()
+        ),
+        TraceEvent::Fault { kind, node, peer } => {
+            let mut s = format!("\"ev\":\"fault\",\"kind\":\"{}\"", kind.label());
+            if let Some(n) = node {
+                s.push_str(&format!(",\"node\":{}", n.index()));
+            }
+            if let Some(p) = peer {
+                s.push_str(&format!(",\"peer\":{}", p.index()));
+            }
+            s
+        }
+        TraceEvent::CycleEnd { index } => format!("\"ev\":\"cycle_end\",\"index\":{index}"),
+        TraceEvent::Stabilized { node } => {
+            format!("\"ev\":\"stabilized\",\"node\":{}", node.index())
+        }
+    };
+    format!("{head},{body}}}")
+}
+
+/// Renders one record as a Chrome `trace_event` object (no trailing
+/// comma/newline): operations become async begin/end pairs, everything
+/// else instant events. Timestamps are already microseconds, which is
+/// what the format expects.
+pub(crate) fn to_chrome(rec: &TraceRecord) -> String {
+    let instant = |name: String, tid: usize, scope: &str| {
+        format!(
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\"s\":\"{scope}\"}}",
+            rec.at
+        )
+    };
+    match &rec.event {
+        TraceEvent::OpInvoke { node, id, class } => format!(
+            "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"b\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+            class.label(),
+            id.0,
+            rec.at,
+            node.index()
+        ),
+        TraceEvent::OpComplete { node, id, class } => format!(
+            "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"e\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+            class.label(),
+            id.0,
+            rec.at,
+            node.index()
+        ),
+        TraceEvent::OpAbort { node, id } => format!(
+            "{{\"name\":\"abort\",\"cat\":\"op\",\"ph\":\"e\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+            id.0,
+            rec.at,
+            node.index()
+        ),
+        TraceEvent::Send { from, to, kind, .. } => instant(
+            format!("{kind:?} \u{2192} p{}", to.index()),
+            from.index(),
+            "t",
+        ),
+        TraceEvent::Deliver { from, to, kind } => instant(
+            format!("{kind:?} \u{2190} p{}", from.index()),
+            to.index(),
+            "t",
+        ),
+        TraceEvent::Drop {
+            from, kind, cause, ..
+        } => instant(
+            format!("drop {kind:?} ({})", cause.label()),
+            from.index(),
+            "t",
+        ),
+        TraceEvent::Fault { kind, node, .. } => match node {
+            Some(n) => instant(format!("fault: {}", kind.label()), n.index(), "p"),
+            None => instant(format!("fault: {}", kind.label()), 0, "g"),
+        },
+        TraceEvent::CycleEnd { index } => instant(format!("cycle {index}"), 0, "g"),
+        TraceEvent::Stabilized { node } => instant("stabilized".into(), node.index(), "p"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropCause;
+    use sss_types::{MsgKind, NodeId, OpClass, OpId};
+
+    fn rec(event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq: 7,
+            at: 1234,
+            event,
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_flat_object() {
+        let s = to_jsonl(&rec(TraceEvent::OpInvoke {
+            node: NodeId(1),
+            id: OpId(42),
+            class: OpClass::Snapshot,
+        }));
+        assert_eq!(
+            s,
+            "{\"seq\":7,\"t\":1234,\"ev\":\"op_invoke\",\"node\":1,\"op\":42,\"class\":\"snapshot\"}"
+        );
+        let s = to_jsonl(&rec(TraceEvent::Drop {
+            from: NodeId(0),
+            to: NodeId(2),
+            kind: MsgKind::Gossip,
+            cause: DropCause::Loss,
+        }));
+        assert!(s.contains("\"cause\":\"loss\""), "{s}");
+    }
+
+    #[test]
+    fn chrome_ops_pair_up_by_id() {
+        let b = to_chrome(&rec(TraceEvent::OpInvoke {
+            node: NodeId(0),
+            id: OpId(3),
+            class: OpClass::Write,
+        }));
+        let e = to_chrome(&rec(TraceEvent::OpComplete {
+            node: NodeId(0),
+            id: OpId(3),
+            class: OpClass::Write,
+        }));
+        assert!(b.contains("\"ph\":\"b\"") && b.contains("\"id\":3"), "{b}");
+        assert!(e.contains("\"ph\":\"e\"") && e.contains("\"id\":3"), "{e}");
+    }
+}

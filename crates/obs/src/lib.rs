@@ -1,0 +1,50 @@
+//! The unified trace plane: structured protocol events, a per-node
+//! flight recorder, and pluggable sinks, shared by **every** execution
+//! backend.
+//!
+//! The paper's claims are *trajectory* claims — who sent what in which
+//! asynchronous cycle, and how many cycles recovery from a transient
+//! fault takes (§2's cycle accounting, Figures 1–3). Aggregate counters
+//! cannot answer those questions; this crate makes the trajectory itself
+//! observable:
+//!
+//! * [`TraceEvent`] — the protocol lifecycle as structured events:
+//!   operation invoke/complete/abort (with [`OpClass`]), message
+//!   send/deliver/drop (with [`MsgKind`] and encoded bits), fault-plan
+//!   injections, asynchronous-cycle boundaries, and the [`Stabilized`]
+//!   probe a backend emits when a node's post-corruption state
+//!   re-converges;
+//! * [`Tracer`] — the cheap, cloneable handle both backends emit
+//!   through. A disabled tracer is a null pointer: [`Tracer::is_on`] is
+//!   one branch and no event is ever constructed, so tracing is
+//!   zero-cost when off;
+//! * a bounded per-node **flight recorder** ring that is cheap enough to
+//!   leave on in production-shaped runs ([`Tracer::flight`]);
+//! * pluggable [`TraceSink`]s: in-memory ([`MemorySink`]) for tests and
+//!   experiments, JSONL ([`JsonlSink`]) for offline analysis, Chrome
+//!   `trace_event` JSON ([`ChromeTraceSink`]) viewable in
+//!   `chrome://tracing` / Perfetto, and a live subscription channel
+//!   ([`SubscriberSink`]) for monitoring consumers.
+//!
+//! Because the simulator and the threaded runtime emit the same schema
+//! through the same handle (threaded via `sss_net::Backend::run_traced`),
+//! one fault plan yields *comparable logical traces* on both execution
+//! models: same kinds, same sources and destinations, timestamps in
+//! model microseconds on both (virtual time for the simulator, scaled
+//! wall time for threads).
+//!
+//! [`Stabilized`]: TraceEvent::Stabilized
+//! [`OpClass`]: sss_types::OpClass
+//! [`MsgKind`]: sss_types::MsgKind
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod event;
+mod json;
+mod sink;
+mod tracer;
+
+pub use event::{DropCause, FaultKind, TraceEvent, TraceRecord, TraceTime};
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SubscriberSink, TraceBuffer, TraceSink};
+pub use tracer::{Tracer, DEFAULT_RING_CAPACITY};

@@ -1,0 +1,281 @@
+//! Pluggable trace sinks: in-memory, live subscription, JSONL, and
+//! Chrome `trace_event` JSON.
+
+use crate::event::TraceRecord;
+use crate::json;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{BufWriter, Result as IoResult, Write};
+use std::path::Path;
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// A destination for trace records.
+///
+/// Sinks receive every record in global sequence order, under the
+/// tracer's emission lock, so implementations need no synchronization of
+/// their own but must stay cheap — an expensive sink stalls emitters.
+pub trait TraceSink: Send {
+    /// Consumes one record.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Flushes any buffered output. Called by [`crate::Tracer::flush`]
+    /// and when the tracer is dropped.
+    fn flush(&mut self) {}
+}
+
+/// An unbounded in-memory sink for tests and experiments.
+///
+/// [`MemorySink::new`] returns the sink (to hand to the tracer) and a
+/// [`TraceBuffer`] handle that reads the accumulated records back out.
+pub struct MemorySink {
+    buf: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+/// The read side of a [`MemorySink`].
+#[derive(Clone)]
+pub struct TraceBuffer {
+    buf: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink plus the handle that reads it back.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> (MemorySink, TraceBuffer) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (MemorySink { buf: buf.clone() }, TraceBuffer { buf })
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.buf.lock().push(rec.clone());
+    }
+}
+
+impl TraceBuffer {
+    /// A snapshot of every record captured so far, in sequence order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.buf.lock().clone()
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every captured record (e.g. between warm-up and the
+    /// measured window of an experiment).
+    pub fn clear(&self) {
+        self.buf.lock().clear();
+    }
+}
+
+/// A live subscription sink: forwards every record over a channel to a
+/// consumer thread (monitoring dashboards, the `cluster_monitor`
+/// example).
+///
+/// Two flavours: [`SubscriberSink::unbounded`] never drops, and
+/// [`SubscriberSink::bounded`] sheds records when the consumer lags
+/// rather than stalling the protocol — [`SubscriberSink`] counts what it
+/// shed so consumers can report the gap.
+pub enum SubscriberSink {
+    /// Never drops; the channel grows if the consumer lags.
+    Unbounded(Sender<TraceRecord>),
+    /// Sheds records when the channel is full, counting the casualties.
+    Bounded {
+        /// The bounded channel's send side.
+        tx: SyncSender<TraceRecord>,
+        /// Records shed because the consumer lagged.
+        shed: Arc<Mutex<u64>>,
+    },
+}
+
+impl SubscriberSink {
+    /// An unbounded subscription: `(sink, receiver)`.
+    pub fn unbounded() -> (SubscriberSink, Receiver<TraceRecord>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (SubscriberSink::Unbounded(tx), rx)
+    }
+
+    /// A bounded subscription that sheds when the consumer is more than
+    /// `depth` records behind: `(sink, receiver, shed-counter)`.
+    pub fn bounded(depth: usize) -> (SubscriberSink, Receiver<TraceRecord>, Arc<Mutex<u64>>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(depth);
+        let shed = Arc::new(Mutex::new(0));
+        (
+            SubscriberSink::Bounded {
+                tx,
+                shed: shed.clone(),
+            },
+            rx,
+            shed,
+        )
+    }
+}
+
+impl TraceSink for SubscriberSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        match self {
+            // A hung-up consumer is not an error: the run outlives it.
+            SubscriberSink::Unbounded(tx) => {
+                let _ = tx.send(rec.clone());
+            }
+            SubscriberSink::Bounded { tx, shed } => match tx.try_send(rec.clone()) {
+                Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+                Err(TrySendError::Full(_)) => *shed.lock() += 1,
+            },
+        }
+    }
+}
+
+/// Writes one JSON object per line — the interchange format for offline
+/// analysis (`jq`, pandas, the CI artifact).
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> IoResult<JsonlSink> {
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        let _ = writeln!(self.out, "{}", json::to_jsonl(rec));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Writes Chrome `trace_event` JSON, loadable in `chrome://tracing` or
+/// <https://ui.perfetto.dev>: operations render as async spans per node
+/// track, messages / faults / stabilization probes as instants.
+///
+/// Records stream to disk as they arrive; the closing bracket is written
+/// on flush (flushing more than once still yields valid JSON because the
+/// file is rewritten from a buffered tail marker — in practice, flush
+/// happens once, at the end of the run).
+pub struct ChromeTraceSink {
+    out: BufWriter<File>,
+    wrote_any: bool,
+    closed: bool,
+}
+
+impl ChromeTraceSink {
+    /// Creates (truncating) the file at `path` and writes the preamble.
+    pub fn create(path: impl AsRef<Path>) -> IoResult<ChromeTraceSink> {
+        let mut out = BufWriter::new(File::create(path)?);
+        write!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        Ok(ChromeTraceSink {
+            out,
+            wrote_any: false,
+            closed: false,
+        })
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.closed {
+            return;
+        }
+        let sep = if self.wrote_any { "," } else { "" };
+        let _ = write!(self.out, "{sep}{}", json::to_chrome(rec));
+        self.wrote_any = true;
+    }
+
+    fn flush(&mut self) {
+        if !self.closed {
+            let _ = write!(self.out, "]}}");
+            self.closed = true;
+        }
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use sss_types::{NodeId, OpClass, OpId};
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at: seq * 10,
+            event: TraceEvent::OpInvoke {
+                node: NodeId(0),
+                id: OpId(seq),
+                class: OpClass::Write,
+            },
+        }
+    }
+
+    #[test]
+    fn memory_sink_round_trips() {
+        let (mut sink, buf) = MemorySink::new();
+        assert!(buf.is_empty());
+        sink.record(&rec(0));
+        sink.record(&rec(1));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.records()[1].seq, 1);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn bounded_subscriber_sheds_instead_of_blocking() {
+        let (mut sink, rx, shed) = SubscriberSink::bounded(1);
+        sink.record(&rec(0));
+        sink.record(&rec(1)); // full → shed
+        assert_eq!(*shed.lock(), 1);
+        assert_eq!(rx.recv().unwrap().seq, 0);
+        drop(rx);
+        sink.record(&rec(2)); // hung-up consumer → quietly ignored
+        assert_eq!(*shed.lock(), 1);
+    }
+
+    #[test]
+    fn jsonl_and_chrome_files_are_well_formed() {
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join("sss_obs_test_trace.jsonl");
+        let chrome = dir.join("sss_obs_test_trace.json");
+
+        let mut s = JsonlSink::create(&jsonl).unwrap();
+        s.record(&rec(0));
+        s.record(&rec(1));
+        s.flush();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+
+        let mut c = ChromeTraceSink::create(&chrome).unwrap();
+        c.record(&rec(0));
+        c.record(&rec(1));
+        drop(c); // drop flushes and closes the JSON
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(text.starts_with('{') && text.ends_with('}'), "{text}");
+        assert_eq!(text.matches("\"ph\":\"b\"").count(), 2);
+
+        let _ = std::fs::remove_file(jsonl);
+        let _ = std::fs::remove_file(chrome);
+    }
+}

@@ -1,0 +1,255 @@
+//! The [`Tracer`] handle both backends emit through.
+
+use crate::event::{TraceEvent, TraceRecord, TraceTime};
+use crate::sink::TraceSink;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default flight-recorder depth per node (and for the global ring).
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+struct State {
+    /// Next global sequence number.
+    seq: u64,
+    /// Per-node flight-recorder rings.
+    rings: Vec<VecDeque<TraceRecord>>,
+    /// Ring for global events (partitions, heals, cycle boundaries).
+    global: VecDeque<TraceRecord>,
+    /// Ring capacity.
+    cap: usize,
+    /// Attached sinks; every record goes to every sink.
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+}
+
+/// The cloneable emission handle of the trace plane.
+///
+/// A tracer is either **off** — a null pointer, so [`Tracer::is_on`] is
+/// one branch, [`Tracer::emit`] returns immediately, and callers that
+/// gate event *construction* behind `is_on()` pay nothing at all — or
+/// **on**, in which case every emitted event is stamped with a global
+/// sequence number, appended to the scoped node's bounded flight-recorder
+/// ring, and forwarded to every attached sink.
+///
+/// Clones share the same state: both backends hand clones to their
+/// node/client threads and all emissions interleave into one totally
+/// ordered record stream.
+///
+/// ```
+/// use sss_obs::{MemorySink, TraceEvent, Tracer};
+/// use sss_types::NodeId;
+///
+/// let off = Tracer::off();
+/// assert!(!off.is_on()); // emit() on this handle is a no-op
+///
+/// let (sink, buf) = MemorySink::new();
+/// let tracer = Tracer::new(3).with_sink(sink);
+/// tracer.emit(42, TraceEvent::Stabilized { node: NodeId(1) });
+/// assert_eq!(buf.len(), 1);
+/// assert_eq!(tracer.flight(NodeId(1)).len(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<Inner>>);
+
+impl Tracer {
+    /// The disabled tracer: every operation is a no-op.
+    pub fn off() -> Tracer {
+        Tracer(None)
+    }
+
+    /// An enabled tracer for `n` nodes with the default ring capacity
+    /// and no sinks (the flight recorder alone).
+    pub fn new(n: usize) -> Tracer {
+        Tracer(Some(Arc::new(Inner {
+            state: Mutex::new(State {
+                seq: 0,
+                rings: (0..n).map(|_| VecDeque::new()).collect(),
+                global: VecDeque::new(),
+                cap: DEFAULT_RING_CAPACITY,
+                sinks: Vec::new(),
+            }),
+        })))
+    }
+
+    /// Sets the per-ring capacity (builder style). No-op when off.
+    pub fn with_ring_capacity(self, cap: usize) -> Tracer {
+        if let Some(inner) = &self.0 {
+            let mut st = inner.state.lock();
+            st.cap = cap.max(1);
+            let cap = st.cap;
+            let State { rings, global, .. } = &mut *st;
+            for ring in rings.iter_mut().chain(std::iter::once(global)) {
+                while ring.len() > cap {
+                    ring.pop_front();
+                }
+            }
+        }
+        self
+    }
+
+    /// Attaches a sink (builder style). No-op when off.
+    pub fn with_sink(self, sink: impl TraceSink + 'static) -> Tracer {
+        if let Some(inner) = &self.0 {
+            inner.state.lock().sinks.push(Box::new(sink));
+        }
+        self
+    }
+
+    /// Whether this tracer records anything. Hot paths gate event
+    /// construction behind this so a disabled tracer costs one branch.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one event at model time `at` (microseconds): stamps it
+    /// with the next global sequence number, appends it to the scoped
+    /// flight-recorder ring, and forwards it to every sink. No-op when
+    /// off.
+    pub fn emit(&self, at: TraceTime, event: TraceEvent) {
+        let Some(inner) = &self.0 else { return };
+        let mut st = inner.state.lock();
+        let rec = TraceRecord {
+            seq: st.seq,
+            at,
+            event,
+        };
+        st.seq += 1;
+        for sink in &mut st.sinks {
+            sink.record(&rec);
+        }
+        let cap = st.cap;
+        let ring = match rec.event.scope() {
+            Some(node) => match st.rings.get_mut(node.index()) {
+                Some(r) => r,
+                None => &mut st.global,
+            },
+            None => &mut st.global,
+        };
+        if ring.len() == cap {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+    }
+
+    /// Total events emitted so far (0 when off).
+    pub fn emitted(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.state.lock().seq)
+    }
+
+    /// The flight recorder of `node`: its most recent scoped records in
+    /// sequence order. Empty when off or for an unknown node.
+    pub fn flight(&self, node: sss_types::NodeId) -> Vec<TraceRecord> {
+        self.0.as_ref().map_or_else(Vec::new, |i| {
+            i.state
+                .lock()
+                .rings
+                .get(node.index())
+                .map_or_else(Vec::new, |r| r.iter().cloned().collect())
+        })
+    }
+
+    /// The global flight recorder: recent unscoped records (partitions,
+    /// heals, cycle boundaries). Empty when off.
+    pub fn flight_global(&self) -> Vec<TraceRecord> {
+        self.0.as_ref().map_or_else(Vec::new, |i| {
+            i.state.lock().global.iter().cloned().collect()
+        })
+    }
+
+    /// Flushes every attached sink. No-op when off.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            for sink in &mut inner.state.lock().sinks {
+                sink.flush();
+            }
+        }
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        // Flush through the last handle so file sinks are complete even
+        // if the caller forgot an explicit flush().
+        if let Some(inner) = self.0.take() {
+            if Arc::strong_count(&inner) == 1 {
+                for sink in &mut inner.state.lock().sinks {
+                    sink.flush();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use sss_types::{MsgKind, NodeId};
+
+    fn send(from: usize, to: usize) -> TraceEvent {
+        TraceEvent::Send {
+            from: NodeId(from),
+            to: NodeId(to),
+            kind: MsgKind::Gossip,
+            bits: 64,
+        }
+    }
+
+    #[test]
+    fn off_tracer_is_inert() {
+        let t = Tracer::off();
+        assert!(!t.is_on());
+        t.emit(0, send(0, 1));
+        assert_eq!(t.emitted(), 0);
+        assert!(t.flight(NodeId(0)).is_empty());
+        assert!(t.flight_global().is_empty());
+        t.flush();
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_ordered() {
+        let (sink, buf) = MemorySink::new();
+        let t = Tracer::new(2).with_sink(sink);
+        for i in 0..5 {
+            t.emit(i, send(0, 1));
+        }
+        let recs = buf.records();
+        assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+        assert_eq!(t.emitted(), 5);
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded_and_scoped() {
+        let t = Tracer::new(2).with_ring_capacity(3);
+        for i in 0..10 {
+            t.emit(i, send(0, 1));
+        }
+        t.emit(10, TraceEvent::CycleEnd { index: 0 });
+        let ring = t.flight(NodeId(0));
+        assert_eq!(ring.len(), 3, "ring bounded at capacity");
+        assert_eq!(ring.last().unwrap().seq, 9, "keeps the newest");
+        assert!(t.flight(NodeId(1)).is_empty(), "sends scope to sender");
+        assert_eq!(t.flight_global().len(), 1, "cycle ends are global");
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let (sink, buf) = MemorySink::new();
+        let t = Tracer::new(2).with_sink(sink);
+        let t2 = t.clone();
+        t.emit(0, send(0, 1));
+        t2.emit(1, send(1, 0));
+        assert_eq!(
+            buf.records().iter().map(|r| r.seq).collect::<Vec<_>>(),
+            [0, 1]
+        );
+    }
+}

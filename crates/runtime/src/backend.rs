@@ -3,6 +3,7 @@
 
 use crate::{Cluster, ClusterConfig, ClusterError};
 use sss_net::{Backend, FaultPlan, RunReport, RunStats, WorkloadSpec, MODEL_ROUND_US};
+use sss_obs::Tracer;
 use sss_types::{NodeId, Protocol, SnapshotOp};
 
 /// The real-threads backend. Each node gets one client thread executing
@@ -43,8 +44,13 @@ where
         "threads"
     }
 
-    fn run(&mut self, plan: &FaultPlan, workload: &WorkloadSpec) -> RunReport {
-        let cluster = Cluster::new(self.cfg.clone(), &mut self.mk);
+    fn run_traced(
+        &mut self,
+        plan: &FaultPlan,
+        workload: &WorkloadSpec,
+        tracer: &Tracer,
+    ) -> RunReport {
+        let cluster = Cluster::new_traced(self.cfg.clone(), tracer.clone(), &mut self.mk);
         let op_timeout = self.cfg.wall_offset(workload.op_timeout);
         let mut joins = Vec::with_capacity(self.cfg.n);
         for i in 0..self.cfg.n {

@@ -37,17 +37,27 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sss_net::{LinkConfig, LinkModel, LinkVerdict, MODEL_ROUND_US};
 use sss_types::{
-    Effects, History, NodeId, OpId, OpResponse, Protocol, SnapshotOp, SnapshotView, Value,
+    Effects, History, NodeId, OpClass, OpId, OpResponse, ProtoMsg, Protocol, SnapshotOp,
+    SnapshotView, Value,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 mod backend;
 pub use backend::ThreadBackend;
-// Re-export the shared fault plane so runtime users need only one import.
+// Re-export the shared fault plane and the trace plane so runtime users
+// need only one import.
 pub use sss_net::{Backend, FaultEvent, FaultPlan, RunReport, RunStats, WorkloadSpec};
+pub use sss_obs::{
+    DropCause, FaultKind, MemorySink, SubscriberSink, TraceBuffer, TraceEvent, TraceRecord, Tracer,
+};
+
+/// The `ν` (encoded object size, bits) used for trace-event message
+/// sizing on this backend — matching the simulator's default config so
+/// the two backends' `Send` events report identical bit counts.
+const TRACE_NU_BITS: u32 = 64;
 
 /// Errors returned by the blocking client API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,6 +147,15 @@ enum NodeMsg<M> {
     Stop,
 }
 
+/// The state behind the runtime's asynchronous-cycle proxy (see
+/// [`Shared::on_traced_round`]).
+struct CycleProxy {
+    /// Per-node round counts at the start of the current cycle.
+    baseline: Vec<u64>,
+    /// Index of the cycle currently accumulating.
+    index: u64,
+}
+
 struct Shared {
     history: Mutex<History>,
     started: Instant,
@@ -147,11 +166,58 @@ struct Shared {
     links: Mutex<LinkModel>,
     /// Messages dropped by the link model or by crashed receivers.
     dropped: AtomicU64,
+    /// The trace plane ([`Tracer::off`] unless the cluster was built with
+    /// [`Cluster::new_traced`]).
+    tracer: Tracer,
+    /// The round interval in wall µs, for scaling wall time to model
+    /// time in trace timestamps.
+    round_us: u64,
+    /// Per-node completed `do forever` iterations (cycle proxy input).
+    round_counts: Vec<AtomicU64>,
+    /// Per-node crashed flags (crashed nodes are excluded from the
+    /// cycle proxy, mirroring the simulator's live-set semantics).
+    crashed: Vec<AtomicBool>,
+    cycle: Mutex<CycleProxy>,
 }
 
 impl Shared {
     fn now_us(&self) -> u64 {
         self.started.elapsed().as_micros() as u64
+    }
+
+    /// Wall time scaled to model microseconds: plan times are calibrated
+    /// against [`MODEL_ROUND_US`]-µs rounds, so a cluster running
+    /// `round_us`-µs rounds divides elapsed wall time by
+    /// `round_us / MODEL_ROUND_US`. Trace timestamps from both backends
+    /// thereby share one axis.
+    fn model_now(&self) -> u64 {
+        self.now_us() * MODEL_ROUND_US / self.round_us
+    }
+
+    /// Advances the asynchronous-cycle proxy after `node` completed a
+    /// `do forever` iteration. The wall-clock backend cannot observe
+    /// global in-flight message counts the way the simulator's
+    /// `CycleTracker` does, so it uses the rounds-only over-approximation:
+    /// a cycle ends once every non-crashed node has completed an
+    /// iteration since the previous boundary. With round intervals far
+    /// exceeding delivery latency (the deployment regime), this tracks
+    /// the paper's cycle definition to within a constant factor.
+    fn on_traced_round(&self, node: NodeId) {
+        self.round_counts[node.index()].fetch_add(1, Ordering::Relaxed);
+        let mut cy = self.cycle.lock();
+        let complete = (0..self.round_counts.len()).all(|i| {
+            self.crashed[i].load(Ordering::Relaxed)
+                || self.round_counts[i].load(Ordering::Relaxed) > cy.baseline[i]
+        });
+        if complete {
+            let index = cy.index;
+            cy.index += 1;
+            for (i, b) in cy.baseline.iter_mut().enumerate() {
+                *b = self.round_counts[i].load(Ordering::Relaxed);
+            }
+            self.tracer
+                .emit(self.model_now(), TraceEvent::CycleEnd { index });
+        }
     }
 }
 
@@ -165,7 +231,16 @@ pub struct Cluster<P: Protocol> {
 
 impl<P: Protocol + 'static> Cluster<P> {
     /// Starts `cfg.n` node threads, building each protocol with `mk`.
-    pub fn new(cfg: ClusterConfig, mut mk: impl FnMut(NodeId) -> P) -> Self {
+    pub fn new(cfg: ClusterConfig, mk: impl FnMut(NodeId) -> P) -> Self {
+        Self::new_traced(cfg, Tracer::off(), mk)
+    }
+
+    /// [`Cluster::new`] with the trace plane attached: every node thread
+    /// and client emits structured [`TraceEvent`]s through `tracer`,
+    /// timestamped in model microseconds (wall time scaled by the round
+    /// interval, so traces line up with simulator traces of the same
+    /// plan). With [`Tracer::off`] this is exactly [`Cluster::new`].
+    pub fn new_traced(cfg: ClusterConfig, tracer: Tracer, mut mk: impl FnMut(NodeId) -> P) -> Self {
         let n = cfg.n;
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -180,6 +255,14 @@ impl<P: Protocol + 'static> Cluster<P> {
             next_op: AtomicU64::new(0),
             links: Mutex::new(LinkModel::new(n, cfg.net, cfg.seed ^ 0x11_4e7)),
             dropped: AtomicU64::new(0),
+            tracer,
+            round_us: (cfg.round_interval.as_micros() as u64).max(1),
+            round_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            cycle: Mutex::new(CycleProxy {
+                baseline: vec![0; n],
+                index: 0,
+            }),
         });
         let mut threads = Vec::with_capacity(n);
         for (i, rx) in receivers.into_iter().enumerate() {
@@ -240,6 +323,21 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// transient cuts; a full partition blocks minority sides).
     pub fn set_link(&self, from: NodeId, to: NodeId, up: bool) {
         self.shared.links.lock().set_link(from, to, up);
+        if self.shared.tracer.is_on() {
+            let kind = if up {
+                FaultKind::LinkUp
+            } else {
+                FaultKind::LinkDown
+            };
+            self.shared.tracer.emit(
+                self.shared.model_now(),
+                TraceEvent::Fault {
+                    kind,
+                    node: Some(from),
+                    peer: Some(to),
+                },
+            );
+        }
     }
 
     /// Partitions the cluster into `groups` using the shared fault-plane
@@ -255,11 +353,31 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// representation).
     pub fn partition_groups(&self, groups: &[Vec<NodeId>]) {
         self.shared.links.lock().partition(groups);
+        if self.shared.tracer.is_on() {
+            self.shared.tracer.emit(
+                self.shared.model_now(),
+                TraceEvent::Fault {
+                    kind: FaultKind::Partition,
+                    node: None,
+                    peer: None,
+                },
+            );
+        }
     }
 
     /// Restores every link.
     pub fn heal_partition(&self) {
         self.shared.links.lock().heal();
+        if self.shared.tracer.is_on() {
+            self.shared.tracer.emit(
+                self.shared.model_now(),
+                TraceEvent::Fault {
+                    kind: FaultKind::Heal,
+                    node: None,
+                    peer: None,
+                },
+            );
+        }
     }
 
     /// Replays a shared fault plan against this cluster, blocking until
@@ -300,6 +418,12 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// The configuration this cluster runs with.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// The trace plane this cluster emits through ([`Tracer::off`]
+    /// unless built with [`Cluster::new_traced`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
     }
 
     /// Stops all node threads and returns their final protocol states.
@@ -348,6 +472,7 @@ impl<P: Protocol> Client<P> {
 
     fn run(&self, op: SnapshotOp) -> Result<OpResponse, ClusterError> {
         let id = OpId(self.shared.next_op.fetch_add(1, Ordering::Relaxed));
+        let class = OpClass::of(&op);
         let (done_tx, done_rx) = bounded(1);
         {
             let now = self.shared.now_us();
@@ -355,6 +480,16 @@ impl<P: Protocol> Client<P> {
                 .history
                 .lock()
                 .record_invoke(self.node, id, op, now);
+        }
+        if self.shared.tracer.is_on() {
+            self.shared.tracer.emit(
+                self.shared.model_now(),
+                TraceEvent::OpInvoke {
+                    node: self.node,
+                    id,
+                    class,
+                },
+            );
         }
         self.inbox
             .send(NodeMsg::Invoke {
@@ -370,6 +505,16 @@ impl<P: Protocol> Client<P> {
                     .history
                     .lock()
                     .record_complete(id, resp.clone(), now);
+                if self.shared.tracer.is_on() {
+                    self.shared.tracer.emit(
+                        self.shared.model_now(),
+                        TraceEvent::OpComplete {
+                            node: self.node,
+                            id,
+                            class,
+                        },
+                    );
+                }
                 Ok(resp)
             }
             Err(_) => Err(ClusterError::Timeout),
@@ -409,6 +554,10 @@ fn node_loop<P: Protocol>(
     let me = proto.id();
     let mut pending: Vec<(OpId, Sender<OpResponse>)> = Vec::new();
     let mut crashed = false;
+    // Stabilization probe: set when a corruption lands, cleared (with a
+    // `Stabilized` trace event) once the protocol's local invariants hold
+    // again. Only maintained while the tracer is on.
+    let mut tainted = false;
     let mut next_round = Instant::now() + cfg.round_interval;
     // One reusable effect buffer for the thread's lifetime: `apply` drains
     // it in place, so steady-state steps allocate nothing.
@@ -421,21 +570,50 @@ fn node_loop<P: Protocol>(
             if !crashed {
                 proto.on_round(&mut fx);
                 apply(me, &mut fx, &peers, &mut pending, &shared);
+                if shared.tracer.is_on() {
+                    shared.on_traced_round(me);
+                    check_stabilized(&proto, &mut tainted, &shared);
+                }
             }
             next_round = Instant::now() + cfg.round_interval;
         }
         let timeout = next_round.saturating_duration_since(Instant::now());
         match rx.recv_timeout(timeout) {
             Ok(NodeMsg::Stop) => return proto,
-            Ok(NodeMsg::Crash) => crashed = true,
-            Ok(NodeMsg::Resume) => crashed = false,
+            Ok(NodeMsg::Crash) => {
+                crashed = true;
+                if shared.tracer.is_on() {
+                    shared.crashed[me.index()].store(true, Ordering::Relaxed);
+                    emit_fault(&shared, FaultKind::Crash, me);
+                }
+            }
+            Ok(NodeMsg::Resume) => {
+                crashed = false;
+                if shared.tracer.is_on() {
+                    shared.crashed[me.index()].store(false, Ordering::Relaxed);
+                    emit_fault(&shared, FaultKind::Resume, me);
+                }
+            }
             Ok(NodeMsg::Corrupt(seed)) => {
                 let mut corrupt_rng = StdRng::seed_from_u64(seed);
                 proto.corrupt(&mut corrupt_rng);
+                if shared.tracer.is_on() {
+                    emit_fault(&shared, FaultKind::Corrupt, me);
+                    // Check immediately: a corruption that happens to
+                    // land in a legal state stabilizes in zero steps.
+                    tainted = true;
+                    check_stabilized(&proto, &mut tainted, &shared);
+                }
             }
             Ok(NodeMsg::Restart) => {
                 proto.restart();
                 crashed = false;
+                if shared.tracer.is_on() {
+                    shared.crashed[me.index()].store(false, Ordering::Relaxed);
+                    emit_fault(&shared, FaultKind::Restart, me);
+                    // Re-initialization resolves an outstanding corruption.
+                    check_stabilized(&proto, &mut tainted, &shared);
+                }
             }
             Ok(NodeMsg::Net { from, msg }) => {
                 // Release the link-capacity slot whether or not the
@@ -444,12 +622,36 @@ fn node_loop<P: Protocol>(
                     shared.links.lock().on_delivered(from, me);
                 }
                 if !crashed {
+                    if shared.tracer.is_on() {
+                        shared.tracer.emit(
+                            shared.model_now(),
+                            TraceEvent::Deliver {
+                                from,
+                                to: me,
+                                kind: msg.kind(),
+                            },
+                        );
+                    }
                     proto.on_message(from, msg, &mut fx);
                     apply(me, &mut fx, &peers, &mut pending, &shared);
+                    if shared.tracer.is_on() {
+                        check_stabilized(&proto, &mut tainted, &shared);
+                    }
                 } else {
                     // Crashed receiver: the message is lost, same
                     // accounting as the simulator's.
                     shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    if shared.tracer.is_on() {
+                        shared.tracer.emit(
+                            shared.model_now(),
+                            TraceEvent::Drop {
+                                from,
+                                to: me,
+                                kind: msg.kind(),
+                                cause: DropCause::Crashed,
+                            },
+                        );
+                    }
                 }
             }
             Ok(NodeMsg::Invoke { id, op, done }) => {
@@ -471,14 +673,53 @@ fn node_loop<P: Protocol>(
     }
 }
 
-fn apply<M: Clone>(
+/// Emits a node-scoped fault event (caller has already checked
+/// `tracer.is_on()`).
+fn emit_fault(shared: &Shared, kind: FaultKind, node: NodeId) {
+    shared.tracer.emit(
+        shared.model_now(),
+        TraceEvent::Fault {
+            kind,
+            node: Some(node),
+            peer: None,
+        },
+    );
+}
+
+/// The stabilization probe: if the node is tainted by a corruption and
+/// its local invariants hold again, clear the taint and emit
+/// [`TraceEvent::Stabilized`] (caller has already checked
+/// `tracer.is_on()`).
+fn check_stabilized<P: Protocol>(proto: &P, tainted: &mut bool, shared: &Shared) {
+    if *tainted && proto.local_invariants_hold() {
+        *tainted = false;
+        shared.tracer.emit(
+            shared.model_now(),
+            TraceEvent::Stabilized { node: proto.id() },
+        );
+    }
+}
+
+fn apply<M: ProtoMsg>(
     me: NodeId,
     fx: &mut Effects<M>,
     peers: &[Sender<NodeMsg<M>>],
     pending: &mut Vec<(OpId, Sender<OpResponse>)>,
     shared: &Shared,
 ) {
+    let tracing = shared.tracer.is_on();
     for (to, msg) in fx.drain_sends() {
+        if tracing {
+            shared.tracer.emit(
+                shared.model_now(),
+                TraceEvent::Send {
+                    from: me,
+                    to,
+                    kind: msg.kind(),
+                    bits: msg.size_bits(TRACE_NU_BITS),
+                },
+            );
+        }
         if to == me {
             // Self-delivery: reliable, immediate (an internal step).
             let _ = peers[to.index()].send(NodeMsg::Net { from: me, msg });
@@ -488,8 +729,19 @@ fn apply<M: Clone>(
         // fault plane. Delay verdicts are ignored: thread scheduling and
         // channel queueing already make delivery timing asynchronous.
         match shared.links.lock().on_send(me, to) {
-            LinkVerdict::Drop(_) => {
+            LinkVerdict::Drop(reason) => {
                 shared.dropped.fetch_add(1, Ordering::Relaxed);
+                if tracing {
+                    shared.tracer.emit(
+                        shared.model_now(),
+                        TraceEvent::Drop {
+                            from: me,
+                            to,
+                            kind: msg.kind(),
+                            cause: reason.into(),
+                        },
+                    );
+                }
             }
             LinkVerdict::Deliver { duplicate, .. } => {
                 if duplicate.is_some() {
@@ -513,6 +765,11 @@ fn apply<M: Clone>(
         // with a WriteDone-shaped error path: drop the sender so the
         // client times out quickly... better: send nothing; the client
         // timeout handles it. Drop the pending entry.
+        if tracing {
+            shared
+                .tracer
+                .emit(shared.model_now(), TraceEvent::OpAbort { node: me, id });
+        }
         pending.retain(|(pid, _)| *pid != id);
     }
 }
@@ -653,6 +910,77 @@ mod partition_tests {
         cluster.client(NodeId(0)).write(9).unwrap();
         let view = cluster.client(NodeId(1)).snapshot().unwrap();
         assert_eq!(view.value_of(NodeId(0)), Some(9));
+        cluster.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use sss_core::Alg1;
+    use sss_obs::TraceEvent;
+
+    #[test]
+    fn traced_cluster_emits_full_event_lifecycle() {
+        let (sink, buf) = MemorySink::new();
+        let tracer = Tracer::new(3).with_sink(sink);
+        let cluster = Cluster::new_traced(ClusterConfig::new(3), tracer, |id| Alg1::new(id, 3));
+        cluster.client(NodeId(0)).write(42).unwrap();
+        cluster.corrupt(NodeId(1), 7);
+        cluster.client(NodeId(1)).snapshot().unwrap();
+        // Let a few rounds elapse so cycles complete and the corrupted
+        // node's invariants re-converge.
+        std::thread::sleep(Duration::from_millis(30));
+        cluster.shutdown();
+        let recs = buf.records();
+        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+        let has = |f: &dyn Fn(&TraceEvent) -> bool| recs.iter().any(|r| f(&r.event));
+        assert!(has(&|e| matches!(
+            e,
+            TraceEvent::OpInvoke {
+                node: NodeId(0),
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            TraceEvent::OpComplete {
+                node: NodeId(0),
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(e, TraceEvent::Send { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::Deliver { .. })));
+        assert!(has(&|e| matches!(
+            e,
+            TraceEvent::Fault {
+                kind: FaultKind::Corrupt,
+                node: Some(NodeId(1)),
+                ..
+            }
+        )));
+        assert!(
+            has(&|e| matches!(e, TraceEvent::Stabilized { node: NodeId(1) })),
+            "corrupted node must re-converge and emit Stabilized"
+        );
+        // The cycle proxy advances and indices are dense from zero.
+        let cycles: Vec<u64> = recs
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::CycleEnd { index } => Some(index),
+                _ => None,
+            })
+            .collect();
+        assert!(!cycles.is_empty());
+        assert_eq!(cycles, (0..cycles.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn untraced_cluster_emits_nothing() {
+        let cluster = Cluster::new(ClusterConfig::new(3), |id| Alg1::new(id, 3));
+        cluster.client(NodeId(0)).write(1).unwrap();
+        assert!(!cluster.tracer().is_on());
+        assert_eq!(cluster.tracer().emitted(), 0);
         cluster.shutdown();
     }
 }

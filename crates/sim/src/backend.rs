@@ -5,6 +5,7 @@ use crate::config::SimConfig;
 use crate::runner::{Ctl, Driver, Sim};
 use crate::SimTime;
 use sss_net::{Backend, FaultPlan, RunReport, RunStats, WorkloadSpec};
+use sss_obs::Tracer;
 use sss_types::{NodeId, OpId, OpResponse, Protocol, SnapshotOp};
 use std::collections::VecDeque;
 
@@ -132,8 +133,14 @@ impl<P: Protocol, F: FnMut(NodeId) -> P> Backend for SimBackend<P, F> {
         "sim"
     }
 
-    fn run(&mut self, plan: &FaultPlan, workload: &WorkloadSpec) -> RunReport {
+    fn run_traced(
+        &mut self,
+        plan: &FaultPlan,
+        workload: &WorkloadSpec,
+        tracer: &Tracer,
+    ) -> RunReport {
         let mut sim = Sim::new(self.cfg, &mut self.mk);
+        sim.set_tracer(tracer.clone());
         sim.apply_plan(plan);
         let mut driver = SpecDriver::new(self.cfg.n, workload);
         sim.run_with_driver(&mut driver, self.horizon);

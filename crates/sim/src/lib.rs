@@ -53,10 +53,12 @@ mod runner;
 pub use backend::SimBackend;
 pub use config::{NetConfig, SimConfig};
 pub use cycles::CycleTracker;
-pub use metrics::{KindCounter, LatencySummary, Metrics, MetricsDelta, OpClass};
-pub use runner::{Ctl, Driver, FlowRecord, NoDriver, Sim};
-// Re-export the shared fault plane so simulator users need only one import.
+pub use metrics::{KindCounter, LatencyHistogram, LatencySummary, Metrics, MetricsDelta, OpClass};
+pub use runner::{Ctl, Driver, NoDriver, Sim};
+// Re-export the shared fault plane and the trace plane so simulator
+// users need only one import.
 pub use sss_net::{Backend, FaultEvent, FaultPlan, RunReport, RunStats, WorkloadSpec};
+pub use sss_obs::{DropCause, FaultKind, MemorySink, TraceBuffer, TraceEvent, TraceRecord, Tracer};
 
 /// Virtual time, in microseconds since the start of the run.
 pub type SimTime = u64;

@@ -2,25 +2,68 @@
 //! reproduces the paper's communication-cost claims.
 
 use crate::SimTime;
-use sss_types::{MsgKind, SnapshotOp};
+use sss_types::MsgKind;
+// Latency samples are bucketed by the shared operation classification.
+pub use sss_types::OpClass;
 
-/// The two client-visible operation classes, used to bucket latency
-/// samples (the paper reports write and snapshot latency separately).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum OpClass {
-    /// A `write(v)` operation.
-    Write,
-    /// A `snapshot()` operation.
-    Snapshot,
+/// A fixed log₂-bucket histogram of latency samples: bucket `i` counts
+/// samples whose value (in virtual microseconds) lies in
+/// `[2^i, 2^(i+1))`, with `0` and `1` both landing in bucket 0 and the
+/// top bucket absorbing everything ≥ `2^31`. Thirty-two buckets cover
+/// half a second of model time at the top end, far beyond any
+/// experiment's horizon, while the fixed shape keeps the summary `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LatencyHistogram::BUCKETS],
 }
 
-impl OpClass {
-    /// Classifies an operation.
-    pub fn of(op: &SnapshotOp) -> Self {
-        match op {
-            SnapshotOp::Write(_) => OpClass::Write,
-            SnapshotOp::Snapshot => OpClass::Snapshot,
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LatencyHistogram::BUCKETS],
         }
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of log₂ buckets.
+    pub const BUCKETS: usize = 32;
+
+    fn bucket_index(sample: SimTime) -> usize {
+        (63 - sample.max(1).leading_zeros() as usize).min(Self::BUCKETS - 1)
+    }
+
+    fn add(&mut self, sample: SimTime) {
+        self.buckets[Self::bucket_index(sample)] += 1;
+    }
+
+    /// The count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Total samples across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Iterates over non-empty buckets as `(lo, hi, count)`, where the
+    /// bucket spans `lo..hi` microseconds (the top bucket reports
+    /// `hi = u64::MAX`).
+    pub fn nonzero(&self) -> impl Iterator<Item = (SimTime, SimTime, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let hi = if i + 1 >= Self::BUCKETS {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                (lo, hi, c)
+            })
     }
 }
 
@@ -42,27 +85,43 @@ pub struct LatencySummary {
     pub p95: SimTime,
     /// 99th percentile (nearest-rank).
     pub p99: SimTime,
+    /// 99.9th percentile (nearest-rank).
+    pub p999: SimTime,
+    /// Log₂-bucket distribution of all samples.
+    pub histogram: LatencyHistogram,
 }
 
 impl LatencySummary {
-    fn from_samples(samples: &[SimTime]) -> Self {
+    /// Builds the summary from raw samples. Percentiles use the
+    /// **nearest-rank** definition: the p-th percentile is the sample at
+    /// rank `⌈p/100 · count⌉` (1-based) of the sorted list — an actual
+    /// sample, never an interpolated midpoint.
+    pub fn from_samples(samples: &[SimTime]) -> Self {
         if samples.is_empty() {
             return Self::default();
         }
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
-        let pct = |p: u64| {
-            let idx = ((sorted.len() as u64 - 1) * p + 50) / 100;
-            sorted[idx as usize]
+        let len = sorted.len() as u64;
+        // Nearest-rank with p in per-mille: rank = ⌈p·len/1000⌉ ≥ 1.
+        let pct = |p_mille: u64| {
+            let rank = (p_mille * len).div_ceil(1000).max(1);
+            sorted[(rank - 1) as usize]
         };
+        let mut histogram = LatencyHistogram::default();
+        for &s in &sorted {
+            histogram.add(s);
+        }
         LatencySummary {
             count: sorted.len(),
             min: sorted[0],
             max: *sorted.last().unwrap(),
-            mean: sorted.iter().sum::<SimTime>() / sorted.len() as SimTime,
-            p50: pct(50),
-            p95: pct(95),
-            p99: pct(99),
+            mean: sorted.iter().sum::<SimTime>() / len,
+            p50: pct(500),
+            p95: pct(950),
+            p99: pct(990),
+            p999: pct(999),
+            histogram,
         }
     }
 }
@@ -286,6 +345,7 @@ mod tests {
 
     #[test]
     fn op_class_of() {
+        use sss_types::SnapshotOp;
         assert_eq!(OpClass::of(&SnapshotOp::Write(3)), OpClass::Write);
         assert_eq!(OpClass::of(&SnapshotOp::Snapshot), OpClass::Snapshot);
     }
@@ -302,12 +362,35 @@ mod tests {
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 100);
         assert_eq!(s.mean, 50);
-        // Even sample count: nearest-rank rounds the median up.
-        assert_eq!(s.p50, 51);
+        // Nearest-rank: rank ⌈0.5·100⌉ = 50 → sample 50 (no midpoint
+        // interpolation on even counts).
+        assert_eq!(s.p50, 50);
         assert_eq!(s.p95, 95);
         assert_eq!(s.p99, 99);
+        // ⌈0.999·100⌉ = 100 → the max.
+        assert_eq!(s.p999, 100);
         // Other class untouched.
         assert_eq!(m.latency(OpClass::Snapshot), LatencySummary::default());
+    }
+
+    #[test]
+    fn nearest_rank_on_known_small_vectors() {
+        // Pinned against the textbook nearest-rank definition
+        // (rank = ⌈p/100 · N⌉, 1-based), the spec this summary documents.
+        let s = LatencySummary::from_samples(&[15, 20, 35, 40, 50]);
+        assert_eq!(s.p50, 35, "⌈0.5·5⌉ = rank 3");
+        assert_eq!(s.p95, 50, "⌈0.95·5⌉ = rank 5");
+        assert_eq!(s.p99, 50);
+
+        let s = LatencySummary::from_samples(&[3, 6, 7, 8, 8, 10, 13, 15, 16, 20]);
+        assert_eq!(s.p50, 8, "⌈0.5·10⌉ = rank 5");
+        assert_eq!(s.p95, 20, "⌈0.95·10⌉ = rank 10");
+
+        let s = LatencySummary::from_samples(&[1, 2]);
+        assert_eq!(s.p50, 1, "⌈0.5·2⌉ = rank 1, not the 1.5 midpoint");
+
+        let s = LatencySummary::from_samples(&[9]);
+        assert_eq!((s.p50, s.p95, s.p99, s.p999), (9, 9, 9, 9));
     }
 
     #[test]
@@ -316,9 +399,26 @@ mod tests {
         m.record_latency(OpClass::Snapshot, 42);
         let s = m.latency(OpClass::Snapshot);
         assert_eq!(
-            (s.count, s.min, s.max, s.p50, s.p95, s.p99),
-            (1, 42, 42, 42, 42, 42)
+            (s.count, s.min, s.max, s.p50, s.p95, s.p99, s.p999),
+            (1, 42, 42, 42, 42, 42, 42)
         );
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let s = LatencySummary::from_samples(&[0, 1, 2, 3, 4, 1000, 1 << 40]);
+        let h = s.histogram;
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.count(0), 2, "0 and 1 share bucket 0");
+        assert_eq!(h.count(1), 2, "2 and 3");
+        assert_eq!(h.count(2), 1, "4");
+        assert_eq!(h.count(9), 1, "1000 ∈ [512, 1024)");
+        assert_eq!(h.count(31), 1, "top bucket absorbs the tail");
+        let spans: Vec<_> = h.nonzero().collect();
+        assert_eq!(spans[0], (0, 2, 2));
+        assert_eq!(spans[1], (2, 4, 2));
+        assert_eq!(spans.last().unwrap(), &(1 << 31, u64::MAX, 1));
+        assert_eq!(LatencyHistogram::default().total(), 0);
     }
 
     #[test]

@@ -3,30 +3,16 @@
 use crate::config::SimConfig;
 use crate::cycles::CycleTracker;
 use crate::event::{Ev, EventQueue};
-use crate::metrics::{Metrics, OpClass};
+use crate::metrics::Metrics;
 use crate::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sss_net::{FaultEvent, FaultPlan, LinkModel, LinkVerdict};
+use sss_obs::{DropCause, TraceEvent, Tracer};
 use sss_types::{
-    ArbitraryMsg, Effects, History, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg,
+    ArbitraryMsg, Effects, History, NodeId, OpClass, OpId, OpResponse, ProcessSet, ProtoMsg,
     Protocol, SnapshotOp,
 };
-
-/// One delivered message, as recorded by flow tracing (see
-/// [`Sim::enable_flow_recording`]); used to regenerate the paper's
-/// message-flow figures.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct FlowRecord {
-    /// Delivery time.
-    pub time: SimTime,
-    /// Sender.
-    pub from: NodeId,
-    /// Receiver.
-    pub to: NodeId,
-    /// Message classification.
-    pub kind: MsgKind,
-}
 
 /// A workload driver: receives completion callbacks and may schedule
 /// further operations, implementing closed-loop workloads (think of it as
@@ -139,7 +125,14 @@ pub struct Sim<P: Protocol> {
     /// so the hot loop never allocates per event.
     scratch: Effects<P::Msg>,
     trace: u64,
-    flows: Option<Vec<FlowRecord>>,
+    tracer: Tracer,
+    /// Cycle boundaries already emitted as [`TraceEvent::CycleEnd`].
+    traced_cycles: u64,
+    /// Per-node "corrupted, not yet re-converged" flags driving the
+    /// [`TraceEvent::Stabilized`] probe; `tainted_count` short-circuits
+    /// the per-step check when nothing is tainted.
+    tainted: Vec<bool>,
+    tainted_count: usize,
 }
 
 impl<P: Protocol> Sim<P> {
@@ -172,7 +165,10 @@ impl<P: Protocol> Sim<P> {
             op_meta: Vec::new(),
             scratch: Effects::new(),
             trace: 0xcbf29ce484222325,
-            flows: None,
+            tracer: Tracer::off(),
+            traced_cycles: 0,
+            tainted: vec![false; cfg.n],
+            tainted_count: 0,
             cfg,
         };
         for i in 0..cfg.n {
@@ -287,24 +283,17 @@ impl<P: Protocol> Sim<P> {
         &self.links
     }
 
-    /// Starts recording every message delivery (sender, receiver, kind,
-    /// time) for message-flow diagrams. Cheap but unbounded; enable only
-    /// for short scenario runs.
-    pub fn enable_flow_recording(&mut self) {
-        self.flows = Some(Vec::new());
+    /// Attaches the trace plane: every protocol-lifecycle event from now
+    /// on is emitted through `tracer` (stamped with virtual time). Pass
+    /// [`Tracer::off`] to detach. Tracing costs one branch per potential
+    /// event when off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
-    /// The recorded message flows (empty unless
-    /// [`Sim::enable_flow_recording`] was called).
-    pub fn flows(&self) -> &[FlowRecord] {
-        self.flows.as_deref().unwrap_or(&[])
-    }
-
-    /// Clears the recorded flows (e.g. between scenario phases).
-    pub fn clear_flows(&mut self) {
-        if let Some(f) = &mut self.flows {
-            f.clear();
-        }
+    /// The attached tracer handle (off by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// In-flight messages, in no particular order.
@@ -396,6 +385,70 @@ impl<P: Protocol> Sim<P> {
     pub fn corrupt_node_now(&mut self, node: NodeId) {
         self.trace = fold(self.trace, 0xC0);
         self.nodes[node.index()].corrupt(&mut self.rng);
+        if self.tracer.is_on() {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::Fault {
+                    kind: sss_obs::FaultKind::Corrupt,
+                    node: Some(node),
+                    peer: None,
+                },
+            );
+            self.taint(node);
+        }
+    }
+
+    // ----- trace-plane probes ------------------------------------------
+
+    /// Marks `node` as corrupted for the stabilization probe and checks
+    /// it immediately (a corruption that happens to land in a legal state
+    /// stabilizes in zero steps). Only called with the tracer on.
+    fn taint(&mut self, node: NodeId) {
+        if !self.tainted[node.index()] {
+            self.tainted[node.index()] = true;
+            self.tainted_count += 1;
+        }
+        self.check_stabilized(node);
+    }
+
+    /// Emits [`TraceEvent::Stabilized`] the first time `node`'s local
+    /// invariants hold again after a corruption.
+    fn check_stabilized(&mut self, node: NodeId) {
+        if self.tainted_count == 0 || !self.tainted[node.index()] {
+            return;
+        }
+        if self.nodes[node.index()].local_invariants_hold() {
+            self.tainted[node.index()] = false;
+            self.tainted_count -= 1;
+            self.tracer.emit(self.now, TraceEvent::Stabilized { node });
+        }
+    }
+
+    /// Emits a node-scoped fault record.
+    fn emit_fault(&mut self, kind: sss_obs::FaultKind, node: NodeId) {
+        self.tracer.emit(
+            self.now,
+            TraceEvent::Fault {
+                kind,
+                node: Some(node),
+                peer: None,
+            },
+        );
+    }
+
+    /// Emits a [`TraceEvent::CycleEnd`] for every asynchronous-cycle
+    /// boundary the tracker crossed since the last call.
+    fn emit_new_cycles(&mut self) {
+        while self.traced_cycles < self.cycles.cycles() {
+            let at = self.cycles.boundaries()[self.traced_cycles as usize];
+            self.tracer.emit(
+                at,
+                TraceEvent::CycleEnd {
+                    index: self.traced_cycles,
+                },
+            );
+            self.traced_cycles += 1;
+        }
     }
 
     /// Replaces each in-flight message, independently with probability
@@ -497,6 +550,10 @@ impl<P: Protocol> Sim<P> {
                 let live = self.live();
                 self.cycles.on_round(node, &live, self.now);
                 self.apply_effects(node, driver, stop);
+                if self.tracer.is_on() {
+                    self.check_stabilized(node);
+                    self.emit_new_cycles();
+                }
                 let jitter = if self.cfg.round_jitter > 0 {
                     self.rng.gen_range(0..=self.cfg.round_jitter)
                 } else {
@@ -513,23 +570,51 @@ impl<P: Protocol> Sim<P> {
                 }
                 if self.crashed.contains(to) {
                     self.metrics.on_dropped(msg.kind());
+                    if self.tracer.is_on() {
+                        self.tracer.emit(
+                            self.now,
+                            TraceEvent::Drop {
+                                from,
+                                to,
+                                kind: msg.kind(),
+                                cause: DropCause::Crashed,
+                            },
+                        );
+                        self.emit_new_cycles();
+                    }
                     return;
                 }
                 self.metrics.on_delivered(msg.kind());
-                if let Some(flows) = &mut self.flows {
-                    flows.push(FlowRecord {
-                        time: self.now,
-                        from,
-                        to,
-                        kind: msg.kind(),
-                    });
+                if self.tracer.is_on() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::Deliver {
+                            from,
+                            to,
+                            kind: msg.kind(),
+                        },
+                    );
                 }
                 self.nodes[to.index()].on_message(from, msg, &mut self.scratch);
                 self.apply_effects(to, driver, stop);
+                if self.tracer.is_on() {
+                    self.check_stabilized(to);
+                    self.emit_new_cycles();
+                }
             }
             Ev::Invoke { node, id, op } => {
                 self.trace = fold(self.trace, 0x200 + node.index() as u64);
                 self.history.record_invoke(node, id, op, self.now);
+                if self.tracer.is_on() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::OpInvoke {
+                            node,
+                            id,
+                            class: OpClass::of(&op),
+                        },
+                    );
+                }
                 let idx = id.0 as usize;
                 if self.op_meta.len() <= idx {
                     self.op_meta.resize(idx + 1, None);
@@ -547,6 +632,10 @@ impl<P: Protocol> Sim<P> {
                 self.round_token[node.index()] += 1;
                 let live = self.live();
                 self.cycles.on_live_change(&live, self.now);
+                if self.tracer.is_on() {
+                    self.emit_fault(sss_obs::FaultKind::Crash, node);
+                    self.emit_new_cycles();
+                }
             }
             Ev::Resume { node } => {
                 self.trace = fold(self.trace, 0x400 + node.index() as u64);
@@ -554,6 +643,9 @@ impl<P: Protocol> Sim<P> {
                     self.round_token[node.index()] += 1;
                     let token = self.round_token[node.index()];
                     self.queue.push(self.now + 1, Ev::Round { node, token });
+                }
+                if self.tracer.is_on() {
+                    self.emit_fault(sss_obs::FaultKind::Resume, node);
                 }
             }
             Ev::Restart { node } => {
@@ -563,6 +655,12 @@ impl<P: Protocol> Sim<P> {
                     self.round_token[node.index()] += 1;
                     let token = self.round_token[node.index()];
                     self.queue.push(self.now + 1, Ev::Round { node, token });
+                }
+                if self.tracer.is_on() {
+                    self.emit_fault(sss_obs::FaultKind::Restart, node);
+                    // A restart re-initializes every variable, which also
+                    // resolves any outstanding corruption.
+                    self.check_stabilized(node);
                 }
             }
             Ev::Corrupt { node, seed } => {
@@ -576,18 +674,56 @@ impl<P: Protocol> Sim<P> {
                     }
                     None => self.nodes[node.index()].corrupt(&mut self.rng),
                 }
+                if self.tracer.is_on() {
+                    self.emit_fault(sss_obs::FaultKind::Corrupt, node);
+                    self.taint(node);
+                }
             }
             Ev::Partition { groups } => {
                 self.trace = fold(self.trace, 0x800 + groups.len() as u64);
                 self.links.partition(&groups);
+                if self.tracer.is_on() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::Fault {
+                            kind: sss_obs::FaultKind::Partition,
+                            node: None,
+                            peer: None,
+                        },
+                    );
+                }
             }
             Ev::Heal => {
                 self.trace = fold(self.trace, 0x900);
                 self.links.heal();
+                if self.tracer.is_on() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::Fault {
+                            kind: sss_obs::FaultKind::Heal,
+                            node: None,
+                            peer: None,
+                        },
+                    );
+                }
             }
             Ev::SetLink { from, to, up } => {
                 self.trace = fold(self.trace, 0xA00 + from.index() as u64);
                 self.links.set_link(from, to, up);
+                if self.tracer.is_on() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::Fault {
+                            kind: if up {
+                                sss_obs::FaultKind::LinkUp
+                            } else {
+                                sss_obs::FaultKind::LinkDown
+                            },
+                            node: Some(from),
+                            peer: Some(to),
+                        },
+                    );
+                }
             }
             Ev::Wake { token } => {
                 self.trace = fold(self.trace, 0x700 + token);
@@ -614,6 +750,17 @@ impl<P: Protocol> Sim<P> {
             let kind = msg.kind();
             let bits = msg.size_bits(self.cfg.nu_bits);
             self.metrics.on_sent(kind, bits);
+            if self.tracer.is_on() {
+                self.tracer.emit(
+                    self.now,
+                    TraceEvent::Send {
+                        from: at,
+                        to,
+                        kind,
+                        bits,
+                    },
+                );
+            }
             if to == at {
                 // Self-delivery: reliable, immediate (an internal step).
                 let seq = self.queue.push(self.now, Ev::Deliver { from: at, to, msg });
@@ -623,7 +770,20 @@ impl<P: Protocol> Sim<P> {
             // All loss/capacity/dup/delay decisions come from the shared
             // fault plane; the simulator only schedules the outcome.
             match self.links.on_send(at, to) {
-                LinkVerdict::Drop(_) => self.metrics.on_dropped(kind),
+                LinkVerdict::Drop(reason) => {
+                    self.metrics.on_dropped(kind);
+                    if self.tracer.is_on() {
+                        self.tracer.emit(
+                            self.now,
+                            TraceEvent::Drop {
+                                from: at,
+                                to,
+                                kind,
+                                cause: reason.into(),
+                            },
+                        );
+                    }
+                }
                 LinkVerdict::Deliver { delay, duplicate } => {
                     if let Some(delay2) = duplicate {
                         let seq2 = self.queue.push(
@@ -648,6 +808,16 @@ impl<P: Protocol> Sim<P> {
             self.metrics.ops_completed += 1;
             if let Some((t0, class)) = self.op_meta.get_mut(id.0 as usize).and_then(Option::take) {
                 self.metrics.record_latency(class, self.now - t0);
+                if self.tracer.is_on() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::OpComplete {
+                            node: at,
+                            id,
+                            class,
+                        },
+                    );
+                }
             }
             self.outstanding = self.outstanding.saturating_sub(1);
             let mut ctl = Ctl {
@@ -664,6 +834,10 @@ impl<P: Protocol> Sim<P> {
             self.history.record_abort(id, self.now);
             self.metrics.ops_aborted += 1;
             self.op_meta.get_mut(id.0 as usize).and_then(Option::take);
+            if self.tracer.is_on() {
+                self.tracer
+                    .emit(self.now, TraceEvent::OpAbort { node: at, id });
+            }
             self.outstanding = self.outstanding.saturating_sub(1);
             let mut ctl = Ctl {
                 now: self.now,

@@ -1,7 +1,8 @@
-//! Tests of the simulator's partition control and flow recording, using a
-//! minimal echo protocol (independent of the real snapshot algorithms).
+//! Tests of the simulator's partition control and trace-plane emission,
+//! using a minimal echo protocol (independent of the real snapshot
+//! algorithms).
 
-use sss_sim::{Sim, SimConfig};
+use sss_sim::{MemorySink, Sim, SimConfig, TraceEvent, Tracer};
 use sss_types::{
     Effects, MsgKind, NodeId, OpId, OpResponse, ProcessSet, ProtoMsg, Protocol, SnapshotOp,
 };
@@ -116,29 +117,97 @@ fn partition_drops_count_as_dropped_messages() {
 }
 
 #[test]
-fn flow_recording_captures_deliveries_in_order() {
+fn tracer_captures_message_flows_in_order() {
     let mut s = sim(3);
-    s.enable_flow_recording();
+    let (sink, buf) = MemorySink::new();
+    s.set_tracer(Tracer::new(3).with_sink(sink));
     s.invoke_at(5, NodeId(0), SnapshotOp::Write(1));
     assert!(s.run_until_idle(5_000_000));
-    let flows = s.flows();
-    assert!(!flows.is_empty());
+    let recs = buf.records();
+    assert!(!recs.is_empty());
     assert!(
-        flows.windows(2).all(|w| w[0].time <= w[1].time),
-        "time-ordered"
+        recs.windows(2).all(|w| w[0].seq < w[1].seq),
+        "sequence-ordered"
     );
-    assert!(flows.iter().any(|f| f.kind == MsgKind::Write));
-    assert!(flows.iter().any(|f| f.kind == MsgKind::WriteAck));
-    let count = flows.len();
-    s.clear_flows();
-    assert!(s.flows().is_empty());
-    assert!(count >= 4);
+    let delivered_kinds: Vec<MsgKind> = recs
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Deliver { kind, .. } => Some(kind),
+            _ => None,
+        })
+        .collect();
+    assert!(delivered_kinds.contains(&MsgKind::Write));
+    assert!(delivered_kinds.contains(&MsgKind::WriteAck));
+    assert!(delivered_kinds.len() >= 4);
+    // Every delivery has a matching earlier send on the same link.
+    for r in &recs {
+        if let TraceEvent::Deliver { from, to, kind } = r.event {
+            assert!(recs.iter().any(|s| s.seq < r.seq
+                && matches!(s.event, TraceEvent::Send { from: f, to: t, kind: k, .. }
+                    if f == from && t == to && k == kind)));
+        }
+    }
+    // The op lifecycle is traced at the client boundary.
+    assert!(recs.iter().any(|r| matches!(
+        r.event,
+        TraceEvent::OpInvoke {
+            node: NodeId(0),
+            ..
+        }
+    )));
+    assert!(recs.iter().any(|r| matches!(
+        r.event,
+        TraceEvent::OpComplete {
+            node: NodeId(0),
+            ..
+        }
+    )));
+    // An idle run completes cycles, and they are traced in order.
+    let cycles: Vec<u64> = recs
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::CycleEnd { index } => Some(index),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cycles, (0..cycles.len() as u64).collect::<Vec<_>>());
+    assert_eq!(cycles.len() as u64, s.cycles());
 }
 
 #[test]
-fn flows_empty_without_enabling() {
+fn tracer_records_partition_drops_with_cause() {
+    let mut s = sim(3);
+    let (sink, buf) = MemorySink::new();
+    s.set_tracer(Tracer::new(3).with_sink(sink));
+    s.partition(&[&[NodeId(0)], &[NodeId(1), NodeId(2)]]);
+    s.invoke_at(5, NodeId(0), SnapshotOp::Write(1));
+    s.run_until(2_000);
+    assert!(buf.records().iter().any(|r| matches!(
+        r.event,
+        TraceEvent::Drop {
+            cause: sss_sim::DropCause::LinkDown,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn flight_recorder_keeps_recent_events_per_node() {
+    let mut s = sim(3);
+    let tracer = Tracer::new(3).with_ring_capacity(16);
+    s.set_tracer(tracer.clone());
+    s.invoke_at(5, NodeId(0), SnapshotOp::Write(1));
+    assert!(s.run_until_idle(5_000_000));
+    let ring = tracer.flight(NodeId(0));
+    assert!(!ring.is_empty() && ring.len() <= 16);
+    assert!(ring.iter().all(|r| r.event.scope() == Some(NodeId(0))));
+}
+
+#[test]
+fn no_tracer_means_no_records() {
     let mut s = sim(3);
     s.invoke_at(5, NodeId(0), SnapshotOp::Write(1));
     assert!(s.run_until_idle(5_000_000));
-    assert!(s.flows().is_empty());
+    assert!(!s.tracer().is_on());
+    assert_eq!(s.tracer().emitted(), 0);
 }

@@ -54,7 +54,7 @@ mod vclock;
 
 pub use history::{History, LatencyStats, OpRecord};
 pub use node::{majority, NodeId, ProcessSet};
-pub use op::{OpId, OpResponse, SnapshotOp, SnapshotView};
+pub use op::{OpClass, OpId, OpResponse, SnapshotOp, SnapshotView};
 pub use payload::{clone_stats, Payload, SharedReg};
 pub use protocol::{
     cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, ProtoMsg, Protocol, ProtocolStats,

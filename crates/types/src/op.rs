@@ -24,6 +24,36 @@ pub enum SnapshotOp {
     Snapshot,
 }
 
+/// The two client-visible operation classes, used to bucket latency
+/// samples and trace events (the paper reports write and snapshot
+/// behaviour separately).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// A `write(v)` operation.
+    Write,
+    /// A `snapshot()` operation.
+    Snapshot,
+}
+
+impl OpClass {
+    /// Classifies an operation.
+    pub fn of(op: &SnapshotOp) -> Self {
+        match op {
+            SnapshotOp::Write(_) => OpClass::Write,
+            SnapshotOp::Snapshot => OpClass::Snapshot,
+        }
+    }
+
+    /// A short lowercase label (`"write"` / `"snapshot"`) for reports
+    /// and trace serialization.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Write => "write",
+            OpClass::Snapshot => "snapshot",
+        }
+    }
+}
+
 /// The result of one completed operation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum OpResponse {

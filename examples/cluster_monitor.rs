@@ -1,5 +1,5 @@
 //! Cluster monitoring: the workload that motivates *always-terminating*
-//! snapshots.
+//! snapshots — instrumented live through the trace plane.
 //!
 //! Run with:
 //! ```sh
@@ -12,10 +12,18 @@
 //! the monitor could starve; with Algorithm 3 every snapshot terminates —
 //! after at most `δ` concurrent writes the workers briefly defer writes
 //! so the monitor's read completes.
+//!
+//! On top of the snapshot reports, a **telemetry thread** subscribes to
+//! the cluster's live event stream ([`SubscriberSink`]): faults are
+//! announced the moment they fire, and the final summary (operations,
+//! messages, drops) is computed from the structured trace alone — the
+//! observability story an operator of such a cluster would rely on.
 
 use sss_core::{Alg3, Alg3Config};
-use sss_runtime::{Cluster, ClusterConfig, FaultEvent, FaultPlan};
-use sss_types::NodeId;
+use sss_runtime::{
+    Cluster, ClusterConfig, FaultEvent, FaultPlan, SubscriberSink, TraceEvent, Tracer,
+};
+use sss_types::{NodeId, OpClass};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,6 +38,15 @@ fn decode(v: u64) -> (u64, u64) {
     (v >> 8, v & 0xFF)
 }
 
+/// What the telemetry thread distills from the live event stream.
+struct Telemetry {
+    writes_done: u64,
+    snapshots_done: u64,
+    sends: u64,
+    drops: u64,
+    faults_seen: Vec<String>,
+}
+
 fn main() {
     let n = 5;
     let monitor_node = NodeId(0);
@@ -38,7 +55,47 @@ fn main() {
     // Short op timeout so a worker caught by the fault plan's crash
     // window retries quickly instead of stalling the demo.
     cfg.op_timeout = Duration::from_millis(150);
-    let cluster = Cluster::new(cfg, move |id| Alg3::new(id, n, Alg3Config { delta }));
+
+    // The live subscription: the cluster streams every structured event
+    // into a bounded channel; a slow consumer sheds instead of stalling
+    // the protocol threads.
+    let (sink, events, shed) = SubscriberSink::bounded(65_536);
+    let tracer = Tracer::new(n).with_sink(sink);
+    let cluster = Cluster::new_traced(cfg, tracer, move |id| {
+        Alg3::new(id, n, Alg3Config { delta })
+    });
+
+    let telemetry = std::thread::spawn(move || {
+        let mut t = Telemetry {
+            writes_done: 0,
+            snapshots_done: 0,
+            sends: 0,
+            drops: 0,
+            faults_seen: Vec::new(),
+        };
+        // Drains until the cluster shuts down (all senders dropped).
+        while let Ok(rec) = events.recv() {
+            match rec.event {
+                TraceEvent::OpComplete { class, .. } => match class {
+                    OpClass::Write => t.writes_done += 1,
+                    OpClass::Snapshot => t.snapshots_done += 1,
+                },
+                TraceEvent::Send { .. } => t.sends += 1,
+                TraceEvent::Drop { .. } => t.drops += 1,
+                TraceEvent::Fault { kind, node, .. } => {
+                    let loc = node.map(|p| p.to_string()).unwrap_or_else(|| "*".into());
+                    println!(
+                        "  [telemetry] t={}µs fault: {} at {loc}",
+                        rec.at,
+                        kind.label()
+                    );
+                    t.faults_seen.push(format!("{}@{loc}", kind.label()));
+                }
+                _ => {}
+            }
+        }
+        t
+    });
 
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
@@ -126,5 +183,27 @@ fn main() {
     println!("workers published {writes} load reports while 5 snapshots ran");
     assert!(writes > 0);
     cluster.shutdown();
+    // The monitor client still holds a tracer handle; dropping it closes
+    // the subscription stream.
+    drop(monitor);
+
+    // The telemetry thread drains what's left and returns its summary.
+    let t = telemetry.join().expect("telemetry thread");
+    println!(
+        "telemetry: {} writes + {} snapshots completed, {} sends, {} drops, faults: {:?}, {} events shed",
+        t.writes_done,
+        t.snapshots_done,
+        t.sends,
+        t.drops,
+        t.faults_seen,
+        *shed.lock()
+    );
+    assert!(t.writes_done >= writes, "every joined write was traced");
+    assert!(t.snapshots_done >= 7, "all monitor snapshots traced");
+    assert_eq!(
+        t.faults_seen,
+        vec!["crash@p4".to_string(), "resume@p4".to_string()],
+        "the fault plan's events were announced live"
+    );
     println!("ok");
 }

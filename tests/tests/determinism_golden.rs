@@ -1,13 +1,14 @@
 //! Golden determinism regression: for fixed seeds, full runs must keep
-//! producing *byte-identical* histories, message flows and event traces.
+//! producing *byte-identical* histories, structured event traces and
+//! processed-event hashes.
 //!
-//! The constants below were captured before the zero-copy message-plane
-//! refactor (Arc-shared payloads, recycled `Effects` buffers, dense op
-//! metadata, event-queue specialization). Any change to protocol logic,
-//! link-model arithmetic, event ordering, or the recorded values
-//! themselves shifts a hash and fails the matching test — which is the
-//! point: performance work on the message plane must not perturb a single
-//! delivered byte or timestamp.
+//! The observable stream hashed here is the trace plane's full record
+//! sequence (ops, sends, deliveries, drops, faults, cycles) plus every
+//! history record field. Any change to protocol logic, link-model
+//! arithmetic, event ordering, or the recorded values themselves shifts
+//! a hash and fails the matching test — which is the point: performance
+//! and observability work must not perturb a single delivered byte or
+//! timestamp.
 //!
 //! If a hash moves because of an *intentional* semantic change, re-run
 //! `cargo test -p sss-integration --release golden -- --ignored --nocapture`
@@ -15,7 +16,7 @@
 
 use sss_baselines::{Dgfr2, Stacked};
 use sss_core::{Alg1, Alg3, Alg3Config, Bounded, BoundedConfig};
-use sss_sim::{Sim, SimConfig};
+use sss_sim::{MemorySink, Sim, SimConfig, Tracer};
 use sss_types::{NodeId, Protocol};
 use sss_workload::{FaultPlan, MixedConfig, MixedDriver};
 
@@ -27,8 +28,9 @@ fn fnv(bytes: impl IntoIterator<Item = u8>) -> u64 {
 }
 
 /// Runs one fixed scenario and folds everything observable — every op
-/// record field, every delivered message's (time, from, to, kind), and
-/// the processed-event trace — into one hash.
+/// record field, the full structured trace (sends, deliveries, drops,
+/// faults, cycle boundaries), and the processed-event hash — into one
+/// FNV digest.
 fn scenario_hash<P: Protocol>(
     cfg: SimConfig,
     mk: impl FnMut(NodeId) -> P,
@@ -38,7 +40,8 @@ fn scenario_hash<P: Protocol>(
 ) -> u64 {
     let n = cfg.n;
     let mut sim = Sim::new(cfg, mk);
-    sim.enable_flow_recording();
+    let (sink, buf) = MemorySink::new();
+    sim.set_tracer(Tracer::new(n).with_sink(sink));
     if let Some(plan) = &plan {
         sim.apply_plan(plan);
     }
@@ -47,7 +50,7 @@ fn scenario_hash<P: Protocol>(
     let dump = format!(
         "{:?}|{:?}|{:x}",
         sim.history().records(),
-        sim.flows(),
+        buf.records(),
         sim.trace_hash()
     );
     fnv(dump.into_bytes())
@@ -72,7 +75,7 @@ struct Golden {
 const GOLDENS: &[Golden] = &[
     Golden {
         name: "alg1_small",
-        expect: 0xc7210992e555fa77,
+        expect: 0x4f864621fe88f73d,
         run: || {
             let n = 5;
             scenario_hash(
@@ -86,7 +89,7 @@ const GOLDENS: &[Golden] = &[
     },
     Golden {
         name: "alg1_harsh",
-        expect: 0xa3e14ae1bcbf9f73,
+        expect: 0xce6baa653a0f7a65,
         run: || {
             let n = 4;
             scenario_hash(
@@ -100,7 +103,7 @@ const GOLDENS: &[Golden] = &[
     },
     Golden {
         name: "alg3_small",
-        expect: 0x9467e2fae315121f,
+        expect: 0x3045e6eb6cebc1be,
         run: || {
             let n = 4;
             scenario_hash(
@@ -114,7 +117,7 @@ const GOLDENS: &[Golden] = &[
     },
     Golden {
         name: "bounded_alg1_crashes",
-        expect: 0xf8a07a9b046f964e,
+        expect: 0xc05c6b844e0b35ab,
         run: || {
             let n = 5;
             let (plan, _) = FaultPlan::new().crash_random_minority(n, 400, 31);
@@ -129,7 +132,7 @@ const GOLDENS: &[Golden] = &[
     },
     Golden {
         name: "dgfr2_harsh",
-        expect: 0x430febe7b58569c5,
+        expect: 0xb7d5578f3ef276bd,
         run: || {
             let n = 4;
             scenario_hash(
@@ -143,7 +146,7 @@ const GOLDENS: &[Golden] = &[
     },
     Golden {
         name: "stacked_small",
-        expect: 0x1cd1fa273765741c,
+        expect: 0x46b636845d1dfad9,
         run: || {
             let n = 4;
             scenario_hash(
