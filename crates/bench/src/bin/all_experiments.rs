@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E13, E15) in sequence — the full reproduction of
+//! Runs every experiment (E1–E13, E15, E16) in sequence — the full reproduction of
 //! the paper's quantitative claims. The per-experiment binaries do the
 //! work; this wrapper just invokes their entry points via `cargo run`:
 //! build once with `--release`, then this binary shells out to its
@@ -23,6 +23,7 @@ const EXPERIMENTS: &[&str] = &[
     "e12_crash_tolerance",
     "e13_linearizability",
     "e15_recovery_trace",
+    "e16_chaos_soak",
     "figures_message_flows",
     "ablation_gossip",
 ];

@@ -146,6 +146,10 @@ fn main() {
     let n = 4;
     let plan = FaultPlan::new()
         .at(2_000, FaultEvent::Crash(NodeId(1)))
+        // A detectable restart of a live node is declared as a crash
+        // immediately followed by the restart (validate() insists the
+        // down-phase is explicit).
+        .at(3_900, FaultEvent::Crash(NodeId(0)))
         .at(4_000, FaultEvent::Restart(NodeId(0)))
         .at(8_000, FaultEvent::Resume(NodeId(1)));
     // Think times stretch the workload past the last fault, so every

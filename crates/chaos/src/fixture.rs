@@ -1,0 +1,242 @@
+//! Committable JSON reproducers: a shrunk failing scenario, readable in
+//! review and replayed verbatim by the regression suite.
+
+use crate::{Scenario, StrategyKind};
+use sss_net::{FaultPlan, LinkConfig, WorkloadSpec};
+use sss_obs::{escape_json, JsonValue};
+
+/// One committed chaos reproducer (`tests/fixtures/chaos/*.json`):
+/// everything needed to re-run the exact scenario — plan, workload and
+/// link model — plus the violations it reproduced when recorded.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// A short unique name (the file stem by convention).
+    pub name: String,
+    /// Which backend found it (`"sim"` / `"threads"`).
+    pub backend: String,
+    /// The generating strategy.
+    pub strategy: StrategyKind,
+    /// Cluster size.
+    pub n: usize,
+    /// The original scenario seed.
+    pub seed: u64,
+    /// The violations observed when the fixture was recorded
+    /// (documentation; the replay re-judges from scratch).
+    pub violations: Vec<String>,
+    /// The (shrunk) fault schedule.
+    pub plan: FaultPlan,
+    /// The workload that ran alongside it.
+    pub workload: WorkloadSpec,
+    /// The link model it ran under.
+    pub net: LinkConfig,
+}
+
+impl Fixture {
+    /// Captures a scenario (typically post-shrink) as a fixture.
+    pub fn capture(
+        name: impl Into<String>,
+        backend: impl Into<String>,
+        scenario: &Scenario,
+        violations: Vec<String>,
+    ) -> Fixture {
+        Fixture {
+            name: name.into(),
+            backend: backend.into(),
+            strategy: scenario.strategy,
+            n: scenario.n,
+            seed: scenario.seed,
+            violations,
+            plan: scenario.plan.clone(),
+            workload: scenario.workload.clone(),
+            net: scenario.net,
+        }
+    }
+
+    /// The runnable scenario this fixture describes.
+    pub fn scenario(&self) -> Scenario {
+        Scenario {
+            strategy: self.strategy,
+            n: self.n,
+            seed: self.seed,
+            plan: self.plan.clone(),
+            workload: self.workload.clone(),
+            net: self.net,
+        }
+    }
+
+    /// Serializes the fixture as an indented, review-friendly JSON
+    /// document. [`Fixture::from_json`] inverts it.
+    pub fn to_json(&self) -> String {
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", escape_json(v)))
+            .collect::<Vec<_>>()
+            .join(",\n    ");
+        let w = &self.workload;
+        format!(
+            "{{\n  \"name\": \"{name}\",\n  \"backend\": \"{backend}\",\n  \
+             \"strategy\": \"{strategy}\",\n  \"n\": {n},\n  \"seed\": {seed},\n  \
+             \"violations\": [{viol_open}{violations}{viol_close}],\n  \
+             \"net\": {{\"delay_min\": {dmin}, \"delay_max\": {dmax}, \"loss\": {loss}, \
+             \"dup\": {dup}, \"capacity\": {cap}}},\n  \
+             \"workload\": {{\"ops_per_node\": {opn}, \"write_ratio\": {ratio}, \
+             \"think_min\": {tmin}, \"think_max\": {tmax}, \"seed\": {wseed}, \
+             \"op_timeout\": {timeout}}},\n  \"plan\": {plan}\n}}\n",
+            name = escape_json(&self.name),
+            backend = escape_json(&self.backend),
+            strategy = self.strategy.name(),
+            n = self.n,
+            seed = self.seed,
+            viol_open = if self.violations.is_empty() {
+                ""
+            } else {
+                "\n    "
+            },
+            viol_close = if self.violations.is_empty() {
+                ""
+            } else {
+                "\n  "
+            },
+            violations = violations,
+            dmin = self.net.delay_min,
+            dmax = self.net.delay_max,
+            loss = self.net.loss,
+            dup = self.net.dup,
+            cap = self.net.capacity,
+            opn = w.ops_per_node,
+            ratio = w.write_ratio,
+            tmin = w.think.0,
+            tmax = w.think.1,
+            wseed = w.seed,
+            timeout = w.op_timeout,
+            plan = self.plan.to_json(),
+        )
+    }
+
+    /// Reads a fixture back from [`Fixture::to_json`]'s format.
+    ///
+    /// # Errors
+    ///
+    /// A descriptive message for malformed JSON, unknown strategies, or
+    /// a plan that does not validate for the fixture's `n`.
+    pub fn from_json(text: &str) -> Result<Fixture, String> {
+        let doc = JsonValue::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("fixture: missing string '{key}'"))
+        };
+        let u64_of = |v: Option<&JsonValue>, what: &str| -> Result<u64, String> {
+            v.and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("fixture: missing u64 '{what}'"))
+        };
+        let f64_of = |v: Option<&JsonValue>, what: &str| -> Result<f64, String> {
+            v.and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("fixture: missing number '{what}'"))
+        };
+        let name = str_field("name")?;
+        let backend = str_field("backend")?;
+        let strategy_name = str_field("strategy")?;
+        let strategy = StrategyKind::from_name(&strategy_name)
+            .ok_or_else(|| format!("fixture: unknown strategy '{strategy_name}'"))?;
+        let n = u64_of(doc.get("n"), "n")? as usize;
+        let seed = u64_of(doc.get("seed"), "seed")?;
+        let violations = doc
+            .get("violations")
+            .and_then(JsonValue::as_arr)
+            .ok_or("fixture: missing 'violations'")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| "fixture: non-string violation".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let net_doc = doc.get("net").ok_or("fixture: missing 'net'")?;
+        let net = LinkConfig {
+            delay_min: u64_of(net_doc.get("delay_min"), "net.delay_min")?,
+            delay_max: u64_of(net_doc.get("delay_max"), "net.delay_max")?,
+            loss: f64_of(net_doc.get("loss"), "net.loss")?,
+            dup: f64_of(net_doc.get("dup"), "net.dup")?,
+            capacity: u64_of(net_doc.get("capacity"), "net.capacity")? as usize,
+        };
+        let w_doc = doc.get("workload").ok_or("fixture: missing 'workload'")?;
+        let workload = WorkloadSpec {
+            ops_per_node: u64_of(w_doc.get("ops_per_node"), "workload.ops_per_node")? as usize,
+            write_ratio: f64_of(w_doc.get("write_ratio"), "workload.write_ratio")?,
+            think: (
+                u64_of(w_doc.get("think_min"), "workload.think_min")?,
+                u64_of(w_doc.get("think_max"), "workload.think_max")?,
+            ),
+            seed: u64_of(w_doc.get("seed"), "workload.seed")?,
+            op_timeout: u64_of(w_doc.get("op_timeout"), "workload.op_timeout")?,
+        };
+        let plan_doc = doc.get("plan").ok_or("fixture: missing 'plan'")?;
+        let plan = FaultPlan::from_json(&plan_doc.render())?;
+        plan.validate(n)
+            .map_err(|e| format!("fixture plan does not validate: {e}"))?;
+        Ok(Fixture {
+            name,
+            backend,
+            strategy,
+            n,
+            seed,
+            violations,
+            plan,
+            workload,
+            net,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_net::FaultEvent;
+    use sss_types::NodeId;
+
+    #[test]
+    fn fixtures_round_trip_through_json() {
+        let mut sc = StrategyKind::PartitionOscillator.scenario(5, 9);
+        sc.plan = sc
+            .plan
+            .at(90_000, FaultEvent::Corrupt(NodeId(3)))
+            .at(90_001, FaultEvent::Heal);
+        let fx = Fixture::capture(
+            "osc-9",
+            "sim",
+            &sc,
+            vec!["linearizability: snapshot OpId(3) misses write OpId(1)".into()],
+        );
+        let text = fx.to_json();
+        let back = Fixture::from_json(&text).expect("parse back");
+        assert_eq!(back.name, fx.name);
+        assert_eq!(back.backend, "sim");
+        assert_eq!(back.strategy, fx.strategy);
+        assert_eq!((back.n, back.seed), (fx.n, fx.seed));
+        assert_eq!(back.violations, fx.violations);
+        assert_eq!(back.plan.seed(), fx.plan.seed());
+        assert_eq!(back.plan.events().len(), fx.plan.events().len());
+        assert_eq!(back.workload.ops_per_node, fx.workload.ops_per_node);
+        assert_eq!(back.workload.write_ratio, fx.workload.write_ratio);
+        assert_eq!(back.workload.think, fx.workload.think);
+        assert_eq!(back.net, fx.net);
+        // Serialization is canonical after one trip.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_broken_fixtures() {
+        assert!(Fixture::from_json("{}").is_err());
+        let sc = StrategyKind::UniformRandom.scenario(3, 0);
+        let good = Fixture::capture("x", "sim", &sc, vec![]).to_json();
+        // Unknown strategy name.
+        let bad = good.replace("uniform-random", "who-dis");
+        assert!(Fixture::from_json(&bad).is_err());
+        // Plan that no longer validates for n.
+        let bad = good.replace("\"n\": 3", "\"n\": 1");
+        assert!(Fixture::from_json(&bad).is_err());
+    }
+}

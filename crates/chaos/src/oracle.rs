@@ -1,0 +1,308 @@
+//! The run oracle: linearizability over the client-boundary history
+//! plus a self-stabilization check over the structured trace.
+
+use sss_net::{FaultEvent, FaultPlan, RunReport};
+use sss_obs::{FaultKind, TraceEvent, TraceRecord, TraceTime};
+use sss_types::NodeId;
+
+/// Tunables for [`judge`].
+#[derive(Clone, Copy, Debug)]
+pub struct OracleConfig {
+    /// How many asynchronous cycles must elapse after the later of a
+    /// node's last corruption and its last revival before a missing
+    /// `Stabilized` probe counts as a violation rather than an
+    /// inconclusive run. The paper's recovery bounds are `O(1)` cycles;
+    /// this default leaves a generous margin above them.
+    pub cycles_to_judge: u64,
+    /// Whether to run the linearizability checker at all (the planted
+    /// mutation hunt disables the stabilization half instead).
+    pub check_linearizability: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            cycles_to_judge: 12,
+            check_linearizability: true,
+        }
+    }
+}
+
+/// One confirmed oracle violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosViolation {
+    /// The client-boundary history is not a linearizable snapshot
+    /// history (checker verdict, stringified for fixtures).
+    Linearizability(String),
+    /// A corrupted node never emitted its `Stabilized` probe although
+    /// faults quiesced and enough asynchronous cycles elapsed.
+    MissedStabilization {
+        /// The unrecovered node.
+        node: NodeId,
+        /// When its last corruption was injected (model µs).
+        corrupted_at: TraceTime,
+        /// Whole cycles observed after the judging threshold.
+        cycles_observed: u64,
+    },
+}
+
+impl std::fmt::Display for ChaosViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosViolation::Linearizability(msg) => write!(f, "linearizability: {msg}"),
+            ChaosViolation::MissedStabilization {
+                node,
+                corrupted_at,
+                cycles_observed,
+            } => write!(
+                f,
+                "stabilization: {node:?} corrupted at t={corrupted_at} never re-converged \
+                 ({cycles_observed} cycles observed)"
+            ),
+        }
+    }
+}
+
+/// What [`judge`] concluded about one run.
+#[derive(Clone, Debug, Default)]
+pub struct OracleReport {
+    /// Confirmed violations (empty for a clean run).
+    pub violations: Vec<ChaosViolation>,
+    /// Corruption injections seen in the trace.
+    pub corruptions: usize,
+    /// `Stabilized` probes seen in the trace.
+    pub stabilizations: usize,
+    /// Pending corruptions the oracle could not judge (node still
+    /// crashed at trace end, or too few cycles elapsed). Inconclusive
+    /// is not a failure — rerun with a longer horizon to resolve it.
+    pub inconclusive: usize,
+    /// Whether the linearizability checker ran. It is skipped for
+    /// corruption-bearing plans: a corrupted register legitimately
+    /// holds never-written values until overwritten, so only
+    /// stabilization is judgeable there (Dijkstra's criterion — eventual
+    /// re-convergence, not masking).
+    pub lin_checked: bool,
+}
+
+impl OracleReport {
+    /// A clean verdict?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Judges one run: `plan` is the schedule that was replayed, `report`
+/// the backend's history + stats, `records` the structured trace.
+pub fn judge(
+    n: usize,
+    plan: &FaultPlan,
+    report: &RunReport,
+    records: &[TraceRecord],
+    cfg: &OracleConfig,
+) -> OracleReport {
+    let mut out = OracleReport::default();
+    let corrupting = plan
+        .events()
+        .iter()
+        .any(|(_, ev)| matches!(ev, FaultEvent::Corrupt(_)));
+    if cfg.check_linearizability && !corrupting {
+        out.lin_checked = true;
+        let verdict = sss_checker::check(&report.history, n);
+        for v in verdict.violations {
+            out.violations
+                .push(ChaosViolation::Linearizability(v.to_string()));
+        }
+    }
+    judge_stabilization(n, records, cfg, &mut out);
+    out
+}
+
+/// The self-stabilization half: every `Corrupt` injection must
+/// eventually be followed by that node's `Stabilized` probe. A missing
+/// probe is only a violation once the node is up and at least
+/// `cycles_to_judge` whole asynchronous cycles passed after the later
+/// of its last corruption and its last revival; otherwise the
+/// corruption is counted inconclusive.
+fn judge_stabilization(
+    n: usize,
+    records: &[TraceRecord],
+    cfg: &OracleConfig,
+    out: &mut OracleReport,
+) {
+    // Per node: last unresolved corruption (time, record position).
+    let mut pending: Vec<Option<(TraceTime, usize)>> = vec![None; n];
+    let mut crashed = vec![false; n];
+    // Record position of the node's last Resume/Restart (cycle counting
+    // must not start while the node was down).
+    let mut last_revival = vec![0usize; n];
+    for (pos, rec) in records.iter().enumerate() {
+        match &rec.event {
+            TraceEvent::Fault {
+                kind: FaultKind::Corrupt,
+                node: Some(node),
+                ..
+            } => {
+                pending[node.index()] = Some((rec.at, pos));
+                out.corruptions += 1;
+            }
+            TraceEvent::Fault {
+                kind: FaultKind::Crash,
+                node: Some(node),
+                ..
+            } => crashed[node.index()] = true,
+            TraceEvent::Fault {
+                kind: FaultKind::Resume | FaultKind::Restart,
+                node: Some(node),
+                ..
+            } => {
+                crashed[node.index()] = false;
+                last_revival[node.index()] = pos;
+            }
+            TraceEvent::Stabilized { node } => {
+                pending[node.index()] = None;
+                out.stabilizations += 1;
+            }
+            _ => {}
+        }
+    }
+    for i in 0..n {
+        let Some((corrupted_at, corrupt_pos)) = pending[i] else {
+            continue;
+        };
+        if crashed[i] {
+            out.inconclusive += 1;
+            continue;
+        }
+        let threshold = corrupt_pos.max(last_revival[i]);
+        let cycles_observed = records[threshold..]
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::CycleEnd { .. }))
+            .count() as u64;
+        if cycles_observed >= cfg.cycles_to_judge {
+            out.violations.push(ChaosViolation::MissedStabilization {
+                node: NodeId(i),
+                corrupted_at,
+                cycles_observed,
+            });
+        } else {
+            out.inconclusive += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_types::History;
+
+    fn fault(kind: FaultKind, node: usize) -> TraceEvent {
+        TraceEvent::Fault {
+            kind,
+            node: Some(NodeId(node)),
+            peer: None,
+        }
+    }
+
+    fn trace(events: Vec<(TraceTime, TraceEvent)>) -> Vec<TraceRecord> {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at, event))| TraceRecord {
+                seq: i as u64,
+                at,
+                event,
+            })
+            .collect()
+    }
+
+    fn cycles(from: u64, count: u64, t0: TraceTime) -> Vec<(TraceTime, TraceEvent)> {
+        (0..count)
+            .map(|k| (t0 + k * 100, TraceEvent::CycleEnd { index: from + k }))
+            .collect()
+    }
+
+    fn judge_records(records: &[TraceRecord]) -> OracleReport {
+        let mut out = OracleReport::default();
+        judge_stabilization(3, records, &OracleConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn resolved_corruption_is_clean() {
+        let mut evs = vec![(100, fault(FaultKind::Corrupt, 1))];
+        evs.extend(cycles(0, 3, 200));
+        evs.push((600, TraceEvent::Stabilized { node: NodeId(1) }));
+        evs.extend(cycles(3, 20, 700));
+        let r = judge_records(&trace(evs));
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!((r.corruptions, r.stabilizations, r.inconclusive), (1, 1, 0));
+    }
+
+    #[test]
+    fn missing_probe_after_enough_cycles_is_a_violation() {
+        let mut evs = vec![(100, fault(FaultKind::Corrupt, 2))];
+        evs.extend(cycles(0, 15, 200));
+        let r = judge_records(&trace(evs));
+        assert_eq!(r.violations.len(), 1);
+        assert!(matches!(
+            r.violations[0],
+            ChaosViolation::MissedStabilization {
+                node: NodeId(2),
+                corrupted_at: 100,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn too_few_cycles_is_inconclusive_not_failed() {
+        let mut evs = vec![(100, fault(FaultKind::Corrupt, 2))];
+        evs.extend(cycles(0, 5, 200));
+        let r = judge_records(&trace(evs));
+        assert!(r.ok());
+        assert_eq!(r.inconclusive, 1);
+    }
+
+    #[test]
+    fn crashed_node_at_trace_end_is_inconclusive() {
+        let mut evs = vec![
+            (100, fault(FaultKind::Corrupt, 0)),
+            (150, fault(FaultKind::Crash, 0)),
+        ];
+        evs.extend(cycles(0, 30, 200));
+        let r = judge_records(&trace(evs));
+        assert!(r.ok());
+        assert_eq!(r.inconclusive, 1);
+    }
+
+    #[test]
+    fn cycle_counting_restarts_after_revival() {
+        // Corrupt, crash through 20 cycles, resume, then only 5 more
+        // cycles: not judgeable yet.
+        let mut evs = vec![
+            (100, fault(FaultKind::Corrupt, 0)),
+            (150, fault(FaultKind::Crash, 0)),
+        ];
+        evs.extend(cycles(0, 20, 200));
+        evs.push((2_300, fault(FaultKind::Resume, 0)));
+        evs.extend(cycles(20, 5, 2_400));
+        let r = judge_records(&trace(evs));
+        assert!(r.ok());
+        assert_eq!(r.inconclusive, 1);
+    }
+
+    #[test]
+    fn lin_check_is_skipped_for_corrupting_plans() {
+        let plan = FaultPlan::new().at(10, FaultEvent::Corrupt(NodeId(0)));
+        let report = RunReport {
+            backend: "sim",
+            history: History::new(),
+            stats: Default::default(),
+        };
+        let r = judge(2, &plan, &report, &[], &OracleConfig::default());
+        assert!(!r.lin_checked);
+        let clean_plan = FaultPlan::new().at(10, FaultEvent::Crash(NodeId(0)));
+        let r = judge(2, &clean_plan, &report, &[], &OracleConfig::default());
+        assert!(r.lin_checked);
+    }
+}

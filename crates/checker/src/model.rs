@@ -60,6 +60,46 @@ pub enum Violation {
     },
 }
 
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DuplicateWriteValue { value } => {
+                write!(f, "two writes used the same value {value}")
+            }
+            Violation::UnknownValue {
+                snapshot,
+                register,
+                value,
+            } => write!(
+                f,
+                "snapshot {snapshot:?} returned value {value} for register {register:?}, \
+                 which its writer never wrote"
+            ),
+            Violation::IncomparableSnapshots { a, b } => {
+                write!(f, "snapshots {a:?} and {b:?} observed incomparable states")
+            }
+            Violation::MissingCompletedWrite { snapshot, write } => write!(
+                f,
+                "snapshot {snapshot:?} misses write {write:?}, which completed before it began"
+            ),
+            Violation::ReadFromTheFuture { snapshot, write } => write!(
+                f,
+                "snapshot {snapshot:?} completed before write {write:?} began yet contains it"
+            ),
+            Violation::SnapshotsDisrespectRealTime { earlier, later } => write!(
+                f,
+                "snapshot {later:?} observed strictly less than {earlier:?}, \
+                 which completed before it began"
+            ),
+            Violation::NonMonotoneContainment { missing, contained } => write!(
+                f,
+                "a snapshot contains write {contained:?} but misses write {missing:?}, \
+                 which real-time-preceded it"
+            ),
+        }
+    }
+}
+
 /// One write operation in the abstract model.
 #[derive(Clone, Debug)]
 pub struct WriteRec {

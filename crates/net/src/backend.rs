@@ -86,6 +86,11 @@ pub struct RunStats {
     /// Operations the client abandoned on timeout (still pending in the
     /// history).
     pub ops_timed_out: u64,
+    /// Operations failed fast by the failure detector because the
+    /// contacted node could not reach a majority (threaded runtime's
+    /// `ClusterError::Unavailable`; always 0 on the simulator, whose
+    /// clients wait out their full virtual-time timeout).
+    pub ops_unavailable: u64,
     /// Messages dropped by the link model (loss, capacity, partition)
     /// or by crashed receivers.
     pub messages_dropped: u64,

@@ -34,7 +34,7 @@ mod plan;
 
 pub use backend::{unique_value, Backend, RunReport, RunStats, WorkloadSpec};
 pub use link::{cut_matrix, DropReason, LinkConfig, LinkModel, LinkVerdict};
-pub use plan::{FaultEvent, FaultPlan};
+pub use plan::{FaultEvent, FaultPlan, PlanError};
 
 /// Model time, in microseconds. Identical to `sss_sim::SimTime`; the
 /// threaded runtime maps it onto the wall clock via its round interval.

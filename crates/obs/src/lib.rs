@@ -42,9 +42,11 @@
 
 mod event;
 mod json;
+mod jsonv;
 mod sink;
 mod tracer;
 
 pub use event::{DropCause, FaultKind, TraceEvent, TraceRecord, TraceTime};
+pub use jsonv::{escape_json, JsonValue};
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SubscriberSink, TraceBuffer, TraceSink};
 pub use tracer::{Tracer, DEFAULT_RING_CAPACITY};

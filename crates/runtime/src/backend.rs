@@ -60,6 +60,7 @@ where
             let cfg = self.cfg.clone();
             joins.push(std::thread::spawn(move || {
                 let mut timed_out = 0u64;
+                let mut unavailable = 0u64;
                 for (think, op) in ops {
                     std::thread::sleep(cfg.wall_offset(think));
                     let result = match op {
@@ -69,19 +70,22 @@ where
                     match result {
                         Ok(()) => {}
                         Err(ClusterError::Timeout) => timed_out += 1,
+                        Err(ClusterError::Unavailable(_)) => unavailable += 1,
                         Err(ClusterError::Shutdown) => break,
                     }
                 }
-                timed_out
+                (timed_out, unavailable)
             }));
         }
         // Replay the plan concurrently with the workload, then wait for
         // every client to drain its sequence.
         cluster.apply_plan(plan);
-        let ops_timed_out: u64 = joins
-            .into_iter()
-            .map(|j| j.join().expect("client thread panicked"))
-            .sum();
+        let (mut ops_timed_out, mut ops_unavailable) = (0u64, 0u64);
+        for j in joins {
+            let (t, u) = j.join().expect("client thread panicked");
+            ops_timed_out += t;
+            ops_unavailable += u;
+        }
         let history = cluster.history();
         let elapsed_us = cluster.shared.now_us();
         let messages_dropped = cluster.messages_dropped();
@@ -91,6 +95,7 @@ where
             stats: RunStats {
                 ops_completed: history.completed().count() as u64,
                 ops_timed_out,
+                ops_unavailable,
                 messages_dropped,
                 // Report wall time mapped back into model microseconds,
                 // comparable with the simulator's virtual clock.

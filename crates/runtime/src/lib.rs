@@ -62,17 +62,63 @@ const TRACE_NU_BITS: u32 = 64;
 /// Errors returned by the blocking client API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterError {
-    /// The operation did not complete within the client timeout (e.g. no
-    /// majority is reachable).
+    /// The operation did not complete within the client timeout and the
+    /// failure detector has no indictment — the slow path, not the
+    /// expected one ([`ClusterError::Unavailable`] fires first whenever
+    /// a majority is actually unreachable).
     Timeout,
+    /// The contacted node cannot currently assemble a majority — it is
+    /// crashed, or too many of its peers have gone silent — so the
+    /// operation was failed fast with the detector's evidence instead of
+    /// stalling out the full `op_timeout`.
+    Unavailable(Unavailable),
     /// The cluster has shut down.
     Shutdown,
+}
+
+/// The failure detector's evidence behind a
+/// [`ClusterError::Unavailable`]: who was suspected, how many peers
+/// were still reachable, and how long the quietest suspect had been
+/// silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unavailable {
+    /// The node the client contacted.
+    pub node: NodeId,
+    /// Whether the contacted node itself is crashed (ops invoked on a
+    /// crashed node are swallowed until it resumes).
+    pub node_crashed: bool,
+    /// Peers (incl. the node itself when alive) heard from within the
+    /// suspicion window.
+    pub reachable: usize,
+    /// The majority threshold the protocols need (`n/2 + 1`).
+    pub required: usize,
+    /// Peers that have been silent past `suspect_after`.
+    pub suspected: Vec<NodeId>,
+    /// How long the *least*-silent suspect has been quiet — a lower
+    /// bound on how stale the node's view of the quorum is.
+    pub silent_for: Duration,
 }
 
 impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClusterError::Timeout => write!(f, "operation timed out"),
+            ClusterError::Unavailable(ev) => {
+                if ev.node_crashed {
+                    write!(f, "{:?} is crashed", ev.node)?;
+                } else {
+                    write!(
+                        f,
+                        "{:?} reaches {}/{} needed for a majority",
+                        ev.node, ev.reachable, ev.required
+                    )?;
+                }
+                write!(
+                    f,
+                    " (suspects {:?}, silent ≥ {:?})",
+                    ev.suspected, ev.silent_for
+                )
+            }
             ClusterError::Shutdown => write!(f, "cluster has shut down"),
         }
     }
@@ -95,11 +141,20 @@ pub struct ClusterConfig {
     pub net: LinkConfig,
     /// RNG seed for the link model's per-link coin streams.
     pub seed: u64,
+    /// How long a peer may stay silent before the failure detector
+    /// suspects it. When the contacted node cannot reach a majority of
+    /// unsuspected peers, client ops fail fast with
+    /// [`ClusterError::Unavailable`] instead of stalling out the full
+    /// [`ClusterConfig::op_timeout`]. Peers a node has *never* heard
+    /// from are not suspected (idle startup is not evidence of failure).
+    pub suspect_after: Duration,
 }
 
 impl ClusterConfig {
     /// A reliable-link configuration for `n` nodes with a 2 ms round
-    /// interval and a 5 s client timeout.
+    /// interval, a 5 s client timeout, and a 100 ms suspicion window
+    /// (≈ 50 round intervals — generous enough for loaded CI machines,
+    /// still 50× faster than waiting out the op timeout).
     pub fn new(n: usize) -> Self {
         ClusterConfig {
             n,
@@ -107,6 +162,7 @@ impl ClusterConfig {
             op_timeout: Duration::from_secs(5),
             net: LinkConfig::reliable(),
             seed: 0xBEEF,
+            suspect_after: Duration::from_millis(100),
         }
     }
 
@@ -174,10 +230,19 @@ struct Shared {
     round_us: u64,
     /// Per-node completed `do forever` iterations (cycle proxy input).
     round_counts: Vec<AtomicU64>,
-    /// Per-node crashed flags (crashed nodes are excluded from the
-    /// cycle proxy, mirroring the simulator's live-set semantics).
+    /// Per-node crashed flags: excluded from the cycle proxy (mirroring
+    /// the simulator's live-set semantics) and treated as unavailable by
+    /// the failure detector.
     crashed: Vec<AtomicBool>,
     cycle: Mutex<CycleProxy>,
+    /// Failure-detector heartbeat matrix: `last_heard[me * n + from]` is
+    /// the wall-µs timestamp (≥ 1) at which `me` last received any
+    /// message from `from`; 0 means never. Written by node threads on
+    /// every delivery, read by clients deciding whether a majority is
+    /// reachable.
+    last_heard: Vec<AtomicU64>,
+    /// [`ClusterConfig::suspect_after`] in µs.
+    suspect_us: u64,
 }
 
 impl Shared {
@@ -218,6 +283,58 @@ impl Shared {
             self.tracer
                 .emit(self.model_now(), TraceEvent::CycleEnd { index });
         }
+    }
+
+    /// Records that `me` just received a message from `from` (the
+    /// failure detector's heartbeat source; every protocol message
+    /// counts, so no extra traffic is needed).
+    fn heard(&self, me: NodeId, from: NodeId) {
+        let n = self.crashed.len();
+        self.last_heard[me.index() * n + from.index()]
+            .store(self.now_us().max(1), Ordering::Relaxed);
+    }
+
+    /// The failure detector's verdict for an op contacted at `node`:
+    /// `Some(evidence)` when the node is crashed or cannot currently
+    /// reach a majority (too many peers silent past the suspicion
+    /// window), `None` when the op still has a quorum's worth of hope.
+    fn unavailable(&self, node: NodeId) -> Option<Unavailable> {
+        let n = self.crashed.len();
+        let required = n / 2 + 1;
+        let node_crashed = self.crashed[node.index()].load(Ordering::Relaxed);
+        let now = self.now_us();
+        let mut reachable = usize::from(!node_crashed); // the node itself
+        let mut suspected = Vec::new();
+        let mut min_silence = u64::MAX;
+        for peer in 0..n {
+            if peer == node.index() {
+                continue;
+            }
+            let last = self.last_heard[node.index() * n + peer].load(Ordering::Relaxed);
+            // Never-heard peers are *not* suspected: silence before the
+            // first contact is indistinguishable from an idle start.
+            if last == 0 || now.saturating_sub(last) <= self.suspect_us {
+                reachable += 1;
+            } else {
+                suspected.push(NodeId(peer));
+                min_silence = min_silence.min(now - last);
+            }
+        }
+        if !node_crashed && reachable >= required {
+            return None;
+        }
+        Some(Unavailable {
+            node,
+            node_crashed,
+            reachable,
+            required,
+            suspected,
+            silent_for: Duration::from_micros(if min_silence == u64::MAX {
+                0
+            } else {
+                min_silence
+            }),
+        })
     }
 }
 
@@ -263,6 +380,8 @@ impl<P: Protocol + 'static> Cluster<P> {
                 baseline: vec![0; n],
                 index: 0,
             }),
+            last_heard: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            suspect_us: (cfg.suspect_after.as_micros() as u64).max(1),
         });
         let mut threads = Vec::with_capacity(n);
         for (i, rx) in receivers.into_iter().enumerate() {
@@ -385,7 +504,15 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// via [`ClusterConfig::wall_offset`]; corruptions draw their seed
     /// from the plan ([`FaultPlan::corruption_seed`]), so the post-fault
     /// state matches a simulator replay of the same plan.
+    ///
+    /// # Panics
+    ///
+    /// If the plan is malformed for this cluster size
+    /// (`FaultPlan::validate`).
     pub fn apply_plan(&self, plan: &FaultPlan) {
+        if let Err(e) = plan.validate(self.cfg.n) {
+            panic!("malformed fault plan: {e}");
+        }
         let start = Instant::now();
         for (t, ev) in plan.sorted_events() {
             let at = start + self.cfg.wall_offset(t);
@@ -498,26 +625,51 @@ impl<P: Protocol> Client<P> {
                 done: done_tx,
             })
             .map_err(|_| ClusterError::Shutdown)?;
-        match done_rx.recv_timeout(self.timeout) {
-            Ok(resp) => {
-                let now = self.shared.now_us();
-                self.shared
-                    .history
-                    .lock()
-                    .record_complete(id, resp.clone(), now);
-                if self.shared.tracer.is_on() {
-                    self.shared.tracer.emit(
-                        self.shared.model_now(),
-                        TraceEvent::OpComplete {
-                            node: self.node,
-                            id,
-                            class,
-                        },
-                    );
-                }
-                Ok(resp)
+        // Poll the reply in slices of the suspicion window, so a lost
+        // quorum surfaces as `Unavailable` (with the failure detector's
+        // evidence) well before the full op timeout: detection latency is
+        // `suspect_after` plus at most one slice, not `op_timeout`.
+        let deadline = Instant::now() + self.timeout;
+        let slice = Duration::from_micros((self.shared.suspect_us / 4).max(1_000));
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                // Out of time: prefer the detector's evidence if it
+                // indicts anyone, else report a bare timeout.
+                return Err(match self.shared.unavailable(self.node) {
+                    Some(ev) => ClusterError::Unavailable(ev),
+                    None => ClusterError::Timeout,
+                });
             }
-            Err(_) => Err(ClusterError::Timeout),
+            match done_rx.recv_timeout(slice.min(deadline - now)) {
+                Ok(resp) => {
+                    let now = self.shared.now_us();
+                    self.shared
+                        .history
+                        .lock()
+                        .record_complete(id, resp.clone(), now);
+                    if self.shared.tracer.is_on() {
+                        self.shared.tracer.emit(
+                            self.shared.model_now(),
+                            TraceEvent::OpComplete {
+                                node: self.node,
+                                id,
+                                class,
+                            },
+                        );
+                    }
+                    return Ok(resp);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(ev) = self.shared.unavailable(self.node) {
+                        return Err(ClusterError::Unavailable(ev));
+                    }
+                }
+                // The node dropped the reply channel (op aborted, e.g. a
+                // bounded-counter reset): same contract as before the
+                // detector existed.
+                Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::Timeout),
+            }
         }
     }
 
@@ -541,6 +693,129 @@ impl<P: Protocol> Client<P> {
             OpResponse::Snapshot(view) => Ok(view),
             OpResponse::WriteDone => unreachable!("snapshot returned write response"),
         }
+    }
+
+    /// Wraps this client in a bounded retry layer (builder-style): failed
+    /// ops ([`ClusterError::Timeout`] / [`ClusterError::Unavailable`])
+    /// are re-issued up to [`RetryPolicy::attempts`] times with jittered
+    /// exponential backoff, so callers ride out partitions and recover
+    /// promptly after a `Heal`.
+    pub fn retrying(self, policy: RetryPolicy) -> RetryingClient<P> {
+        RetryingClient {
+            client: self,
+            policy,
+            salt: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Backoff schedule for [`RetryingClient`]: attempt `k` (0-based) sleeps
+/// a uniformly jittered duration in `[d/2, d)` where
+/// `d = min(base · 2^k, cap)` — "equal jitter", so concurrent clients
+/// de-synchronize instead of retrying in lockstep after a `Heal`.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts; 1 means no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on the un-jittered backoff.
+    pub cap: Duration,
+    /// Seed for the jitter stream (deterministic per client + attempt).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 6 attempts, 10 ms base, 320 ms cap: worst-case sleep budget
+    /// ≈ 10 + 20 + 40 + 80 + 160 ms ≈ 310 ms (halved in expectation by
+    /// jitter), sized so a client outlives a short partition without
+    /// stalling for seconds.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(320),
+            seed: 0x5EED_BACC,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `attempt` (0-based),
+    /// drawn deterministically from `seed ^ salt`.
+    fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.cap);
+        let us = exp.as_micros() as u64;
+        if us < 2 {
+            return exp;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Duration::from_micros(us / 2 + rand::Rng::gen_range(&mut rng, 0..us / 2))
+    }
+}
+
+/// A [`Client`] with bounded, jittered-exponential-backoff retries —
+/// build one with [`Client::retrying`]. `Timeout` and `Unavailable`
+/// results are retried (the underlying ops are idempotent: a write
+/// re-issue is a fresh op, a snapshot has no side effects); `Shutdown`
+/// is returned immediately.
+pub struct RetryingClient<P: Protocol> {
+    client: Client<P>,
+    policy: RetryPolicy,
+    /// Per-call jitter salt, so successive retries (and cloned clients
+    /// with different counters) sleep de-correlated durations.
+    salt: AtomicU64,
+}
+
+impl<P: Protocol> RetryingClient<P> {
+    /// The node this client talks to.
+    pub fn node(&self) -> NodeId {
+        self.client.node()
+    }
+
+    /// The wrapped single-shot client.
+    pub fn inner(&self) -> &Client<P> {
+        &self.client
+    }
+
+    fn run_retry<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, ClusterError>,
+    ) -> Result<T, ClusterError> {
+        let mut last = ClusterError::Timeout;
+        for attempt in 0..self.policy.attempts.max(1) {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(ClusterError::Shutdown) => return Err(ClusterError::Shutdown),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < self.policy.attempts.max(1) {
+                let salt = self.salt.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.policy.backoff(attempt, salt));
+            }
+        }
+        Err(last)
+    }
+
+    /// [`Client::write`] with retries.
+    ///
+    /// # Errors
+    ///
+    /// The last failure once the attempt budget is exhausted.
+    pub fn write(&self, v: Value) -> Result<(), ClusterError> {
+        self.run_retry(|| self.client.write(v))
+    }
+
+    /// [`Client::snapshot`] with retries.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RetryingClient::write`].
+    pub fn snapshot(&self) -> Result<SnapshotView, ClusterError> {
+        self.run_retry(|| self.client.snapshot())
     }
 }
 
@@ -582,15 +857,18 @@ fn node_loop<P: Protocol>(
             Ok(NodeMsg::Stop) => return proto,
             Ok(NodeMsg::Crash) => {
                 crashed = true;
+                // The shared flag feeds the failure detector (and the
+                // cycle proxy when tracing), so it is kept regardless of
+                // tracer state.
+                shared.crashed[me.index()].store(true, Ordering::Relaxed);
                 if shared.tracer.is_on() {
-                    shared.crashed[me.index()].store(true, Ordering::Relaxed);
                     emit_fault(&shared, FaultKind::Crash, me);
                 }
             }
             Ok(NodeMsg::Resume) => {
                 crashed = false;
+                shared.crashed[me.index()].store(false, Ordering::Relaxed);
                 if shared.tracer.is_on() {
-                    shared.crashed[me.index()].store(false, Ordering::Relaxed);
                     emit_fault(&shared, FaultKind::Resume, me);
                 }
             }
@@ -608,8 +886,8 @@ fn node_loop<P: Protocol>(
             Ok(NodeMsg::Restart) => {
                 proto.restart();
                 crashed = false;
+                shared.crashed[me.index()].store(false, Ordering::Relaxed);
                 if shared.tracer.is_on() {
-                    shared.crashed[me.index()].store(false, Ordering::Relaxed);
                     emit_fault(&shared, FaultKind::Restart, me);
                     // Re-initialization resolves an outstanding corruption.
                     check_stabilized(&proto, &mut tainted, &shared);
@@ -617,9 +895,13 @@ fn node_loop<P: Protocol>(
             }
             Ok(NodeMsg::Net { from, msg }) => {
                 // Release the link-capacity slot whether or not the
-                // message is processed (it left the channel either way).
+                // message is processed (it left the channel either way),
+                // and feed the failure detector: any received message is
+                // a heartbeat, even to a crashed receiver (the *peer* is
+                // evidently alive and connected).
                 if from != me {
                     shared.links.lock().on_delivered(from, me);
+                    shared.heard(me, from);
                 }
                 if !crashed {
                     if shared.tracer.is_on() {
@@ -829,9 +1111,15 @@ mod tests {
         let cluster = Cluster::new(cfg, |id| Alg1::new(id, 3));
         cluster.crash(NodeId(1));
         cluster.crash(NodeId(2));
-        assert_eq!(
-            cluster.client(NodeId(0)).write(5),
-            Err(ClusterError::Timeout)
+        // With the majority crashed the op cannot complete. The failure
+        // detector reports `Unavailable` once the peers' silence crosses
+        // the suspicion window; if the crash landed before any gossip
+        // was ever heard, the detector has no evidence and the op falls
+        // back to a bare `Timeout`.
+        let err = cluster.client(NodeId(0)).write(5).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Timeout | ClusterError::Unavailable(_)),
+            "unexpected error: {err:?}"
         );
         cluster.resume(NodeId(1));
         // The protocol retransmits; a later op succeeds.
@@ -887,19 +1175,30 @@ mod partition_tests {
         let mut cfg = ClusterConfig::new(3);
         cfg.op_timeout = Duration::from_millis(300);
         let cluster = Cluster::new(cfg, |id| Alg1::new(id, 3));
+        // Establish gossip first so the failure detector has heard every
+        // peer at least once (never-heard peers are not suspected): the
+        // first write alone can finish before the second gossip round,
+        // so give the full heard-matrix a few rounds to populate.
+        cluster.client(NodeId(0)).write(1).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
         cluster.partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2)]]);
         // Majority side works.
-        cluster.client(NodeId(0)).write(1).unwrap();
-        // Minority side times out.
-        assert_eq!(
-            cluster.client(NodeId(2)).write(2),
-            Err(ClusterError::Timeout)
-        );
+        cluster.client(NodeId(0)).write(4).unwrap();
+        // Minority side fails fast with the detector's evidence — the
+        // suspicion window (100 ms) is well under the 300 ms op timeout.
+        let err = cluster.client(NodeId(2)).write(2).unwrap_err();
+        match err {
+            ClusterError::Unavailable(ev) => {
+                assert!(!ev.node_crashed);
+                assert!(ev.reachable < ev.required);
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
         // Heal: retransmission completes the op on a later attempt.
         cluster.heal_partition();
         cluster.client(NodeId(2)).write(3).unwrap();
         let view = cluster.client(NodeId(1)).snapshot().unwrap();
-        assert_eq!(view.value_of(NodeId(0)), Some(1));
+        assert_eq!(view.value_of(NodeId(0)), Some(4));
         cluster.shutdown();
     }
 

@@ -151,6 +151,9 @@ impl<P: Protocol, F: FnMut(NodeId) -> P> Backend for SimBackend<P, F> {
             stats: RunStats {
                 ops_completed: m.ops_completed,
                 ops_timed_out: driver.timed_out,
+                // Virtual-time clients have no failure detector; they
+                // wait out their full timeout.
+                ops_unavailable: 0,
                 messages_dropped: m.kinds().map(|(_, c)| c.dropped).sum(),
                 model_time: sim.now(),
             },

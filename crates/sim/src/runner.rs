@@ -345,7 +345,15 @@ impl<P: Protocol> Sim<P> {
     /// their scheduled virtual times. This is the simulator's entry
     /// point into the shared fault plane — the threaded runtime replays
     /// the same plan via `Cluster::apply_plan`.
+    ///
+    /// # Panics
+    ///
+    /// If the plan is malformed for this cluster size
+    /// (`FaultPlan::validate`).
     pub fn apply_plan(&mut self, plan: &FaultPlan) {
+        if let Err(e) = plan.validate(self.cfg.n) {
+            panic!("malformed fault plan: {e}");
+        }
         for (t, ev) in plan.sorted_events() {
             let at = t.max(self.now);
             match ev {

@@ -152,6 +152,25 @@ enum Active {
     Snap(SnapOp),
 }
 
+/// Line 14's covering check: the acker's register array must contain the
+/// in-flight write before the ack may count toward the majority. This is
+/// what rejects *stale* acks — a delayed `WRITEack` from the previous
+/// operation whose payload predates the current write.
+#[cfg(not(feature = "planted-mutation"))]
+fn covered(lreg: &Payload, ack: &Payload) -> bool {
+    lreg.le(ack)
+}
+
+/// The deliberately planted protocol defect the chaos engine must catch
+/// (`sss-chaos`): accept every ack, covered or not, so a write can reach
+/// "majority" on stale acknowledgements from servers that never stored
+/// it — a later snapshot may then miss a completed write. Compiled in
+/// only under the test-only `planted-mutation` feature, never by default.
+#[cfg(feature = "planted-mutation")]
+fn covered(_lreg: &Payload, _ack: &Payload) -> bool {
+    true
+}
+
 /// The self-stabilizing non-blocking snapshot object of the paper's
 /// Algorithm 1. See the module docs above for the mapping to pseudo-code.
 #[derive(Clone, Debug)]
@@ -359,7 +378,7 @@ impl Protocol for Alg1 {
             // O(n) covering check.
             Alg1Msg::WriteAck { reg } => {
                 let accepted = match &mut self.active {
-                    Some(Active::Write(w)) if !w.acks.contains(from) && w.lreg.le(&reg) => {
+                    Some(Active::Write(w)) if !w.acks.contains(from) && covered(&w.lreg, &reg) => {
                         w.acks.insert(from)
                     }
                     _ => false,

@@ -38,7 +38,11 @@ fn scenario<P: Protocol>(label: &str, mk: impl FnMut(NodeId) -> P) -> bool {
     // mildest "corruption" — it zeroes ts). The same plan could be
     // replayed verbatim on the threaded runtime via `Cluster::apply_plan`.
     println!("[{label}] injecting fault: victim state re-initialized");
-    let plan = FaultPlan::new().at(sim.now() + 1, FaultEvent::Restart(VICTIM));
+    // The down-phase is explicit — `validate()` rejects a Restart of a
+    // node that never crashed.
+    let plan = FaultPlan::new()
+        .at(sim.now() + 1, FaultEvent::Crash(VICTIM))
+        .at(sim.now() + 2, FaultEvent::Restart(VICTIM));
     sim.apply_plan(&plan);
     sim.run_until(sim.now() + 10);
 

@@ -1,0 +1,77 @@
+//! Replays the committed chaos reproducer corpus
+//! (`tests/fixtures/chaos/*.json`) against the real protocol on the
+//! deterministic simulator. Each fixture was captured and shrunk by the
+//! adversary engine against a deliberately weakened Alg 1 (see the
+//! corpus README); the shipping protocol must stay clean on all of
+//! them, forever.
+
+use sss_chaos::{run_case_sim, Fixture, OracleConfig};
+use sss_core::Alg1;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/chaos")
+}
+
+fn corpus() -> Vec<Fixture> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(corpus_dir()).expect("fixture corpus directory") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let fixture = Fixture::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        assert_eq!(
+            fixture.name,
+            path.file_stem().unwrap().to_str().unwrap(),
+            "fixture name must match its file stem"
+        );
+        out.push(fixture);
+    }
+    out
+}
+
+#[test]
+fn corpus_is_nonempty_and_canonical() {
+    let fixtures = corpus();
+    assert!(
+        fixtures.len() >= 3,
+        "the committed corpus must not silently vanish"
+    );
+    for fx in &fixtures {
+        // Re-serialization is exact: the committed files are in the
+        // canonical format, so diffs stay reviewable.
+        let path = corpus_dir().join(format!("{}.json", fx.name));
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(fx.to_json(), on_disk, "{} is not canonical", fx.name);
+    }
+}
+
+#[test]
+fn real_protocol_is_clean_on_every_committed_reproducer() {
+    for fx in corpus() {
+        let sc = fx.scenario();
+        let n = sc.n;
+        let outcome = run_case_sim(&sc, |id| Alg1::new(id, n), &OracleConfig::default());
+        assert!(
+            outcome.oracle.ok(),
+            "fixture '{}' (recorded against the weakened protocol, \
+             violations then: {:?}) now fails on the real protocol: {:?}",
+            fx.name,
+            fx.violations,
+            outcome
+                .oracle
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            outcome.report.stats.ops_completed > 0,
+            "fixture '{}' replay completed no operations — a vacuous pass",
+            fx.name
+        );
+    }
+}
