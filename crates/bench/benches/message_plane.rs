@@ -1,0 +1,65 @@
+//! Microbenchmark of the batched message plane's two hot loops: the
+//! two-lane node inbox (producer push → one batch drain) and the
+//! per-link coalescing outbox (protocol push → wire drain), both
+//! carrying the real Alg1 gossip message they move in production.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sss_core::Alg1Msg;
+use sss_runtime::NodeInbox;
+use sss_types::{NodeId, Outbox, Tagged};
+use std::time::Instant;
+
+/// Messages per measured batch (the default `BatchPolicy` drains up to
+/// 1024; 256 is a typical storm backlog at n = 8).
+const BATCH: usize = 256;
+const PEERS: usize = 8;
+
+fn gossip(i: usize) -> Alg1Msg {
+    Alg1Msg::Gossip {
+        cell: Tagged {
+            ts: i as u64 + 1,
+            val: i as u64,
+        },
+    }
+}
+
+fn bench_inbox(c: &mut Criterion) {
+    let inbox: NodeInbox<Alg1Msg> = NodeInbox::new();
+    let mut ctl = Vec::new();
+    let mut data = Vec::with_capacity(BATCH);
+    c.bench_function("inbox/push_drain_256", |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                inbox.push_data(NodeId(i % PEERS), gossip(i));
+            }
+            ctl.clear();
+            data.clear();
+            inbox.drain(&mut ctl, &mut data, 0, Instant::now());
+            assert_eq!(data.len(), BATCH);
+        })
+    });
+}
+
+fn bench_outbox(c: &mut Criterion) {
+    let mut g = c.benchmark_group("outbox");
+    // Gossip cells to the same peer always join, so the coalescing run
+    // emits PEERS wire messages per batch and the FIFO ablation BATCH —
+    // the pair brackets what a drain's flush costs with and without the
+    // per-link merge.
+    for (label, coalesce) in [("coalescing", true), ("fifo", false)] {
+        let mut out = Outbox::new(PEERS).with_coalescing(coalesce);
+        let expect = if coalesce { PEERS } else { BATCH };
+        g.bench_function(&format!("push_drain_256_{label}"), |b| {
+            b.iter(|| {
+                for i in 0..BATCH {
+                    out.push(NodeId(i % PEERS), gossip(i));
+                }
+                assert_eq!(out.drain().count(), expect);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inbox, bench_outbox);
+criterion_main!(benches);

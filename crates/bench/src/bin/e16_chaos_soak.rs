@@ -186,7 +186,10 @@ fn degrade() {
     cluster.client(NodeId(0)).write(1 << 40).unwrap();
     std::thread::sleep(Duration::from_millis(30));
     // Node 4 lands in a 2-node minority: no reachable majority.
-    cluster.partition(&[&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
+    cluster.partition(&[
+        [NodeId(0), NodeId(1), NodeId(2)].as_slice(),
+        [NodeId(3), NodeId(4)].as_slice(),
+    ]);
 
     let mut table = sss_bench::Table::new(&["trial", "op", "outcome", "latency", "% of timeout"]);
     let mut worst = Duration::ZERO;

@@ -32,7 +32,7 @@ mod backend;
 mod link;
 mod plan;
 
-pub use backend::{unique_value, Backend, RunReport, RunStats, WorkloadSpec};
+pub use backend::{unique_value, Backend, BatchPolicy, RunReport, RunStats, WorkloadSpec};
 pub use link::{cut_matrix, DropReason, LinkConfig, LinkModel, LinkVerdict};
 pub use plan::{FaultEvent, FaultPlan, PlanError};
 

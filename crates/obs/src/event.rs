@@ -159,6 +159,18 @@ pub enum TraceEvent {
         /// The recovered node.
         node: NodeId,
     },
+    /// A node drained an inbox backlog and applied it as one protocol
+    /// step (threaded runtime's batched message path). Makes batch sizes
+    /// and coalescing rates observable per wakeup.
+    BatchDrain {
+        /// The draining node.
+        node: NodeId,
+        /// Data-plane messages applied in this batch.
+        drained: u32,
+        /// Outgoing messages absorbed into earlier ones by per-link
+        /// coalescing when this batch's sends were flushed.
+        coalesced: u32,
+    },
 }
 
 impl TraceEvent {
@@ -171,6 +183,7 @@ impl TraceEvent {
             TraceEvent::OpInvoke { node, .. }
             | TraceEvent::OpComplete { node, .. }
             | TraceEvent::OpAbort { node, .. }
+            | TraceEvent::BatchDrain { node, .. }
             | TraceEvent::Stabilized { node } => Some(*node),
             TraceEvent::Send { from, .. } | TraceEvent::Drop { from, .. } => Some(*from),
             TraceEvent::Deliver { to, .. } => Some(*to),

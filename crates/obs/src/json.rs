@@ -69,6 +69,16 @@ pub(crate) fn to_jsonl(rec: &TraceRecord) -> String {
         TraceEvent::Stabilized { node } => {
             format!("\"ev\":\"stabilized\",\"node\":{}", node.index())
         }
+        TraceEvent::BatchDrain {
+            node,
+            drained,
+            coalesced,
+        } => format!(
+            "\"ev\":\"batch_drain\",\"node\":{},\"drained\":{},\"coalesced\":{}",
+            node.index(),
+            drained,
+            coalesced
+        ),
     };
     format!("{head},{body}}}")
 }
@@ -128,6 +138,15 @@ pub(crate) fn to_chrome(rec: &TraceRecord) -> String {
         },
         TraceEvent::CycleEnd { index } => instant(format!("cycle {index}"), 0, "g"),
         TraceEvent::Stabilized { node } => instant("stabilized".into(), node.index(), "p"),
+        TraceEvent::BatchDrain {
+            node,
+            drained,
+            coalesced,
+        } => instant(
+            format!("batch {drained} (-{coalesced})"),
+            node.index(),
+            "t",
+        ),
     }
 }
 

@@ -2,7 +2,7 @@
 //! under the spec-derived workload on real threads and wall-clock time.
 
 use crate::{Cluster, ClusterConfig, ClusterError};
-use sss_net::{Backend, FaultPlan, RunReport, RunStats, WorkloadSpec, MODEL_ROUND_US};
+use sss_net::{Backend, BatchPolicy, FaultPlan, RunReport, RunStats, WorkloadSpec, MODEL_ROUND_US};
 use sss_obs::Tracer;
 use sss_types::{NodeId, Protocol, SnapshotOp};
 
@@ -42,6 +42,13 @@ where
 {
     fn label(&self) -> &'static str {
         "threads"
+    }
+
+    /// Applies `policy` to every cluster subsequent runs spawn — the
+    /// parity tests' knob for pinning (or ablating, via
+    /// [`BatchPolicy::unbatched`]) the batched message path.
+    fn set_batch_policy(&mut self, policy: BatchPolicy) {
+        self.cfg.batch = policy;
     }
 
     fn run_traced(

@@ -1,0 +1,274 @@
+//! The sharded per-node inbox of the batched message plane.
+//!
+//! The original runtime multiplexed everything a node could receive —
+//! protocol traffic, client invocations, fault-plane control — over one
+//! unbounded channel, delivering **one message per wakeup**. That shape
+//! has two costs: a gossip storm queues ahead of client ops and crash /
+//! partition injections (so control latency scales with backlog), and
+//! the per-message wakeup pins the hot path to channel/scheduler
+//! overhead instead of protocol work.
+//!
+//! [`NodeInbox`] replaces it with two queues under one mutex+condvar
+//! pair:
+//!
+//! * the **control plane** ([`CtlMsg`]: client invocations, crash /
+//!   resume / corrupt / restart, stop) is drained in full on every
+//!   wakeup, ahead of any data, so control ops never wait behind a
+//!   message backlog;
+//! * the **data plane** (protocol messages) is drained up to a batch
+//!   bound into a caller-owned scratch vector the node applies as one
+//!   protocol step.
+//!
+//! The vendored `crossbeam` stub has no `select` and `parking_lot` no
+//! condvar, so this is built directly on `std::sync::{Mutex, Condvar}`;
+//! producers only `notify_one` when the consumer is actually parked
+//! (tracked by a flag flipped under the lock), which keeps the
+//! uncontended push path to one lock round-trip.
+
+use crossbeam::channel::Sender;
+use sss_types::{NodeId, OpId, OpResponse, SnapshotOp};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Control-plane traffic: everything a node can receive that is not a
+/// protocol message. Drained in full, ahead of data, on every wakeup.
+pub enum CtlMsg {
+    /// A client operation invocation.
+    Invoke {
+        /// The driver-assigned operation id.
+        id: OpId,
+        /// The operation.
+        op: SnapshotOp,
+        /// Where the completion is sent.
+        done: Sender<OpResponse>,
+    },
+    /// Pause taking steps (crash) until `Resume`.
+    Crash,
+    /// Continue taking steps, state intact.
+    Resume,
+    /// Inject a transient fault from this seed.
+    Corrupt(u64),
+    /// Detectable restart: re-initialize all variables.
+    Restart,
+    /// Terminate the node thread.
+    Stop,
+}
+
+/// The push half failed because the inbox was [closed](NodeInbox::close).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InboxClosed;
+
+struct Queues<M> {
+    ctl: VecDeque<CtlMsg>,
+    data: VecDeque<(NodeId, M)>,
+    closed: bool,
+    /// Whether the consumer is parked on the condvar (producers skip the
+    /// notification syscall otherwise).
+    waiting: bool,
+}
+
+/// A two-lane (control/data) inbox for one node thread. See the module
+/// docs for the design.
+pub struct NodeInbox<M> {
+    q: Mutex<Queues<M>>,
+    cv: Condvar,
+}
+
+impl<M> Default for NodeInbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> NodeInbox<M> {
+    /// An empty, open inbox.
+    pub fn new() -> Self {
+        NodeInbox {
+            q: Mutex::new(Queues {
+                ctl: VecDeque::new(),
+                data: VecDeque::new(),
+                closed: false,
+                waiting: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Queues<M>> {
+        self.q.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Queues a control message, waking the node if it is parked.
+    ///
+    /// # Errors
+    ///
+    /// [`InboxClosed`] once the inbox was [closed](NodeInbox::close)
+    /// (the cluster is shutting down).
+    pub fn push_ctl(&self, msg: CtlMsg) -> Result<(), InboxClosed> {
+        let mut q = self.lock();
+        if q.closed {
+            return Err(InboxClosed);
+        }
+        q.ctl.push_back(msg);
+        if q.waiting {
+            q.waiting = false;
+            self.cv.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Queues a protocol message from `from`, waking the node if it is
+    /// parked. Silently discarded after [close](NodeInbox::close) —
+    /// in-flight traffic racing a shutdown has nowhere to go.
+    pub fn push_data(&self, from: NodeId, msg: M) {
+        let mut q = self.lock();
+        if q.closed {
+            return;
+        }
+        q.data.push_back((from, msg));
+        if q.waiting {
+            q.waiting = false;
+            self.cv.notify_one();
+        }
+    }
+
+    /// Marks the inbox closed (subsequent pushes fail/discard) and wakes
+    /// the node. Used together with [`CtlMsg::Stop`] at shutdown so a
+    /// cluster dropped without `shutdown()` still terminates its
+    /// threads.
+    pub fn close(&self) {
+        let mut q = self.lock();
+        q.closed = true;
+        if q.waiting {
+            q.waiting = false;
+        }
+        self.cv.notify_one();
+    }
+
+    /// Blocks until there is anything to take or `deadline` passes, then
+    /// moves **all** control messages into `ctl` and up to `max_data`
+    /// data messages (`0` = unbounded) into `data`, appending to both.
+    /// Either may come back empty — a deadline wakeup with an idle inbox
+    /// delivers nothing, which is the node's cue to run its round.
+    ///
+    /// Returns `true` if the inbox was closed (the node should still
+    /// drain `ctl`, where a [`CtlMsg::Stop`] awaits).
+    pub fn drain(
+        &self,
+        ctl: &mut Vec<CtlMsg>,
+        data: &mut Vec<(NodeId, M)>,
+        max_data: usize,
+        deadline: Instant,
+    ) -> bool {
+        let mut q = self.lock();
+        loop {
+            if q.closed || !q.ctl.is_empty() || !q.data.is_empty() {
+                break;
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline.checked_duration_since(now) else {
+                break;
+            };
+            q.waiting = true;
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(q, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            q.waiting = false;
+        }
+        ctl.extend(q.ctl.drain(..));
+        let take = if max_data == 0 {
+            q.data.len()
+        } else {
+            q.data.len().min(max_data)
+        };
+        data.extend(q.data.drain(..take));
+        q.closed
+    }
+
+    /// Messages currently queued on the data lane (diagnostics/tests).
+    pub fn data_len(&self) -> usize {
+        self.lock().data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn drain_now<M>(inbox: &NodeInbox<M>, max: usize) -> (Vec<CtlMsg>, Vec<(NodeId, M)>) {
+        let (mut ctl, mut data) = (Vec::new(), Vec::new());
+        inbox.drain(&mut ctl, &mut data, max, Instant::now());
+        (ctl, data)
+    }
+
+    #[test]
+    fn ctl_is_drained_in_full_ahead_of_bounded_data() {
+        let inbox = NodeInbox::new();
+        for i in 0..5u32 {
+            inbox.push_data(NodeId(1), i);
+        }
+        inbox.push_ctl(CtlMsg::Crash).unwrap();
+        inbox.push_ctl(CtlMsg::Resume).unwrap();
+        let (ctl, data) = drain_now(&inbox, 3);
+        assert_eq!(ctl.len(), 2, "all control, regardless of data backlog");
+        assert_eq!(
+            data.iter().map(|(_, m)| *m).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "data capped at max_data, FIFO"
+        );
+        let (_, rest) = drain_now(&inbox, 0);
+        assert_eq!(rest.len(), 2, "remainder survives for the next wakeup");
+    }
+
+    #[test]
+    fn drain_waits_until_deadline_when_idle() {
+        let inbox: NodeInbox<u32> = NodeInbox::new();
+        let t0 = Instant::now();
+        let (mut ctl, mut data) = (Vec::new(), Vec::new());
+        inbox.drain(&mut ctl, &mut data, 0, t0 + Duration::from_millis(20));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert!(ctl.is_empty() && data.is_empty());
+    }
+
+    #[test]
+    fn push_wakes_a_parked_consumer() {
+        let inbox: Arc<NodeInbox<u32>> = Arc::new(NodeInbox::new());
+        let inbox2 = Arc::clone(&inbox);
+        let t = std::thread::spawn(move || {
+            let (mut ctl, mut data) = (Vec::new(), Vec::new());
+            inbox2.drain(
+                &mut ctl,
+                &mut data,
+                0,
+                Instant::now() + Duration::from_secs(5),
+            );
+            data
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        inbox.push_data(NodeId(0), 9u32);
+        let data = t.join().unwrap();
+        assert_eq!(data, vec![(NodeId(0), 9)]);
+    }
+
+    #[test]
+    fn close_rejects_ctl_discards_data_and_wakes() {
+        let inbox: NodeInbox<u32> = NodeInbox::new();
+        inbox.close();
+        assert_eq!(inbox.push_ctl(CtlMsg::Stop), Err(InboxClosed));
+        inbox.push_data(NodeId(0), 1);
+        assert_eq!(inbox.data_len(), 0);
+        let (mut ctl, mut data) = (Vec::new(), Vec::new());
+        let closed = inbox.drain(
+            &mut ctl,
+            &mut data,
+            0,
+            Instant::now() + Duration::from_secs(5),
+        );
+        assert!(closed, "drain must not block on a closed inbox");
+    }
+}

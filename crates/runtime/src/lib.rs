@@ -19,25 +19,31 @@
 //! ```
 //!
 //! Each node runs its `do forever` loop on its own thread; inter-node
-//! links are crossbeam channels whose loss / duplication / partition
-//! decisions come from the shared fault plane ([`sss_net::LinkModel`] —
-//! the same model the simulator uses, so a [`FaultPlan`] means the same
-//! thing on both backends, modulo virtual vs. wall-clock time; the
-//! model's *delay* verdicts are ignored here because real thread
-//! scheduling already provides asynchrony). The runtime records a
-//! [`History`] with microsecond timestamps, so the linearizability
-//! checker applies to real concurrent executions too.
+//! links are sharded two-lane inboxes ([`NodeInbox`]: a control lane for
+//! client ops and fault injections, a data lane for protocol traffic)
+//! whose loss / duplication / partition decisions come from the shared
+//! fault plane ([`sss_net::LinkModel`] — the same model the simulator
+//! uses, so a [`FaultPlan`] means the same thing on both backends,
+//! modulo virtual vs. wall-clock time; the model's *delay* verdicts are
+//! ignored here because real thread scheduling already provides
+//! asynchrony). Each wakeup drains the whole data backlog (bounded by
+//! [`BatchPolicy::max_batch`]) and applies it as **one protocol step**,
+//! coalescing consecutive same-destination replies before they travel
+//! (see [`sss_types::Outbox`]) — the message path that closes the
+//! throughput gap to the simulator. The runtime records a [`History`]
+//! with microsecond timestamps, so the linearizability checker applies
+//! to real concurrent executions too.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sss_net::{LinkConfig, LinkModel, LinkVerdict, MODEL_ROUND_US};
+use sss_net::{DropReason, LinkConfig, LinkModel, LinkVerdict, MODEL_ROUND_US};
 use sss_types::{
-    Effects, History, NodeId, OpClass, OpId, OpResponse, ProtoMsg, Protocol, SnapshotOp,
+    Effects, History, NodeId, OpClass, OpId, OpResponse, Outbox, ProtoMsg, Protocol, SnapshotOp,
     SnapshotView, Value,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,10 +52,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 mod backend;
+mod inbox;
 pub use backend::ThreadBackend;
+pub use inbox::{CtlMsg, InboxClosed, NodeInbox};
 // Re-export the shared fault plane and the trace plane so runtime users
 // need only one import.
-pub use sss_net::{Backend, FaultEvent, FaultPlan, RunReport, RunStats, WorkloadSpec};
+pub use sss_net::{Backend, BatchPolicy, FaultEvent, FaultPlan, RunReport, RunStats, WorkloadSpec};
 pub use sss_obs::{
     DropCause, FaultKind, MemorySink, SubscriberSink, TraceBuffer, TraceEvent, TraceRecord, Tracer,
 };
@@ -148,6 +156,10 @@ pub struct ClusterConfig {
     /// [`ClusterConfig::op_timeout`]. Peers a node has *never* heard
     /// from are not suspected (idle startup is not evidence of failure).
     pub suspect_after: Duration,
+    /// Inbox-drain batching and per-link coalescing policy (see
+    /// [`BatchPolicy`]); [`BatchPolicy::unbatched`] reproduces the
+    /// pre-batching one-message-per-wakeup delivery for ablations.
+    pub batch: BatchPolicy,
 }
 
 impl ClusterConfig {
@@ -163,6 +175,7 @@ impl ClusterConfig {
             net: LinkConfig::reliable(),
             seed: 0xBEEF,
             suspect_after: Duration::from_millis(100),
+            batch: BatchPolicy::default(),
         }
     }
 
@@ -173,6 +186,12 @@ impl ClusterConfig {
         self
     }
 
+    /// Overrides the batching/coalescing policy (builder-style).
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Converts a fault-plan model time (model µs) to the wall-clock
     /// offset this cluster replays it at: plan times are calibrated
     /// against [`MODEL_ROUND_US`]-µs rounds, so they scale by
@@ -180,27 +199,6 @@ impl ClusterConfig {
     pub fn wall_offset(&self, model_t: u64) -> Duration {
         Duration::from_micros(self.round_interval.as_micros() as u64 * model_t / MODEL_ROUND_US)
     }
-}
-
-enum NodeMsg<M> {
-    Net {
-        from: NodeId,
-        msg: M,
-    },
-    Invoke {
-        id: OpId,
-        op: SnapshotOp,
-        done: Sender<OpResponse>,
-    },
-    /// Pause taking steps (crash) until `Resume`.
-    Crash,
-    /// Continue taking steps, state intact.
-    Resume,
-    /// Inject a transient fault.
-    Corrupt(u64),
-    /// Detectable restart: re-initialize all variables.
-    Restart,
-    Stop,
 }
 
 /// The state behind the runtime's asynchronous-cycle proxy (see
@@ -243,6 +241,29 @@ struct Shared {
     last_heard: Vec<AtomicU64>,
     /// [`ClusterConfig::suspect_after`] in µs.
     suspect_us: u64,
+    /// Whether the configured link model is a no-op for non-partitioned
+    /// links (no loss, no duplication, unbounded capacity). When this
+    /// holds *and* no link is currently cut ([`Shared::links_dirty`]),
+    /// senders skip the link-model lock entirely; the only thing skipped
+    /// is the delay coin this backend ignores anyway, so the fast path
+    /// is observationally equivalent.
+    net_transparent_base: bool,
+    /// Set whenever a link may have been cut (set-link-down or any
+    /// partition), cleared only by a full heal — conservative, so the
+    /// fast path never skips a LinkDown verdict.
+    links_dirty: AtomicBool,
+    /// Whether receivers must release link capacity on delivery
+    /// (`net.capacity > 0`; static, so the batched release pass can be
+    /// skipped entirely on unbounded configs).
+    cap_release: bool,
+    /// Data-plane messages applied by node protocol steps.
+    delivered: AtomicU64,
+    /// Non-empty data batches applied ([`Shared::delivered`] ÷ this =
+    /// mean batch size).
+    batches: AtomicU64,
+    /// Outgoing messages absorbed into an earlier wire message by
+    /// per-link coalescing.
+    coalesced: AtomicU64,
 }
 
 impl Shared {
@@ -260,15 +281,15 @@ impl Shared {
     }
 
     /// Advances the asynchronous-cycle proxy after `node` completed a
-    /// `do forever` iteration. The wall-clock backend cannot observe
+    /// `do forever` iteration (the caller has already incremented
+    /// `round_counts`). The wall-clock backend cannot observe
     /// global in-flight message counts the way the simulator's
     /// `CycleTracker` does, so it uses the rounds-only over-approximation:
     /// a cycle ends once every non-crashed node has completed an
     /// iteration since the previous boundary. With round intervals far
     /// exceeding delivery latency (the deployment regime), this tracks
     /// the paper's cycle definition to within a constant factor.
-    fn on_traced_round(&self, node: NodeId) {
-        self.round_counts[node.index()].fetch_add(1, Ordering::Relaxed);
+    fn on_traced_round(&self, _node: NodeId) {
         let mut cy = self.cycle.lock();
         let complete = (0..self.round_counts.len()).all(|i| {
             self.crashed[i].load(Ordering::Relaxed)
@@ -338,9 +359,28 @@ impl Shared {
     }
 }
 
+/// Message-plane counters of the batched runtime (see
+/// [`Cluster::net_stats`]). Together with completed-operation counts,
+/// these are the benchmark's event accounting: one event per `do
+/// forever` round and per delivered message, with coalesced messages
+/// reported separately (they were absorbed before travelling).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Data-plane messages applied by protocol steps.
+    pub delivered: u64,
+    /// Outgoing messages absorbed into an earlier wire message by
+    /// per-link coalescing (never travelled, state-equivalently).
+    pub coalesced: u64,
+    /// Non-empty data batches applied (`delivered / batches` = mean
+    /// batch size).
+    pub batches: u64,
+    /// Completed `do forever` iterations across all nodes.
+    pub rounds: u64,
+}
+
 /// A running cluster of protocol nodes on real threads.
 pub struct Cluster<P: Protocol> {
-    inboxes: Vec<Sender<NodeMsg<P::Msg>>>,
+    inboxes: Vec<Arc<NodeInbox<P::Msg>>>,
     threads: Vec<JoinHandle<P>>,
     shared: Arc<Shared>,
     cfg: ClusterConfig,
@@ -359,13 +399,8 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// plan). With [`Tracer::off`] this is exactly [`Cluster::new`].
     pub fn new_traced(cfg: ClusterConfig, tracer: Tracer, mut mk: impl FnMut(NodeId) -> P) -> Self {
         let n = cfg.n;
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<NodeMsg<P::Msg>>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
+        let inboxes: Vec<Arc<NodeInbox<P::Msg>>> =
+            (0..n).map(|_| Arc::new(NodeInbox::new())).collect();
         let shared = Arc::new(Shared {
             history: Mutex::new(History::new()),
             started: Instant::now(),
@@ -382,24 +417,33 @@ impl<P: Protocol + 'static> Cluster<P> {
             }),
             last_heard: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             suspect_us: (cfg.suspect_after.as_micros() as u64).max(1),
+            net_transparent_base: cfg.net.loss == 0.0
+                && cfg.net.dup == 0.0
+                && cfg.net.capacity == 0,
+            links_dirty: AtomicBool::new(false),
+            cap_release: cfg.net.capacity > 0,
+            delivered: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(n);
-        for (i, rx) in receivers.into_iter().enumerate() {
+        for (i, my_inbox) in inboxes.iter().enumerate() {
             let id = NodeId(i);
             let proto = mk(id);
             assert_eq!(proto.n(), n, "protocol instance disagrees about n");
-            let peers = senders.clone();
+            let my_inbox = Arc::clone(my_inbox);
+            let peers: Vec<Arc<NodeInbox<P::Msg>>> = inboxes.iter().map(Arc::clone).collect();
             let shared2 = Arc::clone(&shared);
             let cfg2 = cfg.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("sss-node-{i}"))
-                    .spawn(move || node_loop(proto, rx, peers, shared2, cfg2))
+                    .spawn(move || node_loop(proto, my_inbox, peers, shared2, cfg2))
                     .expect("spawn node thread"),
             );
         }
         Cluster {
-            inboxes: senders,
+            inboxes,
             threads,
             shared,
             cfg,
@@ -409,7 +453,7 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// A blocking client bound to `node`.
     pub fn client(&self, node: NodeId) -> Client<P> {
         Client {
-            inbox: self.inboxes[node.index()].clone(),
+            inbox: Arc::clone(&self.inboxes[node.index()]),
             node,
             shared: Arc::clone(&self.shared),
             timeout: self.cfg.op_timeout,
@@ -418,23 +462,23 @@ impl<P: Protocol + 'static> Cluster<P> {
 
     /// Pauses `node` (crash). Messages keep queueing; none are processed.
     pub fn crash(&self, node: NodeId) {
-        let _ = self.inboxes[node.index()].send(NodeMsg::Crash);
+        let _ = self.inboxes[node.index()].push_ctl(CtlMsg::Crash);
     }
 
     /// Resumes a crashed `node` with its state intact.
     pub fn resume(&self, node: NodeId) {
-        let _ = self.inboxes[node.index()].send(NodeMsg::Resume);
+        let _ = self.inboxes[node.index()].push_ctl(CtlMsg::Resume);
     }
 
     /// Injects a transient fault at `node`.
     pub fn corrupt(&self, node: NodeId, seed: u64) {
-        let _ = self.inboxes[node.index()].send(NodeMsg::Corrupt(seed));
+        let _ = self.inboxes[node.index()].push_ctl(CtlMsg::Corrupt(seed));
     }
 
     /// Detectably restarts `node`: all its variables are re-initialized
     /// (also clears a crash).
     pub fn restart(&self, node: NodeId) {
-        let _ = self.inboxes[node.index()].send(NodeMsg::Restart);
+        let _ = self.inboxes[node.index()].push_ctl(CtlMsg::Restart);
     }
 
     /// Cuts or restores the directed link `from → to`; while down, every
@@ -442,6 +486,11 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// transient cuts; a full partition blocks minority sides).
     pub fn set_link(&self, from: NodeId, to: NodeId, up: bool) {
         self.shared.links.lock().set_link(from, to, up);
+        if !up {
+            // Restoring one link does NOT clear the flag (another may
+            // still be down); only a full heal re-enables the fast path.
+            self.shared.links_dirty.store(true, Ordering::Relaxed);
+        }
         if self.shared.tracer.is_on() {
             let kind = if up {
                 FaultKind::LinkUp
@@ -462,16 +511,13 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// Partitions the cluster into `groups` using the shared fault-plane
     /// semantics ([`sss_net::cut_matrix`]): links between different
     /// groups are cut in both directions, links within a group restored,
-    /// ungrouped nodes isolated.
-    pub fn partition(&self, groups: &[&[NodeId]]) {
-        let groups: Vec<Vec<NodeId>> = groups.iter().map(|g| g.to_vec()).collect();
-        self.partition_groups(&groups);
-    }
-
-    /// [`Cluster::partition`] with owned groups (the [`FaultPlan`]
-    /// representation).
-    pub fn partition_groups(&self, groups: &[Vec<NodeId>]) {
-        self.shared.links.lock().partition(groups);
+    /// ungrouped nodes isolated. Accepts any group representation
+    /// (`&[&[NodeId]]` literals, the [`FaultPlan`]'s `&[Vec<NodeId>]`,
+    /// …) through one implementation.
+    pub fn partition<G: AsRef<[NodeId]>>(&self, groups: &[G]) {
+        let groups: Vec<Vec<NodeId>> = groups.iter().map(|g| g.as_ref().to_vec()).collect();
+        self.shared.links.lock().partition(&groups);
+        self.shared.links_dirty.store(true, Ordering::Relaxed);
         if self.shared.tracer.is_on() {
             self.shared.tracer.emit(
                 self.shared.model_now(),
@@ -487,6 +533,7 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// Restores every link.
     pub fn heal_partition(&self) {
         self.shared.links.lock().heal();
+        self.shared.links_dirty.store(false, Ordering::Relaxed);
         if self.shared.tracer.is_on() {
             self.shared.tracer.emit(
                 self.shared.model_now(),
@@ -515,16 +562,17 @@ impl<P: Protocol + 'static> Cluster<P> {
         }
         let start = Instant::now();
         for (t, ev) in plan.sorted_events() {
-            let at = start + self.cfg.wall_offset(t);
-            if let Some(wait) = at.checked_duration_since(Instant::now()) {
-                std::thread::sleep(wait);
-            }
+            // Every event's deadline is anchored to the plan's start, not
+            // to the previous event, so sleep overshoot cannot accumulate
+            // across a long plan (`sleep_until` re-arms after early
+            // wakeups and is a no-op for deadlines already past).
+            sleep_until(start + self.cfg.wall_offset(t));
             match ev {
                 FaultEvent::Crash(node) => self.crash(*node),
                 FaultEvent::Resume(node) => self.resume(*node),
                 FaultEvent::Restart(node) => self.restart(*node),
                 FaultEvent::Corrupt(node) => self.corrupt(*node, plan.corruption_seed(t, *node)),
-                FaultEvent::Partition(groups) => self.partition_groups(groups),
+                FaultEvent::Partition(groups) => self.partition(groups),
                 FaultEvent::Heal => self.heal_partition(),
                 FaultEvent::SetLink { from, to, up } => self.set_link(*from, *to, *up),
             }
@@ -542,6 +590,22 @@ impl<P: Protocol + 'static> Cluster<P> {
         self.shared.dropped.load(Ordering::Relaxed)
     }
 
+    /// Message-plane counters: deliveries, coalesced sends, applied
+    /// batches, and completed rounds across all nodes.
+    pub fn net_stats(&self) -> NetStats {
+        NetStats {
+            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            rounds: self
+                .shared
+                .round_counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum(),
+        }
+    }
+
     /// The configuration this cluster runs with.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
@@ -554,20 +618,45 @@ impl<P: Protocol + 'static> Cluster<P> {
     }
 
     /// Stops all node threads and returns their final protocol states.
-    pub fn shutdown(self) -> Vec<P> {
-        for tx in &self.inboxes {
-            let _ = tx.send(NodeMsg::Stop);
+    pub fn shutdown(mut self) -> Vec<P> {
+        for inbox in &self.inboxes {
+            let _ = inbox.push_ctl(CtlMsg::Stop);
+            inbox.close();
         }
-        self.threads
+        std::mem::take(&mut self.threads)
             .into_iter()
             .map(|t| t.join().expect("node thread panicked"))
             .collect()
     }
 }
 
+impl<P: Protocol> Drop for Cluster<P> {
+    /// A cluster dropped without [`Cluster::shutdown`] still terminates
+    /// its node threads: closing an inbox wakes its node, which exits on
+    /// observing the closed flag. (After `shutdown()` the thread list is
+    /// already empty and the closes are idempotent.)
+    fn drop(&mut self) {
+        for inbox in &self.inboxes {
+            inbox.close();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Sleeps until `deadline`, re-arming after early wakeups; a no-op for
+/// deadlines already past. Callers anchor waits to absolute deadlines so
+/// per-sleep overshoot cannot accumulate into drift.
+fn sleep_until(deadline: Instant) {
+    while let Some(wait) = deadline.checked_duration_since(Instant::now()) {
+        std::thread::sleep(wait);
+    }
+}
+
 /// A blocking client handle for one node.
 pub struct Client<P: Protocol> {
-    inbox: Sender<NodeMsg<P::Msg>>,
+    inbox: Arc<NodeInbox<P::Msg>>,
     node: NodeId,
     shared: Arc<Shared>,
     timeout: Duration,
@@ -576,7 +665,7 @@ pub struct Client<P: Protocol> {
 impl<P: Protocol> Clone for Client<P> {
     fn clone(&self) -> Self {
         Client {
-            inbox: self.inbox.clone(),
+            inbox: Arc::clone(&self.inbox),
             node: self.node,
             shared: Arc::clone(&self.shared),
             timeout: self.timeout,
@@ -619,7 +708,7 @@ impl<P: Protocol> Client<P> {
             );
         }
         self.inbox
-            .send(NodeMsg::Invoke {
+            .push_ctl(CtlMsg::Invoke {
                 id,
                 op,
                 done: done_tx,
@@ -671,6 +760,28 @@ impl<P: Protocol> Client<P> {
                 Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::Timeout),
             }
         }
+    }
+
+    /// Fire-and-forget invocation for **open-loop load generation**:
+    /// queues the operation and returns its id immediately; the
+    /// completion (if the protocol produces one) arrives on `done`.
+    ///
+    /// Unlike [`Client::write`] / [`Client::snapshot`], nothing is
+    /// recorded in the cluster history, no timeout is armed, and the
+    /// failure detector is not consulted — this is the offered-rate
+    /// injection interface of `e14_throughput --open-loop`, not a
+    /// client-facing API (histories produced alongside it are not
+    /// checkable).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Shutdown`] if the cluster stopped.
+    pub fn submit(&self, op: SnapshotOp, done: Sender<OpResponse>) -> Result<OpId, ClusterError> {
+        let id = OpId(self.shared.next_op.fetch_add(1, Ordering::Relaxed));
+        self.inbox
+            .push_ctl(CtlMsg::Invoke { id, op, done })
+            .map_err(|_| ClusterError::Shutdown)?;
+        Ok(id)
     }
 
     /// Blocking `write(v)`.
@@ -821,8 +932,8 @@ impl<P: Protocol> RetryingClient<P> {
 
 fn node_loop<P: Protocol>(
     mut proto: P,
-    rx: Receiver<NodeMsg<P::Msg>>,
-    peers: Vec<Sender<NodeMsg<P::Msg>>>,
+    inbox: Arc<NodeInbox<P::Msg>>,
+    peers: Vec<Arc<NodeInbox<P::Msg>>>,
     shared: Arc<Shared>,
     cfg: ClusterConfig,
 ) -> P {
@@ -834,100 +945,155 @@ fn node_loop<P: Protocol>(
     // again. Only maintained while the tracer is on.
     let mut tainted = false;
     let mut next_round = Instant::now() + cfg.round_interval;
-    // One reusable effect buffer for the thread's lifetime: `apply` drains
-    // it in place, so steady-state steps allocate nothing.
+    // Reusable buffers for the thread's lifetime: the effect buffer, the
+    // coalescing outbox, the link-verdict scratch, and the two drain
+    // lanes are all drained in place, so steady-state steps allocate
+    // nothing.
     let mut fx = Effects::new();
+    let mut outbox: Outbox<P::Msg> = Outbox::new(cfg.n).with_coalescing(cfg.batch.coalesce);
+    let mut wire: Vec<Verdicted<P::Msg>> = Vec::new();
+    let mut ctl: Vec<CtlMsg> = Vec::new();
+    let mut batch: Vec<(NodeId, P::Msg)> = Vec::new();
     loop {
+        // Park until traffic arrives or the round deadline passes,
+        // then take all control messages and up to `max_batch` data
+        // messages in one wakeup.
+        let closed = inbox.drain(&mut ctl, &mut batch, cfg.batch.max_batch, next_round);
+        // Control plane first: client ops and fault injections never
+        // queue behind a data backlog.
+        for c in ctl.drain(..) {
+            match c {
+                CtlMsg::Stop => return proto,
+                CtlMsg::Crash => {
+                    crashed = true;
+                    // The shared flag feeds the failure detector (and the
+                    // cycle proxy when tracing), so it is kept regardless
+                    // of tracer state.
+                    shared.crashed[me.index()].store(true, Ordering::Relaxed);
+                    if shared.tracer.is_on() {
+                        emit_fault(&shared, FaultKind::Crash, me);
+                    }
+                }
+                CtlMsg::Resume => {
+                    crashed = false;
+                    shared.crashed[me.index()].store(false, Ordering::Relaxed);
+                    if shared.tracer.is_on() {
+                        emit_fault(&shared, FaultKind::Resume, me);
+                    }
+                }
+                CtlMsg::Corrupt(seed) => {
+                    let mut corrupt_rng = StdRng::seed_from_u64(seed);
+                    proto.corrupt(&mut corrupt_rng);
+                    if shared.tracer.is_on() {
+                        emit_fault(&shared, FaultKind::Corrupt, me);
+                        // Check immediately: a corruption that happens to
+                        // land in a legal state stabilizes in zero steps.
+                        tainted = true;
+                        check_stabilized(&proto, &mut tainted, &shared);
+                    }
+                }
+                CtlMsg::Restart => {
+                    proto.restart();
+                    crashed = false;
+                    shared.crashed[me.index()].store(false, Ordering::Relaxed);
+                    if shared.tracer.is_on() {
+                        emit_fault(&shared, FaultKind::Restart, me);
+                        // Re-initialization resolves an outstanding
+                        // corruption.
+                        check_stabilized(&proto, &mut tainted, &shared);
+                    }
+                }
+                CtlMsg::Invoke { id, op, done } => {
+                    // A crashed node swallows the invocation but keeps
+                    // the reply channel open, so the client waits out its
+                    // full timeout — the same pacing as the simulator's
+                    // clients against a crashed node.
+                    pending.push((id, done));
+                    if !crashed {
+                        proto.invoke(id, op, &mut fx);
+                    }
+                }
+            }
+        }
+        if closed {
+            return proto;
+        }
         // Run the `do forever` iteration on schedule even under a
         // continuous message stream (a busy inbox must not starve gossip,
         // retransmission, or Algorithm 3's write/snapshot scheduling).
-        if Instant::now() >= next_round {
+        // Deadlines advance by whole intervals from the previous deadline
+        // — not from `now` — so scheduling wobble does not accumulate;
+        // intervals missed entirely under overload are skipped rather
+        // than run as a catch-up burst.
+        let now = Instant::now();
+        if now >= next_round {
             if !crashed {
                 proto.on_round(&mut fx);
-                apply(me, &mut fx, &peers, &mut pending, &shared);
+                shared.round_counts[me.index()].fetch_add(1, Ordering::Relaxed);
                 if shared.tracer.is_on() {
                     shared.on_traced_round(me);
                     check_stabilized(&proto, &mut tainted, &shared);
                 }
             }
-            next_round = Instant::now() + cfg.round_interval;
+            while next_round <= now {
+                next_round += cfg.round_interval;
+            }
         }
-        let timeout = next_round.saturating_duration_since(Instant::now());
-        match rx.recv_timeout(timeout) {
-            Ok(NodeMsg::Stop) => return proto,
-            Ok(NodeMsg::Crash) => {
-                crashed = true;
-                // The shared flag feeds the failure detector (and the
-                // cycle proxy when tracing), so it is kept regardless of
-                // tracer state.
-                shared.crashed[me.index()].store(true, Ordering::Relaxed);
-                if shared.tracer.is_on() {
-                    emit_fault(&shared, FaultKind::Crash, me);
+        // Data plane: apply the whole drained backlog as one protocol
+        // step. Model time, capacity release, tracing and counters are
+        // all per batch, not per hop.
+        let drained = batch.len();
+        if drained > 0 {
+            let tracing = shared.tracer.is_on();
+            if shared.cap_release {
+                // One link-model lock for the whole batch (never held
+                // together with an inbox lock; see `flush_outbox`).
+                let mut links = shared.links.lock();
+                for (from, _) in batch.iter().filter(|(f, _)| *f != me) {
+                    links.on_delivered(*from, me);
                 }
             }
-            Ok(NodeMsg::Resume) => {
-                crashed = false;
-                shared.crashed[me.index()].store(false, Ordering::Relaxed);
-                if shared.tracer.is_on() {
-                    emit_fault(&shared, FaultKind::Resume, me);
-                }
+            // Feed the failure detector: any received message is a
+            // heartbeat, even to a crashed receiver (the *peer* is
+            // evidently alive and connected).
+            for (from, _) in batch.iter().filter(|(f, _)| *f != me) {
+                shared.heard(me, *from);
             }
-            Ok(NodeMsg::Corrupt(seed)) => {
-                let mut corrupt_rng = StdRng::seed_from_u64(seed);
-                proto.corrupt(&mut corrupt_rng);
-                if shared.tracer.is_on() {
-                    emit_fault(&shared, FaultKind::Corrupt, me);
-                    // Check immediately: a corruption that happens to
-                    // land in a legal state stabilizes in zero steps.
-                    tainted = true;
-                    check_stabilized(&proto, &mut tainted, &shared);
-                }
-            }
-            Ok(NodeMsg::Restart) => {
-                proto.restart();
-                crashed = false;
-                shared.crashed[me.index()].store(false, Ordering::Relaxed);
-                if shared.tracer.is_on() {
-                    emit_fault(&shared, FaultKind::Restart, me);
-                    // Re-initialization resolves an outstanding corruption.
-                    check_stabilized(&proto, &mut tainted, &shared);
-                }
-            }
-            Ok(NodeMsg::Net { from, msg }) => {
-                // Release the link-capacity slot whether or not the
-                // message is processed (it left the channel either way),
-                // and feed the failure detector: any received message is
-                // a heartbeat, even to a crashed receiver (the *peer* is
-                // evidently alive and connected).
-                if from != me {
-                    shared.links.lock().on_delivered(from, me);
-                    shared.heard(me, from);
-                }
-                if !crashed {
-                    if shared.tracer.is_on() {
+            if !crashed {
+                if tracing {
+                    let t = shared.model_now();
+                    for (from, msg) in &batch {
                         shared.tracer.emit(
-                            shared.model_now(),
+                            t,
                             TraceEvent::Deliver {
-                                from,
+                                from: *from,
                                 to: me,
                                 kind: msg.kind(),
                             },
                         );
                     }
+                }
+                for (from, msg) in batch.drain(..) {
                     proto.on_message(from, msg, &mut fx);
-                    apply(me, &mut fx, &peers, &mut pending, &shared);
-                    if shared.tracer.is_on() {
-                        check_stabilized(&proto, &mut tainted, &shared);
-                    }
-                } else {
-                    // Crashed receiver: the message is lost, same
-                    // accounting as the simulator's.
-                    shared.dropped.fetch_add(1, Ordering::Relaxed);
-                    if shared.tracer.is_on() {
+                }
+                shared
+                    .delivered
+                    .fetch_add(drained as u64, Ordering::Relaxed);
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+                if tracing {
+                    check_stabilized(&proto, &mut tainted, &shared);
+                }
+            } else {
+                // Crashed receiver: the backlog is lost, same accounting
+                // as the simulator's.
+                shared.dropped.fetch_add(drained as u64, Ordering::Relaxed);
+                if tracing {
+                    let t = shared.model_now();
+                    for (from, msg) in &batch {
                         shared.tracer.emit(
-                            shared.model_now(),
+                            t,
                             TraceEvent::Drop {
-                                from,
+                                from: *from,
                                 to: me,
                                 kind: msg.kind(),
                                 cause: DropCause::Crashed,
@@ -935,22 +1101,29 @@ fn node_loop<P: Protocol>(
                         );
                     }
                 }
+                batch.clear();
             }
-            Ok(NodeMsg::Invoke { id, op, done }) => {
-                // A crashed node swallows the invocation but keeps the
-                // reply channel open, so the client waits out its full
-                // timeout — the same pacing as the simulator's clients
-                // against a crashed node.
-                pending.push((id, done));
-                if !crashed {
-                    proto.invoke(id, op, &mut fx);
-                    apply(me, &mut fx, &peers, &mut pending, &shared);
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                // The round itself runs at the top of the loop.
-            }
-            Err(RecvTimeoutError::Disconnected) => return proto,
+        }
+        // One coalesced flush for everything this wakeup produced
+        // (invocations, the round, the data batch).
+        let coalesced = flush_effects(
+            me,
+            &mut fx,
+            &mut outbox,
+            &mut wire,
+            &peers,
+            &mut pending,
+            &shared,
+        );
+        if shared.tracer.is_on() && (drained > 0 || coalesced > 0) {
+            shared.tracer.emit(
+                shared.model_now(),
+                TraceEvent::BatchDrain {
+                    node: me,
+                    drained: drained as u32,
+                    coalesced: coalesced as u32,
+                },
+            );
         }
     }
 }
@@ -982,57 +1155,129 @@ fn check_stabilized<P: Protocol>(proto: &P, tainted: &mut bool, shared: &Shared)
     }
 }
 
-fn apply<M: ProtoMsg>(
+/// A wire message with its link-model verdict, staged so verdicts are
+/// drawn under one link lock and deliveries pushed after it is released.
+struct Verdicted<M> {
+    to: NodeId,
+    msg: M,
+    /// `Ok(duplicate?)` to deliver, `Err(reason)` if the link dropped it.
+    verdict: Result<bool, DropReason>,
+}
+
+/// Flushes one wakeup's accumulated effects: sends (coalesced per
+/// destination, then either fast-pathed straight into peer inboxes or
+/// run through the link model under a **single** lock acquisition),
+/// completions, and aborts. Returns the number of sends absorbed by
+/// coalescing.
+///
+/// Lock discipline: the links lock is only ever held while *computing
+/// verdicts* — never across an inbox push — and receivers never hold
+/// their inbox lock while touching the link model (`NodeInbox::drain`
+/// copies out and releases first), so `links → inbox` nesting cannot
+/// deadlock.
+fn flush_effects<M: ProtoMsg>(
     me: NodeId,
     fx: &mut Effects<M>,
-    peers: &[Sender<NodeMsg<M>>],
+    outbox: &mut Outbox<M>,
+    wire: &mut Vec<Verdicted<M>>,
+    peers: &[Arc<NodeInbox<M>>],
     pending: &mut Vec<(OpId, Sender<OpResponse>)>,
     shared: &Shared,
-) {
+) -> u64 {
     let tracing = shared.tracer.is_on();
+    let coalesced_before = outbox.coalesced();
     for (to, msg) in fx.drain_sends() {
-        if tracing {
-            shared.tracer.emit(
-                shared.model_now(),
-                TraceEvent::Send {
-                    from: me,
-                    to,
-                    kind: msg.kind(),
-                    bits: msg.size_bits(TRACE_NU_BITS),
-                },
-            );
-        }
         if to == me {
-            // Self-delivery: reliable, immediate (an internal step).
-            let _ = peers[to.index()].send(NodeMsg::Net { from: me, msg });
-            continue;
+            // Self-delivery: reliable, immediate (an internal step) —
+            // bypasses the link model and the coalescing outbox.
+            if tracing {
+                shared.tracer.emit(
+                    shared.model_now(),
+                    TraceEvent::Send {
+                        from: me,
+                        to,
+                        kind: msg.kind(),
+                        bits: msg.size_bits(TRACE_NU_BITS),
+                    },
+                );
+            }
+            peers[me.index()].push_data(me, msg);
+        } else {
+            outbox.push(to, msg);
         }
+    }
+    let coalesced = outbox.coalesced() - coalesced_before;
+    if coalesced > 0 {
+        shared.coalesced.fetch_add(coalesced, Ordering::Relaxed);
+    }
+    if !outbox.is_empty() {
         // All loss/duplication/partition decisions come from the shared
         // fault plane. Delay verdicts are ignored: thread scheduling and
-        // channel queueing already make delivery timing asynchronous.
-        match shared.links.lock().on_send(me, to) {
-            LinkVerdict::Drop(reason) => {
-                shared.dropped.fetch_add(1, Ordering::Relaxed);
+        // inbox queueing already make delivery timing asynchronous —
+        // which is also why the fast path below may skip the model
+        // entirely when it could only have drawn those ignored coins.
+        if shared.net_transparent_base && !shared.links_dirty.load(Ordering::Relaxed) {
+            for (to, msg) in outbox.drain() {
                 if tracing {
                     shared.tracer.emit(
                         shared.model_now(),
-                        TraceEvent::Drop {
+                        TraceEvent::Send {
                             from: me,
                             to,
                             kind: msg.kind(),
-                            cause: reason.into(),
+                            bits: msg.size_bits(TRACE_NU_BITS),
                         },
                     );
                 }
+                peers[to.index()].push_data(me, msg);
             }
-            LinkVerdict::Deliver { duplicate, .. } => {
-                if duplicate.is_some() {
-                    let _ = peers[to.index()].send(NodeMsg::Net {
-                        from: me,
-                        msg: msg.clone(),
-                    });
+        } else {
+            {
+                let mut links = shared.links.lock();
+                for (to, msg) in outbox.drain() {
+                    let verdict = match links.on_send(me, to) {
+                        LinkVerdict::Deliver { duplicate, .. } => Ok(duplicate.is_some()),
+                        LinkVerdict::Drop(reason) => Err(reason),
+                    };
+                    wire.push(Verdicted { to, msg, verdict });
                 }
-                let _ = peers[to.index()].send(NodeMsg::Net { from: me, msg });
+            }
+            for Verdicted { to, msg, verdict } in wire.drain(..) {
+                if tracing {
+                    // `Send` records the attempt (matching the sim's
+                    // accounting); a link drop adds a `Drop` after it.
+                    shared.tracer.emit(
+                        shared.model_now(),
+                        TraceEvent::Send {
+                            from: me,
+                            to,
+                            kind: msg.kind(),
+                            bits: msg.size_bits(TRACE_NU_BITS),
+                        },
+                    );
+                }
+                match verdict {
+                    Err(reason) => {
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                        if tracing {
+                            shared.tracer.emit(
+                                shared.model_now(),
+                                TraceEvent::Drop {
+                                    from: me,
+                                    to,
+                                    kind: msg.kind(),
+                                    cause: reason.into(),
+                                },
+                            );
+                        }
+                    }
+                    Ok(duplicate) => {
+                        if duplicate {
+                            peers[to.index()].push_data(me, msg.clone());
+                        }
+                        peers[to.index()].push_data(me, msg);
+                    }
+                }
             }
         }
     }
@@ -1044,9 +1289,8 @@ fn apply<M: ProtoMsg>(
     }
     for id in fx.drain_aborts() {
         // Aborted operations (bounded-counter resets) unblock the client
-        // with a WriteDone-shaped error path: drop the sender so the
-        // client times out quickly... better: send nothing; the client
-        // timeout handles it. Drop the pending entry.
+        // by dropping the reply sender; the client's timeout/disconnect
+        // path handles it.
         if tracing {
             shared
                 .tracer
@@ -1054,6 +1298,7 @@ fn apply<M: ProtoMsg>(
         }
         pending.retain(|(pid, _)| *pid != id);
     }
+    coalesced
 }
 
 #[cfg(test)]
@@ -1181,7 +1426,7 @@ mod partition_tests {
         // so give the full heard-matrix a few rounds to populate.
         cluster.client(NodeId(0)).write(1).unwrap();
         std::thread::sleep(Duration::from_millis(30));
-        cluster.partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2)]]);
+        cluster.partition(&[[NodeId(0), NodeId(1)].as_slice(), [NodeId(2)].as_slice()]);
         // Majority side works.
         cluster.client(NodeId(0)).write(4).unwrap();
         // Minority side fails fast with the detector's evidence — the

@@ -133,6 +133,13 @@ impl<P: Protocol, F: FnMut(NodeId) -> P> Backend for SimBackend<P, F> {
         "sim"
     }
 
+    /// Documented no-op: the virtual-time scheduler already delivers
+    /// every pending event for a node before its next activation fires,
+    /// which is observationally an unbounded batch with no coalescing
+    /// (merging would change per-message delivery counts that the sim's
+    /// metrics and golden traces pin down deterministically).
+    fn set_batch_policy(&mut self, _policy: sss_net::BatchPolicy) {}
+
     fn run_traced(
         &mut self,
         plan: &FaultPlan,

@@ -46,6 +46,7 @@
 mod history;
 mod node;
 mod op;
+mod outbox;
 mod payload;
 mod protocol;
 mod reg;
@@ -55,6 +56,7 @@ mod vclock;
 pub use history::{History, LatencyStats, OpRecord};
 pub use node::{majority, NodeId, ProcessSet};
 pub use op::{OpClass, OpId, OpResponse, SnapshotOp, SnapshotView};
+pub use outbox::Outbox;
 pub use payload::{clone_stats, Payload, SharedReg};
 pub use protocol::{
     cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, ProtoMsg, Protocol, ProtocolStats,

@@ -119,6 +119,23 @@ pub trait ProtoMsg: Clone + fmt::Debug + Send + 'static {
     /// harness verify, e.g., that gossip messages are `O(ν)` bits while
     /// `WRITE` messages are `O(ν·n)` bits.
     fn size_bits(&self, nu: u32) -> u64;
+
+    /// Attempts to absorb `later` — a message queued to the **same
+    /// destination** after `self` — into `self`, so only the merged
+    /// message needs to travel. Returns `true` iff the merge happened, in
+    /// which case delivering the updated `self` must leave the receiver in
+    /// exactly the state that delivering `self` then `later` would have
+    /// (the merged contents form the lattice join), with any suppressed
+    /// reply being a duplicate the protocols already tolerate losing.
+    ///
+    /// The default never coalesces, which is always sound. Implementations
+    /// must only merge payloads that are joins of each other (gossip
+    /// cells, `⪯`-ordered register arrays, pointer-identical
+    /// retransmissions) — batching is not a license to reorder or drop
+    /// causally meaningful traffic.
+    fn try_coalesce(&mut self, _later: &Self) -> bool {
+        false
+    }
 }
 
 /// Encoded size of one register cell (`(v, ts)` pair) in bits.

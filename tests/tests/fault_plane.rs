@@ -134,7 +134,7 @@ fn threads_crash_partition_heal_recovery() {
     // complete — either the failure detector indicts the unreachable
     // majority first (fail-fast `Unavailable`) or the op times out,
     // whichever races ahead of the other.
-    cluster.partition(&[&[NodeId(0)], &[NodeId(1), NodeId(2)]]);
+    cluster.partition(&[[NodeId(0)].as_slice(), [NodeId(1), NodeId(2)].as_slice()]);
     let err = cluster
         .client(NodeId(0))
         .write(unique_value(NodeId(0), 2))

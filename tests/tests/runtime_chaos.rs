@@ -115,7 +115,10 @@ fn partition_then_heal_on_real_threads() {
     let mut cfg = ClusterConfig::new(n);
     cfg.op_timeout = Duration::from_millis(250);
     let cluster = Cluster::new(cfg, move |id| Alg1::new(id, n));
-    cluster.partition(&[&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
+    cluster.partition(&[
+        [NodeId(0), NodeId(1), NodeId(2)].as_slice(),
+        [NodeId(3), NodeId(4)].as_slice(),
+    ]);
     cluster.client(NodeId(0)).write(unique(0, 1)).unwrap();
     // Minority side must block: either the failure detector indicts the
     // unreachable majority (`Unavailable`) or — if the partition landed
@@ -150,7 +153,10 @@ fn quorum_loss_fails_fast_and_retry_recovers_after_heal() {
     cluster.client(NodeId(0)).write(unique(0, 1)).unwrap();
     std::thread::sleep(Duration::from_millis(30));
     // Node 4 ends up in a 2-node minority: no majority reachable.
-    cluster.partition(&[&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]]);
+    cluster.partition(&[
+        [NodeId(0), NodeId(1), NodeId(2)].as_slice(),
+        [NodeId(3), NodeId(4)].as_slice(),
+    ]);
     let started = Instant::now();
     let err = cluster.client(NodeId(4)).write(unique(4, 1)).unwrap_err();
     let elapsed = started.elapsed();
