@@ -36,6 +36,19 @@ pub use backend::{unique_value, Backend, BatchPolicy, RunReport, RunStats, Workl
 pub use link::{cut_matrix, DropReason, LinkConfig, LinkModel, LinkVerdict};
 pub use plan::{FaultEvent, FaultPlan, PlanError};
 
+/// SplitMix64-style seed mixing: derives an independent, well-distributed
+/// sub-seed from `(seed, salt)`. This is the one hash every seeded
+/// component in the workspace derives its sub-streams from — per-link
+/// RNG streams, per-node workload sequences, per-shard cluster seeds and
+/// the service layer's consistent-hash ring all agree on it, so a
+/// scenario seed means the same thing everywhere.
+pub fn mix64(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Model time, in microseconds. Identical to `sss_sim::SimTime`; the
 /// threaded runtime maps it onto the wall clock via its round interval.
 pub type ModelTime = u64;

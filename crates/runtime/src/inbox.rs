@@ -59,9 +59,25 @@ pub enum CtlMsg {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InboxClosed;
 
+/// Why a bounded invoke push ([`NodeInbox::push_invoke`]) was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvokeRejected {
+    /// The invoke backlog is at capacity — the caller must shed or
+    /// retry; silently queueing would grow memory without bound under
+    /// open-loop overload.
+    Full,
+    /// The inbox was [closed](NodeInbox::close).
+    Closed,
+}
+
 struct Queues<M> {
     ctl: VecDeque<CtlMsg>,
     data: VecDeque<(NodeId, M)>,
+    /// Queued-but-undrained `CtlMsg::Invoke` entries — the backlog
+    /// [`NodeInbox::push_invoke`]'s admission bound applies to. Fault
+    /// injections and `Stop` are never counted (control must always get
+    /// through).
+    invokes: usize,
     closed: bool,
     /// Whether the consumer is parked on the condvar (producers skip the
     /// notification syscall otherwise).
@@ -88,6 +104,7 @@ impl<M> NodeInbox<M> {
             q: Mutex::new(Queues {
                 ctl: VecDeque::new(),
                 data: VecDeque::new(),
+                invokes: 0,
                 closed: false,
                 waiting: false,
             }),
@@ -110,12 +127,46 @@ impl<M> NodeInbox<M> {
         if q.closed {
             return Err(InboxClosed);
         }
+        if matches!(msg, CtlMsg::Invoke { .. }) {
+            q.invokes += 1;
+        }
         q.ctl.push_back(msg);
         if q.waiting {
             q.waiting = false;
             self.cv.notify_one();
         }
         Ok(())
+    }
+
+    /// Queues a client invocation subject to an admission bound: fails
+    /// with [`InvokeRejected::Full`] once `cap` invocations are already
+    /// queued and undrained (`cap == 0` means unbounded). This is the
+    /// backpressure half of the open-loop injection path — the old
+    /// fire-and-forget submit queued without bound, so a saturated node
+    /// grew its backlog (and its memory) silently instead of telling the
+    /// caller to shed.
+    pub fn push_invoke(&self, msg: CtlMsg, cap: usize) -> Result<(), InvokeRejected> {
+        debug_assert!(matches!(msg, CtlMsg::Invoke { .. }));
+        let mut q = self.lock();
+        if q.closed {
+            return Err(InvokeRejected::Closed);
+        }
+        if cap > 0 && q.invokes >= cap {
+            return Err(InvokeRejected::Full);
+        }
+        q.invokes += 1;
+        q.ctl.push_back(msg);
+        if q.waiting {
+            q.waiting = false;
+            self.cv.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Queued-but-undrained client invocations (the backlog
+    /// [`NodeInbox::push_invoke`]'s bound applies to).
+    pub fn invoke_backlog(&self) -> usize {
+        self.lock().invokes
     }
 
     /// Queues a protocol message from `from`, waking the node if it is
@@ -179,6 +230,7 @@ impl<M> NodeInbox<M> {
             q.waiting = false;
         }
         ctl.extend(q.ctl.drain(..));
+        q.invokes = 0;
         let take = if max_data == 0 {
             q.data.len()
         } else {
@@ -253,6 +305,37 @@ mod tests {
         inbox.push_data(NodeId(0), 9u32);
         let data = t.join().unwrap();
         assert_eq!(data, vec![(NodeId(0), 9)]);
+    }
+
+    #[test]
+    fn bounded_invoke_lane_rejects_when_full_and_recovers_after_drain() {
+        let inbox: NodeInbox<u32> = NodeInbox::new();
+        let invoke = || {
+            let (tx, _rx) = crossbeam::channel::bounded(1);
+            CtlMsg::Invoke {
+                id: OpId(0),
+                op: SnapshotOp::Snapshot,
+                done: tx,
+            }
+        };
+        inbox.push_invoke(invoke(), 2).unwrap();
+        inbox.push_invoke(invoke(), 2).unwrap();
+        assert_eq!(inbox.push_invoke(invoke(), 2), Err(InvokeRejected::Full));
+        assert_eq!(inbox.invoke_backlog(), 2);
+        // Fault-plane control is never rejected, even over the cap —
+        // and it does not consume invoke budget.
+        inbox.push_ctl(CtlMsg::Crash).unwrap();
+        assert_eq!(inbox.invoke_backlog(), 2);
+        // Draining frees the whole budget.
+        let _ = drain_now(&inbox, 0);
+        assert_eq!(inbox.invoke_backlog(), 0);
+        inbox.push_invoke(invoke(), 2).unwrap();
+        // cap == 0 is unbounded.
+        for _ in 0..100 {
+            inbox.push_invoke(invoke(), 0).unwrap();
+        }
+        inbox.close();
+        assert_eq!(inbox.push_invoke(invoke(), 2), Err(InvokeRejected::Closed));
     }
 
     #[test]

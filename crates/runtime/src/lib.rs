@@ -54,7 +54,7 @@ use std::time::{Duration, Instant};
 mod backend;
 mod inbox;
 pub use backend::ThreadBackend;
-pub use inbox::{CtlMsg, InboxClosed, NodeInbox};
+pub use inbox::{CtlMsg, InboxClosed, InvokeRejected, NodeInbox};
 // Re-export the shared fault plane and the trace plane so runtime users
 // need only one import.
 pub use sss_net::{Backend, BatchPolicy, FaultEvent, FaultPlan, RunReport, RunStats, WorkloadSpec};
@@ -134,6 +134,34 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Errors returned by the fire-and-forget [`Client::submit`] path.
+///
+/// Historically `submit` could only fail on shutdown: the invoke lane
+/// was unbounded, so a saturated node silently queued (and an open-loop
+/// injector silently grew the node's memory) instead of pushing back.
+/// With the bounded lane ([`ClusterConfig::invoke_queue`]) saturation
+/// surfaces as [`SubmitError::Full`], which admission-control layers —
+/// the sharded service front end — turn into an `Overloaded` fail-fast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The node's invoke backlog is at [`ClusterConfig::invoke_queue`]
+    /// capacity; shed the operation or retry later.
+    Full,
+    /// The cluster has shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "node invoke queue is full"),
+            SubmitError::Shutdown => write!(f, "cluster has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Configuration of a [`Cluster`].
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -160,6 +188,13 @@ pub struct ClusterConfig {
     /// [`BatchPolicy`]); [`BatchPolicy::unbatched`] reproduces the
     /// pre-batching one-message-per-wakeup delivery for ablations.
     pub batch: BatchPolicy,
+    /// Admission bound on each node's queued-but-undrained client
+    /// invocations, enforced by the fire-and-forget [`Client::submit`]
+    /// path (`0` = unbounded). Blocking clients are closed-loop — at
+    /// most one outstanding op each — so only open-loop injection can
+    /// saturate the lane; when it does, `submit` returns
+    /// [`SubmitError::Full`] instead of queueing without bound.
+    pub invoke_queue: usize,
 }
 
 impl ClusterConfig {
@@ -176,6 +211,7 @@ impl ClusterConfig {
             seed: 0xBEEF,
             suspect_after: Duration::from_millis(100),
             batch: BatchPolicy::default(),
+            invoke_queue: 8192,
         }
     }
 
@@ -457,7 +493,19 @@ impl<P: Protocol + 'static> Cluster<P> {
             node,
             shared: Arc::clone(&self.shared),
             timeout: self.cfg.op_timeout,
+            invoke_cap: self.cfg.invoke_queue,
         }
+    }
+
+    /// The failure detector's current verdict for `node`:
+    /// `Some(evidence)` when the node is crashed or cannot presently
+    /// reach a majority of unsuspected peers, `None` when it can. This
+    /// is the same check client ops consult before failing fast with
+    /// [`ClusterError::Unavailable`]; service layers poll it to decide
+    /// whether to shed a shard's traffic at admission instead of
+    /// queueing ops that are doomed to fail.
+    pub fn availability(&self, node: NodeId) -> Option<Unavailable> {
+        self.shared.unavailable(node)
     }
 
     /// Pauses `node` (crash). Messages keep queueing; none are processed.
@@ -660,6 +708,7 @@ pub struct Client<P: Protocol> {
     node: NodeId,
     shared: Arc<Shared>,
     timeout: Duration,
+    invoke_cap: usize,
 }
 
 impl<P: Protocol> Clone for Client<P> {
@@ -669,6 +718,7 @@ impl<P: Protocol> Clone for Client<P> {
             node: self.node,
             shared: Arc::clone(&self.shared),
             timeout: self.timeout,
+            invoke_cap: self.invoke_cap,
         }
     }
 }
@@ -769,19 +819,36 @@ impl<P: Protocol> Client<P> {
     /// Unlike [`Client::write`] / [`Client::snapshot`], nothing is
     /// recorded in the cluster history, no timeout is armed, and the
     /// failure detector is not consulted — this is the offered-rate
-    /// injection interface of `e14_throughput --open-loop`, not a
-    /// client-facing API (histories produced alongside it are not
-    /// checkable).
+    /// injection interface of `e14_throughput --open-loop` and the
+    /// sharded service layer's batch path, not a client-facing API
+    /// (histories produced alongside it are not checkable).
+    ///
+    /// Admission is bounded by [`ClusterConfig::invoke_queue`]: once
+    /// that many invocations are queued and undrained at the node, the
+    /// submit is refused with [`SubmitError::Full`] instead of queueing
+    /// without bound (the pre-fix behavior silently absorbed overload
+    /// into the inbox).
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Shutdown`] if the cluster stopped.
-    pub fn submit(&self, op: SnapshotOp, done: Sender<OpResponse>) -> Result<OpId, ClusterError> {
+    /// [`SubmitError::Full`] when the node's invoke backlog is at
+    /// capacity; [`SubmitError::Shutdown`] if the cluster stopped.
+    pub fn submit(&self, op: SnapshotOp, done: Sender<OpResponse>) -> Result<OpId, SubmitError> {
         let id = OpId(self.shared.next_op.fetch_add(1, Ordering::Relaxed));
         self.inbox
-            .push_ctl(CtlMsg::Invoke { id, op, done })
-            .map_err(|_| ClusterError::Shutdown)?;
+            .push_invoke(CtlMsg::Invoke { id, op, done }, self.invoke_cap)
+            .map_err(|e| match e {
+                InvokeRejected::Full => SubmitError::Full,
+                InvokeRejected::Closed => SubmitError::Shutdown,
+            })?;
         Ok(id)
+    }
+
+    /// The failure detector's current verdict for this client's node —
+    /// [`Cluster::availability`] reachable from a cloned client handle
+    /// (service-layer shard workers hold clients, not the cluster).
+    pub fn availability(&self) -> Option<Unavailable> {
+        self.shared.unavailable(self.node)
     }
 
     /// Blocking `write(v)`.

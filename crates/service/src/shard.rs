@@ -1,0 +1,526 @@
+//! One shard: a full snapshot group ([`Cluster`]) plus its group-commit
+//! batcher.
+//!
+//! The batcher is the mechanism that lets a group whose protocol
+//! operations cost milliseconds serve many thousands of client requests
+//! per second: every `flush_interval` it drains the shard's admission
+//! queue (up to `max_per_flush` requests) and **collapses** it —
+//!
+//! * all queued writes to the same register become *one* protocol write
+//!   carrying the last value (the earlier writes linearize at the same
+//!   point and are immediately overwritten — ordinary group commit);
+//! * all queued snapshot requests are answered by *one* protocol
+//!   snapshot, taken at a rotating contact node after the flush's
+//!   writes were submitted.
+//!
+//! So a flush issues at most `nodes + 1` protocol operations regardless
+//! of how many client requests it absorbed, and the shard's throughput
+//! ceiling is `max_per_flush / (flush_interval + op_latency)` — paced
+//! by the group's protocol latency, not by the client arrival rate.
+//!
+//! Key → register routing: register `i` of a group is written by node
+//! `i` (the paper's single-writer registers), so a key's home register
+//! inside its shard is `mix64`-hashed exactly like the ring's key →
+//! shard step. A write waits on its home node's protocol op; snapshots
+//! wait on the contact node's.
+//!
+//! Failure semantics: before each flush the batcher probes the
+//! runtime's failure detector. If *no* node of the group can reach a
+//! majority the shard is marked down — admission then fails fast with
+//! [`ServiceError::Unavailable`] — and every drained request is failed
+//! with the same error. The flag clears automatically once the detector
+//! sees a quorum again (the batcher keeps probing every interval). A
+//! minority crash keeps the shard up: only keys homed on the crashed
+//! node fail (their protocol writes cannot start until it resumes, so
+//! they time out at `flush_timeout`), while other registers and
+//! snapshots keep completing.
+
+use crate::{ServiceError, ServiceReply, ServiceResult};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sss_net::{mix64, FaultPlan};
+use sss_runtime::{Client, Cluster, ClusterConfig, SubmitError};
+use sss_sim::LatencySummary;
+use sss_types::{NodeId, OpResponse, Protocol, SnapshotOp, Value};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Salt separating key → register hashing from the ring's key → shard
+/// hashing (same key, independent streams).
+const REGISTER_SALT: u64 = 0x5245_4721;
+
+/// The register (and therefore writer node) serving `key` inside an
+/// `n`-process group. Pure, shared by the threaded and simulated
+/// service layers.
+pub(crate) fn register_for(seed: u64, key: u64, n: usize) -> usize {
+    (mix64(seed ^ REGISTER_SALT, key) % n as u64) as usize
+}
+
+/// Per-shard tuning. The defaults suit a 3-process group on a busy CI
+/// host; the service applies one config to every shard.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Processes (and registers) per group.
+    pub nodes: usize,
+    /// Group-commit pacing: how long the batcher accumulates requests
+    /// before flushing them as protocol operations.
+    pub flush_interval: Duration,
+    /// Most requests one flush absorbs; the rest wait for the next one.
+    pub max_per_flush: usize,
+    /// Admission-queue bound; a full queue rejects with
+    /// [`ServiceError::Overloaded`].
+    pub queue_cap: usize,
+    /// How long a flush waits for its protocol operations before
+    /// failing the stragglers' requests with
+    /// [`ServiceError::Unavailable`].
+    pub flush_timeout: Duration,
+    /// The group's `do forever` round interval
+    /// ([`ClusterConfig::round_interval`]).
+    pub round_interval: Duration,
+    /// Failure-detector suspicion window
+    /// ([`ClusterConfig::suspect_after`]).
+    pub suspect_after: Duration,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            nodes: 3,
+            flush_interval: Duration::from_millis(2),
+            max_per_flush: 512,
+            queue_cap: 4096,
+            flush_timeout: Duration::from_secs(1),
+            round_interval: Duration::from_millis(2),
+            suspect_after: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One client request, parked in the admission queue until a flush.
+pub(crate) enum Request {
+    /// A keyed write.
+    Write {
+        /// Routing key (fixes the home register).
+        key: u64,
+        /// Value to write.
+        value: Value,
+        /// Admission time, for end-to-end latency accounting.
+        t0: Instant,
+        /// Completion channel (`None` for fire-and-forget submission).
+        done: Option<Sender<ServiceResult>>,
+    },
+    /// A snapshot of the shard's register array.
+    Snapshot {
+        /// Admission time.
+        t0: Instant,
+        /// Completion channel.
+        done: Option<Sender<ServiceResult>>,
+    },
+}
+
+impl Request {
+    fn into_parts(self) -> (Instant, Option<Sender<ServiceResult>>) {
+        match self {
+            Request::Write { t0, done, .. } | Request::Snapshot { t0, done } => (t0, done),
+        }
+    }
+}
+
+/// Outcome counters and the latency distribution of one shard.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Admitted requests that completed successfully.
+    pub completed: u64,
+    /// Admitted requests that failed after admission (quorum loss,
+    /// flush timeout, shutdown).
+    pub failed: u64,
+    /// Admission rejections due to a full queue.
+    pub overloaded: u64,
+    /// Admission rejections due to the down flag (fail-fast while the
+    /// group cannot reach a majority).
+    pub unavailable: u64,
+    /// End-to-end (admission → completion) latency of successful
+    /// requests, in microseconds.
+    pub latency: LatencySummary,
+}
+
+impl ShardStats {
+    /// Admitted requests not yet resolved either way.
+    pub fn pending(&self) -> u64 {
+        self.accepted - self.completed - self.failed
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    overloaded: AtomicU64,
+    unavailable: AtomicU64,
+    samples: Mutex<Vec<u64>>,
+}
+
+/// The bounded admission queue. Pushes never block: a full queue is the
+/// caller's backpressure signal. The batcher sleeps on the condvar only
+/// for shutdown wakeups — group-commit pacing means it deliberately
+/// does *not* wake on arrivals.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+struct QueueInner {
+    buf: VecDeque<Request>,
+    closed: bool,
+}
+
+enum PushError {
+    Full,
+    Closed,
+}
+
+impl Queue {
+    fn new() -> Queue {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn try_push(&self, req: Request, cap: usize) -> Result<(), PushError> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        if q.closed {
+            return Err(PushError::Closed);
+        }
+        if q.buf.len() >= cap {
+            return Err(PushError::Full);
+        }
+        q.buf.push_back(req);
+        Ok(())
+    }
+
+    fn close(&self) {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        q.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps until `deadline` (or until closed), then drains up to
+    /// `max` requests. Returns the batch and whether the queue is
+    /// closed *and* empty (the batcher's exit condition).
+    fn drain_at(&self, deadline: Instant, max: usize) -> (Vec<Request>, bool) {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        while !q.closed {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            let (guard, _) = self.cv.wait_timeout(q, left).expect("queue poisoned");
+            q = guard;
+        }
+        let take = q.buf.len().min(max);
+        let batch: Vec<Request> = q.buf.drain(..take).collect();
+        let finished = q.closed && q.buf.is_empty();
+        (batch, finished)
+    }
+}
+
+/// One shard: the group's [`Cluster`], its admission queue, its batcher
+/// thread, and the down flag. See the [module docs](self).
+pub(crate) struct Shard<P: Protocol> {
+    id: usize,
+    cluster: Arc<Cluster<P>>,
+    queue: Arc<Queue>,
+    stats: Arc<StatsInner>,
+    down: Arc<AtomicBool>,
+    cfg: ShardConfig,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl<P: Protocol + 'static> Shard<P> {
+    /// Boots the group and its batcher. `seed` is the *service* seed;
+    /// the shard derives its own cluster seed and routing stream.
+    pub(crate) fn start(
+        id: usize,
+        cfg: ShardConfig,
+        seed: u64,
+        mk: impl FnMut(NodeId) -> P,
+    ) -> Shard<P> {
+        let n = cfg.nodes;
+        let mut ccfg = ClusterConfig::new(n);
+        ccfg.round_interval = cfg.round_interval;
+        ccfg.suspect_after = cfg.suspect_after;
+        ccfg.seed = mix64(seed, id as u64);
+        let cluster = Arc::new(Cluster::new(ccfg, mk));
+        let queue = Arc::new(Queue::new());
+        let stats = Arc::new(StatsInner::default());
+        let down = Arc::new(AtomicBool::new(false));
+        let batcher = Batcher {
+            shard: id,
+            cfg: cfg.clone(),
+            seed,
+            clients: (0..n).map(|k| cluster.client(NodeId(k))).collect(),
+            queue: Arc::clone(&queue),
+            stats: Arc::clone(&stats),
+            down: Arc::clone(&down),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("shard-{id}-batcher"))
+            .spawn(move || batcher.run())
+            .expect("spawn batcher");
+        Shard {
+            id,
+            cluster,
+            queue,
+            stats,
+            down,
+            cfg,
+            batcher: Some(handle),
+        }
+    }
+
+    /// Admission: fail fast while down, reject when full, else queue.
+    pub(crate) fn submit(&self, req: Request) -> Result<(), ServiceError> {
+        if self.down.load(Ordering::Relaxed) {
+            self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Unavailable { shard: self.id });
+        }
+        match self.queue.try_push(req, self.cfg.queue_cap) {
+            Ok(()) => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(PushError::Full) => {
+                self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Overloaded { shard: self.id })
+            }
+            Err(PushError::Closed) => Err(ServiceError::Shutdown),
+        }
+    }
+
+    /// Whether the batcher currently considers the group quorum-less.
+    pub(crate) fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
+    }
+
+    /// The failure detector's evidence at one node of this shard's
+    /// group.
+    pub(crate) fn availability(&self, node: NodeId) -> Option<sss_runtime::Unavailable> {
+        self.cluster.availability(node)
+    }
+
+    /// Snapshot of the shard's counters and latency distribution.
+    pub(crate) fn stats(&self) -> ShardStats {
+        let samples = self.stats.samples.lock().expect("samples poisoned");
+        ShardStats {
+            shard: self.id,
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            overloaded: self.stats.overloaded.load(Ordering::Relaxed),
+            unavailable: self.stats.unavailable.load(Ordering::Relaxed),
+            latency: LatencySummary::from_samples(&samples),
+        }
+    }
+
+    /// Replays a fault plan against this shard's group on a background
+    /// thread (plan replay sleeps through the schedule); other shards
+    /// never see it — that isolation is the blast-radius test's
+    /// subject.
+    pub(crate) fn apply_plan(&self, plan: FaultPlan) -> JoinHandle<()> {
+        let cluster = Arc::clone(&self.cluster);
+        std::thread::Builder::new()
+            .name(format!("shard-{}-faults", self.id))
+            .spawn(move || cluster.apply_plan(&plan))
+            .expect("spawn fault replay")
+    }
+
+    /// Closes admission and joins the batcher after it resolves every
+    /// queued request.
+    pub(crate) fn shutdown(&mut self) {
+        self.queue.close();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<P: Protocol> Drop for Shard<P> {
+    fn drop(&mut self) {
+        self.queue.close();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The group-commit worker; one thread per shard.
+struct Batcher<P: Protocol> {
+    shard: usize,
+    cfg: ShardConfig,
+    seed: u64,
+    clients: Vec<Client<P>>,
+    queue: Arc<Queue>,
+    stats: Arc<StatsInner>,
+    down: Arc<AtomicBool>,
+}
+
+impl<P: Protocol> Batcher<P> {
+    fn run(self) {
+        let mut contact = 0usize;
+        loop {
+            let deadline = Instant::now() + self.cfg.flush_interval;
+            let (batch, finished) = self.queue.drain_at(deadline, self.cfg.max_per_flush);
+            // Quorum probe every interval — also while the queue is
+            // idle, so a downed shard clears its flag as soon as the
+            // detector sees a majority again.
+            match self.pick_contact(contact) {
+                None => {
+                    self.down.store(true, Ordering::Relaxed);
+                    self.fail(batch, ServiceError::Unavailable { shard: self.shard });
+                }
+                Some(c) => {
+                    self.down.store(false, Ordering::Relaxed);
+                    contact = c;
+                    if !batch.is_empty() {
+                        self.flush(batch, c);
+                        // Rotate the snapshot contact for the next flush.
+                        contact = (c + 1) % self.cfg.nodes;
+                    }
+                }
+            }
+            if finished {
+                return;
+            }
+        }
+    }
+
+    /// The first node (starting the scan at the previous contact) whose
+    /// failure detector sees a majority; `None` means the group is
+    /// down.
+    fn pick_contact(&self, prefer: usize) -> Option<usize> {
+        let n = self.cfg.nodes;
+        (0..n)
+            .map(|i| (prefer + i) % n)
+            .find(|&k| self.clients[k].availability().is_none())
+    }
+
+    /// Collapses one drained batch into at most `nodes + 1` protocol
+    /// operations, waits for them, and resolves every request.
+    fn flush(&self, batch: Vec<Request>, contact: usize) {
+        let n = self.cfg.nodes;
+        let mut write_groups: Vec<Vec<Request>> = (0..n).map(|_| Vec::new()).collect();
+        let mut write_vals: Vec<Option<Value>> = vec![None; n];
+        let mut snaps: Vec<Request> = Vec::new();
+        for req in batch {
+            match &req {
+                Request::Write { key, value, .. } => {
+                    let reg = register_for(self.seed, *key, n);
+                    write_vals[reg] = Some(*value); // last write wins
+                    write_groups[reg].push(req);
+                }
+                Request::Snapshot { .. } => snaps.push(req),
+            }
+        }
+
+        let deadline = Instant::now() + self.cfg.flush_timeout;
+        let mut waits: Vec<(Receiver<OpResponse>, Vec<Request>)> = Vec::new();
+        for reg in 0..n {
+            let Some(v) = write_vals[reg] else { continue };
+            let group = std::mem::take(&mut write_groups[reg]);
+            let (tx, rx) = bounded(1);
+            match self.clients[reg].submit(SnapshotOp::Write(v), tx) {
+                Ok(_) => waits.push((rx, group)),
+                Err(SubmitError::Full) => {
+                    self.fail(group, ServiceError::Overloaded { shard: self.shard })
+                }
+                Err(SubmitError::Shutdown) => self.fail(group, ServiceError::Shutdown),
+            }
+        }
+        if !snaps.is_empty() {
+            let (tx, rx) = bounded(1);
+            match self.clients[contact].submit(SnapshotOp::Snapshot, tx) {
+                Ok(_) => waits.push((rx, snaps)),
+                Err(SubmitError::Full) => {
+                    self.fail(snaps, ServiceError::Overloaded { shard: self.shard })
+                }
+                Err(SubmitError::Shutdown) => self.fail(snaps, ServiceError::Shutdown),
+            }
+        }
+
+        for (rx, group) in waits {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(resp) => self.ack(group, &resp),
+                // No completion within the flush timeout: the register's
+                // home node is crashed or the group lost its quorum
+                // mid-flight. Uncertain, reported as unavailability.
+                Err(_) => self.fail(group, ServiceError::Unavailable { shard: self.shard }),
+            }
+        }
+    }
+
+    fn ack(&self, group: Vec<Request>, resp: &OpResponse) {
+        let reply = match resp {
+            OpResponse::Snapshot(view) => ServiceReply::Snapshot(view.clone()),
+            OpResponse::WriteDone => ServiceReply::WriteDone,
+        };
+        let now = Instant::now();
+        // Count BEFORE acking: a client whose ticket resolved must
+        // already be visible in `completed`, or `pending()` can read
+        // transiently high from the client's side of the channel.
+        self.stats
+            .completed
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+        let mut samples = self.stats.samples.lock().expect("samples poisoned");
+        samples.reserve(group.len());
+        for req in group {
+            let (t0, done) = req.into_parts();
+            samples.push(now.saturating_duration_since(t0).as_micros() as u64);
+            if let Some(tx) = done {
+                let _ = tx.send(Ok(reply.clone()));
+            }
+        }
+    }
+
+    fn fail(&self, group: Vec<Request>, err: ServiceError) {
+        // Same ordering contract as `ack`: count, then notify.
+        self.stats
+            .failed
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+        for req in group {
+            let (_, done) = req.into_parts();
+            if let Some(tx) = done {
+                let _ = tx.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_routing_is_deterministic_and_in_range() {
+        for key in 0..1000u64 {
+            let a = register_for(7, key, 5);
+            assert_eq!(a, register_for(7, key, 5));
+            assert!(a < 5);
+        }
+        // Different seeds route independently.
+        let moved = (0..1000u64)
+            .filter(|&k| register_for(1, k, 5) != register_for(2, k, 5))
+            .count();
+        assert!(moved > 500, "only {moved}/1000 keys moved across seeds");
+    }
+}

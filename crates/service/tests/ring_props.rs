@@ -1,0 +1,89 @@
+//! Property tests for the consistent-hash ring: load balance within
+//! bounds, and the minimal-remapping contract under shard add/remove.
+
+use proptest::prelude::*;
+use sss_service::Ring;
+
+/// Sampled keyspace per property: large enough for tight statistics,
+/// small enough to keep the suite fast.
+const KEYS: u64 = 20_000;
+
+proptest! {
+    /// With plenty of virtual nodes, no shard owns more than ~2× its
+    /// fair share of a uniform keyspace, and none starves. (The
+    /// relative spread shrinks like 1/√vnodes; 128 vnodes put the
+    /// standard deviation near 9%, so 2× is a wide-margin bound, not a
+    /// tight fit.)
+    #[test]
+    fn ownership_stays_balanced(shards in 2usize..=16, seed in any::<u64>()) {
+        let ring = Ring::new(shards, 128, seed);
+        let mut counts = vec![0u64; shards];
+        for key in 0..KEYS {
+            counts[ring.shard_for(key) as usize] += 1;
+        }
+        let fair = KEYS / shards as u64;
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(c > 0, "shard {s} owns no keys: {counts:?}");
+            prop_assert!(
+                c <= fair * 2,
+                "shard {s} owns {c} keys (fair share {fair}): {counts:?}"
+            );
+        }
+    }
+
+    /// Adding a shard only moves keys *to* the new shard: every key
+    /// either keeps its owner or lands on the newcomer.
+    #[test]
+    fn adding_a_shard_remaps_minimally(shards in 1usize..=12, seed in any::<u64>()) {
+        let before = Ring::new(shards, 64, seed);
+        let mut after = before.clone();
+        let newcomer = shards as u32;
+        after.add_shard(newcomer);
+        let mut moved = 0u64;
+        for key in 0..KEYS {
+            let (b, a) = (before.shard_for(key), after.shard_for(key));
+            if b != a {
+                prop_assert_eq!(a, newcomer, "key {} moved {} -> {}, not to the new shard", key, b, a);
+                moved += 1;
+            }
+        }
+        // The newcomer takes about 1/(shards+1) of the keyspace — never
+        // more than ~2× that share (same bound as the balance property).
+        prop_assert!(
+            moved <= 2 * KEYS / (shards as u64 + 1),
+            "{moved} keys moved to the new shard"
+        );
+    }
+
+    /// Removing a shard only remaps the keys it owned: everyone else's
+    /// owner is untouched.
+    #[test]
+    fn removing_a_shard_remaps_minimally(shards in 2usize..=12, seed in any::<u64>(), pick in any::<u32>()) {
+        let before = Ring::new(shards, 64, seed);
+        let victim = pick % shards as u32;
+        let mut after = before.clone();
+        after.remove_shard(victim);
+        for key in 0..KEYS {
+            let (b, a) = (before.shard_for(key), after.shard_for(key));
+            if b == victim {
+                prop_assert!(a != victim, "key {} still routed to the removed shard", key);
+            } else {
+                prop_assert_eq!(b, a, "key {} moved {} -> {} though its owner survived", key, b, a);
+            }
+        }
+    }
+
+    /// Add-then-remove is an exact identity on routing: the ring's
+    /// points are pure functions of (seed, shard, vnode), so a shard's
+    /// departure restores the previous ownership bit-for-bit.
+    #[test]
+    fn add_remove_round_trips(shards in 1usize..=10, seed in any::<u64>()) {
+        let before = Ring::new(shards, 32, seed);
+        let mut ring = before.clone();
+        ring.add_shard(shards as u32);
+        ring.remove_shard(shards as u32);
+        for key in 0..KEYS / 4 {
+            prop_assert_eq!(before.shard_for(key), ring.shard_for(key));
+        }
+    }
+}

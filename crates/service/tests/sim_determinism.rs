@@ -1,0 +1,102 @@
+//! Golden determinism test for the simulated sharded service: the same
+//! `(config, seed, submission stream)` must reproduce the same
+//! per-shard trace hash on every run and every machine — and shards
+//! must stay *independent*: replaying only one shard's keys reproduces
+//! that shard's hash exactly, regardless of what the other shards do.
+
+use sss_core::Alg1;
+use sss_service::{SimService, SimServiceConfig};
+use sss_types::NodeId;
+use sss_workload::SessionSpec;
+
+fn config() -> SimServiceConfig {
+    SimServiceConfig {
+        shards: 4,
+        nodes: 3,
+        vnodes: 16,
+        flush_interval: 1_000,
+        seed: 0x60D,
+    }
+}
+
+fn spec() -> SessionSpec {
+    SessionSpec {
+        sessions: 400,
+        ops_per_session: 3,
+        write_ratio: 0.8,
+        key_space: 10_000,
+        seed: 0xE17,
+    }
+}
+
+/// Horizon the session events are spread over, in virtual µs.
+const HORIZON: u64 = 50_000;
+/// Virtual-time budget for the post-horizon drain.
+const DRAIN: u64 = 60_000_000;
+
+fn run(filter: Option<usize>) -> Vec<u64> {
+    let cfg = config();
+    let nodes = cfg.nodes;
+    let mut svc = SimService::new(cfg, |_, id: NodeId| Alg1::new(id, nodes));
+    let spec = spec();
+    let total = spec.total_ops();
+    for (i, ev) in spec.events().enumerate() {
+        let t = HORIZON * i as u64 / total;
+        if filter.is_some_and(|shard| svc.shard_for(ev.key) != shard) {
+            continue;
+        }
+        match ev.op {
+            sss_types::SnapshotOp::Write(v) => svc.submit_write(t, ev.key, v),
+            sss_types::SnapshotOp::Snapshot => svc.submit_snapshot(t, ev.key),
+        }
+    }
+    svc.run_until(HORIZON);
+    assert!(svc.drain(DRAIN), "shards did not quiesce within the budget");
+    assert_eq!(
+        svc.completed_ops() as u64,
+        svc.collapsed_ops(),
+        "every collapsed protocol op completes"
+    );
+    svc.shard_hashes()
+}
+
+#[test]
+fn same_seed_reproduces_per_shard_hashes() {
+    let a = run(None);
+    let b = run(None);
+    assert_eq!(a, b, "same (config, seed, stream) must replay identically");
+    assert_eq!(a.len(), 4);
+    // Shards drew distinct seeds and workloads: their traces differ.
+    assert!(
+        a.windows(2).any(|w| w[0] != w[1]),
+        "all shards produced identical traces: {a:?}"
+    );
+}
+
+#[test]
+fn shards_are_independent() {
+    // Replaying only shard 2's keys — with every other shard idle —
+    // reproduces shard 2's full-run hash: no cross-shard coupling in
+    // the multiplexer.
+    let full = run(None);
+    let solo = run(Some(2));
+    assert_eq!(full[2], solo[2], "shard 2's trace depends on its peers");
+}
+
+#[test]
+fn golden_hashes_are_stable() {
+    // Golden fingerprint of the 4-shard run above. If an *intentional*
+    // protocol or scheduler change shifts these, re-record them; an
+    // unintentional shift is a determinism regression.
+    let hashes = run(None);
+    assert_eq!(
+        hashes,
+        vec![
+            5179484282865236463,
+            3835465675100607978,
+            3368227465719864604,
+            15073203135337941504,
+        ],
+        "golden per-shard trace hashes moved"
+    );
+}

@@ -47,6 +47,48 @@ impl LatencyHistogram {
         self.buckets.iter().sum()
     }
 
+    /// The bucket index a sample lands in (`[2^i, 2^(i+1))`, with `0`
+    /// and `1` sharing bucket 0) — public so cross-shard aggregation
+    /// tests can compare percentiles at bucket resolution.
+    pub fn bucket_of(sample: SimTime) -> usize {
+        Self::bucket_index(sample)
+    }
+
+    /// The lower bound of bucket `i` (the representative value merged
+    /// percentiles report).
+    pub fn bucket_lo(i: usize) -> SimTime {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Adds every count of `other` into `self` (bucket-wise; exact,
+    /// since both histograms share the fixed log₂ shape).
+    pub fn merge_from(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// The value at 1-based `rank` of the multiset this histogram
+    /// summarizes, at bucket resolution: walks the buckets in order and
+    /// returns the lower bound of the bucket containing that rank. The
+    /// true sample at that rank lies in the same bucket, so the result
+    /// is exact whenever samples sit on bucket boundaries and within a
+    /// factor of 2 otherwise.
+    pub fn value_at_rank(&self, rank: u64) -> SimTime {
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_lo(i);
+            }
+        }
+        Self::bucket_lo(Self::BUCKETS - 1)
+    }
+
     /// Iterates over non-empty buckets as `(lo, hi, count)`, where the
     /// bucket spans `lo..hi` microseconds (the top bucket reports
     /// `hi = u64::MAX`).
@@ -87,6 +129,8 @@ pub struct LatencySummary {
     pub p99: SimTime,
     /// 99.9th percentile (nearest-rank).
     pub p999: SimTime,
+    /// Sum of all samples (exact mean reconstruction across merges).
+    pub sum: SimTime,
     /// Log₂-bucket distribution of all samples.
     pub histogram: LatencyHistogram,
 }
@@ -112,17 +156,65 @@ impl LatencySummary {
         for &s in &sorted {
             histogram.add(s);
         }
+        let sum = sorted.iter().sum::<SimTime>();
         LatencySummary {
             count: sorted.len(),
             min: sorted[0],
             max: *sorted.last().unwrap(),
-            mean: sorted.iter().sum::<SimTime>() / len,
+            mean: sum / len,
             p50: pct(500),
             p95: pct(950),
             p99: pct(990),
             p999: pct(999),
+            sum,
             histogram,
         }
+    }
+
+    /// Merges per-recorder summaries into one cross-recorder summary —
+    /// the aggregation the sharded service layer needs, where each shard
+    /// records its own latencies and percentiles must be reported over
+    /// the union.
+    ///
+    /// `count`, `min`, `max`, `sum` and `mean` are exact. Percentiles
+    /// are computed by nearest-rank over the **merged log₂ histograms**:
+    /// the reported value is the lower bound of the bucket holding the
+    /// percentile's rank. The true pooled percentile always lands in
+    /// that same bucket (the histogram is the sorted multiset at bucket
+    /// granularity), so merged percentiles are exact for bucket-aligned
+    /// samples and within a factor of 2 otherwise — `count`-weighted
+    /// aggregation of raw percentile values has no such bound.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a LatencySummary>) -> LatencySummary {
+        let mut out = LatencySummary::default();
+        for part in parts {
+            if part.count == 0 {
+                continue;
+            }
+            if out.count == 0 {
+                out.min = part.min;
+                out.max = part.max;
+            } else {
+                out.min = out.min.min(part.min);
+                out.max = out.max.max(part.max);
+            }
+            out.count += part.count;
+            out.sum += part.sum;
+            out.histogram.merge_from(&part.histogram);
+        }
+        if out.count == 0 {
+            return out;
+        }
+        let len = out.count as u64;
+        out.mean = out.sum / len;
+        let pct = |p_mille: u64| {
+            let rank = (p_mille * len).div_ceil(1000).max(1);
+            out.histogram.value_at_rank(rank)
+        };
+        out.p50 = pct(500);
+        out.p95 = pct(950);
+        out.p99 = pct(990);
+        out.p999 = pct(999);
+        out
     }
 }
 
@@ -419,6 +511,92 @@ mod tests {
         assert_eq!(spans[1], (2, 4, 2));
         assert_eq!(spans.last().unwrap(), &(1 << 31, u64::MAX, 1));
         assert_eq!(LatencyHistogram::default().total(), 0);
+    }
+
+    #[test]
+    fn merge_matches_pooled_recorder_on_bucket_aligned_samples() {
+        // Samples on log₂ bucket boundaries: merged percentiles must
+        // equal a pooled recorder's *exactly* (the bucket lower bound IS
+        // the sample). Shards get deliberately skewed slices so the
+        // merged ranks cross shard boundaries.
+        let shard_a: Vec<SimTime> = (0..60).map(|i| 1u64 << (2 + (i % 3))).collect(); // 4,8,16
+        let shard_b: Vec<SimTime> = (0..30).map(|_| 1u64 << 8).collect(); // 256
+        let shard_c: Vec<SimTime> = (0..10).map(|_| 1u64 << 12).collect(); // 4096
+        let pooled: Vec<SimTime> = shard_a
+            .iter()
+            .chain(&shard_b)
+            .chain(&shard_c)
+            .copied()
+            .collect();
+        let pooled = LatencySummary::from_samples(&pooled);
+        let parts = [
+            LatencySummary::from_samples(&shard_a),
+            LatencySummary::from_samples(&shard_b),
+            LatencySummary::from_samples(&shard_c),
+        ];
+        let merged = LatencySummary::merge(&parts);
+        assert_eq!(merged.count, pooled.count);
+        assert_eq!(merged.min, pooled.min);
+        assert_eq!(merged.max, pooled.max);
+        assert_eq!(merged.sum, pooled.sum);
+        assert_eq!(merged.mean, pooled.mean);
+        assert_eq!(merged.p50, pooled.p50);
+        assert_eq!(merged.p95, pooled.p95);
+        assert_eq!(merged.p99, pooled.p99);
+        assert_eq!(merged.p999, pooled.p999);
+        assert_eq!(merged.histogram, pooled.histogram);
+    }
+
+    #[test]
+    fn merge_matches_pooled_recorder_at_bucket_resolution_on_arbitrary_samples() {
+        // Arbitrary (non-aligned) samples: the merged percentile must
+        // land in the same log₂ bucket as the pooled recorder's — the
+        // invariant that makes cross-shard p99s comparable.
+        let mut pooled_samples = Vec::new();
+        let mut parts = Vec::new();
+        let mut x = 12345u64;
+        for shard in 0..7u64 {
+            let mut samples = Vec::new();
+            for i in 0..(40 + shard * 17) {
+                // Cheap LCG spread over ~4 decades.
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                samples.push(1 + (x >> 33) % 50_000);
+            }
+            pooled_samples.extend_from_slice(&samples);
+            parts.push(LatencySummary::from_samples(&samples));
+        }
+        let pooled = LatencySummary::from_samples(&pooled_samples);
+        let merged = LatencySummary::merge(&parts);
+        assert_eq!(merged.count, pooled.count);
+        assert_eq!(merged.min, pooled.min);
+        assert_eq!(merged.max, pooled.max);
+        assert_eq!(merged.mean, pooled.mean, "sum-carrying mean is exact");
+        for (m, p, name) in [
+            (merged.p50, pooled.p50, "p50"),
+            (merged.p95, pooled.p95, "p95"),
+            (merged.p99, pooled.p99, "p99"),
+            (merged.p999, pooled.p999, "p999"),
+        ] {
+            assert_eq!(
+                LatencyHistogram::bucket_of(m),
+                LatencyHistogram::bucket_of(p),
+                "{name}: merged {m} vs pooled {p} land in different buckets"
+            );
+            assert!(m <= p, "the bucket lower bound never exceeds the sample");
+        }
+    }
+
+    #[test]
+    fn merge_skips_empty_summaries() {
+        let a = LatencySummary::from_samples(&[8, 16, 32]);
+        let merged = LatencySummary::merge([&LatencySummary::default(), &a, &a]);
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.min, 8);
+        assert_eq!(merged.max, 32);
+        assert_eq!(
+            LatencySummary::merge(std::iter::empty()),
+            LatencySummary::default()
+        );
     }
 
     #[test]

@@ -212,6 +212,94 @@ pub fn schedule_bursts<P: Protocol>(
     ids
 }
 
+/// An open-loop population of keyed client sessions for the sharded
+/// service layer (experiment E17).
+///
+/// Each session holds one sticky key (drawn uniformly from
+/// `key_space` by hashing the session id) and issues
+/// `ops_per_session` operations against it. [`SessionSpec::events`]
+/// interleaves the sessions round-robin — op `r` of every session
+/// precedes op `r + 1` of any session — so a million sessions are all
+/// *concurrently* in flight rather than replayed one after another.
+///
+/// Everything is a pure function of `(spec, event index)`: no RNG
+/// state threads through the iterator, so generators on different
+/// backends (or different machines) agree event-for-event, which is
+/// what makes the simulated service's per-shard golden hashes
+/// reproducible.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Number of client sessions.
+    pub sessions: u64,
+    /// Operations each session issues against its key.
+    pub ops_per_session: u32,
+    /// Probability that an operation is a write (vs a snapshot).
+    pub write_ratio: f64,
+    /// Size of the keyspace the sessions draw their keys from.
+    pub key_space: u64,
+    /// Seed for key assignment and the write/snapshot choice.
+    pub seed: u64,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        SessionSpec {
+            sessions: 10_000,
+            ops_per_session: 1,
+            write_ratio: 0.9,
+            key_space: 1 << 20,
+            seed: 0x5E55,
+        }
+    }
+}
+
+/// One generated operation of a [`SessionSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionEvent {
+    /// Issuing session.
+    pub session: u64,
+    /// The session's sticky key.
+    pub key: u64,
+    /// The operation. Write values encode `(session, round)` uniquely.
+    pub op: SnapshotOp,
+}
+
+impl SessionSpec {
+    /// Total operations across all sessions.
+    pub fn total_ops(&self) -> u64 {
+        self.sessions * self.ops_per_session as u64
+    }
+
+    /// The sticky key of `session`.
+    pub fn key_of(&self, session: u64) -> u64 {
+        sss_net::mix64(self.seed ^ 0x4B5E_5510, session) % self.key_space.max(1)
+    }
+
+    /// The `i`-th event of the round-robin interleaving. Pure, so any
+    /// subrange can be regenerated independently.
+    pub fn event(&self, i: u64) -> SessionEvent {
+        debug_assert!(i < self.total_ops());
+        let session = i % self.sessions;
+        let round = (i / self.sessions) as u32;
+        let key = self.key_of(session);
+        // A 53-bit uniform draw decides write vs snapshot.
+        let coin = sss_net::mix64(self.seed ^ 0x0DD5_C011, i) >> 11;
+        let op = if (coin as f64) < self.write_ratio * (1u64 << 53) as f64 {
+            // Unique across the run: (session, round) packed into the
+            // value (`ops_per_session` fits 24 bits by construction).
+            SnapshotOp::Write(((session + 1) << 24) | round as u64)
+        } else {
+            SnapshotOp::Snapshot
+        };
+        SessionEvent { session, key, op }
+    }
+
+    /// All events, interleaved round-robin across sessions.
+    pub fn events(&self) -> impl Iterator<Item = SessionEvent> + '_ {
+        (0..self.total_ops()).map(|i| self.event(i))
+    }
+}
+
 /// Draws a writer according to a heavily skewed (Zipf-like, s = 1)
 /// distribution over `nodes` — hot-writer workloads where one register
 /// dominates the update traffic.
@@ -322,6 +410,42 @@ mod tests {
             "zipf ordering: {counts:?}"
         );
         assert!(counts[0] > 4000 * 4 / 10, "head node dominates: {counts:?}");
+    }
+
+    #[test]
+    fn session_spec_is_deterministic_sticky_and_complete() {
+        let spec = SessionSpec {
+            sessions: 100,
+            ops_per_session: 3,
+            write_ratio: 0.7,
+            key_space: 1_000,
+            seed: 11,
+        };
+        let a: Vec<SessionEvent> = spec.events().collect();
+        let b: Vec<SessionEvent> = spec.events().collect();
+        assert_eq!(a, b, "generation must be deterministic");
+        assert_eq!(a.len() as u64, spec.total_ops());
+        for ev in &a {
+            assert!(ev.key < 1_000);
+            assert_eq!(ev.key, spec.key_of(ev.session), "keys are sticky");
+        }
+        // Round-robin interleaving: the first `sessions` events cover
+        // every session exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for ev in &a[..100] {
+            assert!(seen.insert(ev.session));
+        }
+        // Write values are unique across the whole run.
+        let mut values = std::collections::HashSet::new();
+        let mut writes = 0;
+        for ev in &a {
+            if let SnapshotOp::Write(v) = ev.op {
+                assert!(values.insert(v), "duplicate write value {v}");
+                writes += 1;
+            }
+        }
+        // ~70% writes, with wide slack for the small sample.
+        assert!((150..=270).contains(&writes), "writes: {writes}/300");
     }
 
     #[test]

@@ -66,13 +66,35 @@ fn sim_trace() -> (Vec<OpEvent>, LinkKinds) {
     normalize(&buf.records())
 }
 
+/// Non-gossip `Send` events recorded so far — the quiescence signal for
+/// the threaded run (gossip never stops, so total count can't be used).
+fn non_gossip_sends(records: &[sss_sim::TraceRecord]) -> usize {
+    records
+        .iter()
+        .filter(|r| matches!(r.event, sss_sim::TraceEvent::Send { kind, .. } if !kind.is_gossip()))
+        .count()
+}
+
 /// The same scenario on real threads.
 fn thread_trace() -> (Vec<OpEvent>, LinkKinds) {
+    use std::time::{Duration, Instant};
     let (sink, buf) = sss_runtime::MemorySink::new();
     let tracer = sss_runtime::Tracer::new(N).with_sink(sink);
     let cluster = Cluster::new_traced(ClusterConfig::new(N), tracer, |id| Alg1::new(id, N));
     cluster.client(NodeId(0)).write(41).unwrap();
     cluster.client(NodeId(1)).snapshot().unwrap();
+    // The snapshot completed at a *majority* of acks: the minority's
+    // trailing SnapshotAck can still be in flight, and shutting down now
+    // would race it out of the trace. Wait until non-gossip traffic has
+    // been quiet for two consecutive polls before tearing down.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (mut last, mut quiet) = (non_gossip_sends(&buf.records()), 0);
+    while quiet < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = non_gossip_sends(&buf.records());
+        quiet = if now == last { quiet + 1 } else { 0 };
+        last = now;
+    }
     cluster.shutdown();
     normalize(&buf.records())
 }
