@@ -1,0 +1,90 @@
+//! Microbenchmark of the wire codec the socket backend runs per frame:
+//! encode into a packed datagram and decode back out, for the three
+//! message shapes that dominate real traffic — gossip (the n² ambient
+//! load, 17-byte body), WRITE (a full register array, the op hot path)
+//! and a packed datagram of mixed frames (what one `recvmmsg` slot
+//! actually holds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sss_core::Alg1Msg;
+use sss_types::{decode_frames, encode_frame, NodeId, Payload, RegArray, Tagged};
+
+const N: usize = 8;
+
+fn gossip(i: u64) -> Alg1Msg {
+    Alg1Msg::Gossip {
+        cell: Tagged { ts: i + 1, val: i },
+    }
+}
+
+fn write_msg() -> Alg1Msg {
+    Alg1Msg::Write {
+        reg: Payload::new(
+            (0..N as u64)
+                .map(|i| Tagged {
+                    ts: i + 1,
+                    val: i * 10,
+                })
+                .collect::<RegArray>(),
+        ),
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/encode");
+    let mut buf = Vec::with_capacity(1 << 14);
+    g.bench_function("gossip", |b| {
+        let m = gossip(7);
+        b.iter(|| {
+            buf.clear();
+            encode_frame(NodeId(2), &m, &mut buf).unwrap();
+            buf.len()
+        })
+    });
+    g.bench_function("write_n8", |b| {
+        let m = write_msg();
+        b.iter(|| {
+            buf.clear();
+            encode_frame(NodeId(2), &m, &mut buf).unwrap();
+            buf.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/decode");
+    let mut one = Vec::new();
+    encode_frame(NodeId(2), &write_msg(), &mut one).unwrap();
+    g.bench_function("write_n8", |b| {
+        b.iter(|| {
+            decode_frames::<Alg1Msg>(&one, N).fold(0usize, |acc, f| {
+                f.unwrap();
+                acc + 1
+            })
+        })
+    });
+    // A packed datagram: 32 gossip frames + 4 writes, the shape one
+    // coalesced flush produces under storm load.
+    let mut packed = Vec::new();
+    for i in 0..32 {
+        encode_frame(NodeId((i % N as u64) as usize), &gossip(i), &mut packed).unwrap();
+    }
+    for i in 0..4 {
+        encode_frame(NodeId(i), &write_msg(), &mut packed).unwrap();
+    }
+    g.bench_function("packed_datagram_36_frames", |b| {
+        b.iter(|| {
+            let n = decode_frames::<Alg1Msg>(&packed, N).fold(0usize, |acc, f| {
+                f.unwrap();
+                acc + 1
+            });
+            assert_eq!(n, 36);
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

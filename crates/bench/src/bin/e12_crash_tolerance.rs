@@ -7,7 +7,7 @@
 use sss_bench::{run_cross_backend, BackendChoice, Table};
 use sss_core::{Alg1, Alg3, Alg3Config};
 use sss_net::{Backend, FaultPlan, WorkloadSpec};
-use sss_runtime::{ClusterConfig, ThreadBackend};
+use sss_runtime::{ClusterConfig, SocketBackend, SocketConfig, ThreadBackend};
 use sss_sim::{Sim, SimBackend, SimConfig};
 use sss_types::{NodeId, Protocol, SnapshotOp};
 use sss_workload::unique_value;
@@ -98,6 +98,12 @@ fn main() {
     if choice.threads() {
         backends.push(Box::new(ThreadBackend::new(
             ClusterConfig::new(n),
+            move |id| Alg1::new(id, n),
+        )));
+    }
+    if choice.sockets() {
+        backends.push(Box::new(SocketBackend::new(
+            SocketConfig::new(n),
             move |id| Alg1::new(id, n),
         )));
     }

@@ -39,14 +39,16 @@
 //!   deadlines, reporting achieved completion rate, delivered
 //!   events/sec, mean drain-batch size and the coalescing rate at each
 //!   offered load (`--n` to change the cluster size);
-//! * `--backend {sim,threads,both}` — restrict the full sweep.
+//! * `--backend {sim,threads,sockets,both,all}` — restrict (or widen)
+//!   the full sweep; `sockets` adds the real-UDP backend's rows (its
+//!   dedicated benchmark is E18).
 //!
 //! [`Client::submit`]: sss_runtime::Client::submit
 
 use sss_bench::BackendChoice;
 use sss_core::Alg1;
 use sss_obs::JsonlSink;
-use sss_runtime::{Cluster, ClusterConfig};
+use sss_runtime::{Cluster, ClusterConfig, SocketCluster, SocketConfig};
 use sss_sim::{Ctl, Driver, Sim, SimConfig, Tracer};
 use sss_types::{clone_stats, NodeId, OpId, OpResponse, Protocol, SnapshotOp};
 use std::time::{Duration, Instant};
@@ -207,6 +209,44 @@ fn measure_threads(n: usize) -> Row {
     cluster.shutdown();
     finish_row(
         "threads",
+        n,
+        stats.rounds + stats.delivered,
+        wall,
+        64,
+        stats.coalesced,
+    )
+}
+
+/// The same storm over the real-socket UDP backend: identical
+/// accounting (rounds + data-plane deliveries from the shared
+/// [`NetStats`](sss_runtime::NetStats) schema), so the three backends'
+/// rows are directly comparable. E18 is the socket backend's dedicated
+/// benchmark; this leg exists so one table can hold all three.
+fn measure_sockets(n: usize) -> Row {
+    let cfg = SocketConfig::new(n);
+    let cluster = SocketCluster::new(cfg, move |id| Alg1::new(id, n));
+    clone_stats::reset();
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(400);
+    let mut joins = Vec::new();
+    for k in 0..n {
+        let client = cluster.client(NodeId(k));
+        joins.push(std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while Instant::now() < deadline {
+                seq += 1;
+                let _ = client.write(sss_workload::unique_value(NodeId(k), seq));
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("writer thread panicked");
+    }
+    let stats = cluster.net_stats();
+    let wall = start.elapsed().as_secs_f64();
+    cluster.shutdown();
+    finish_row(
+        "sockets",
         n,
         stats.rounds + stats.delivered,
         wall,
@@ -524,6 +564,9 @@ fn main() {
         }
         if backends.threads() {
             rows.push(best_of(|| measure_threads(n)));
+        }
+        if backends.sockets() {
+            rows.push(best_of(|| measure_sockets(n)));
         }
     }
     print_rows(&rows);

@@ -12,7 +12,7 @@ use sss_baselines::Dgfr1;
 use sss_bench::{recovery_cycles, run_cross_backend, BackendChoice, Table, N_SWEEP};
 use sss_core::{Alg1, Alg1Msg};
 use sss_net::{Backend, FaultEvent, FaultPlan, WorkloadSpec};
-use sss_runtime::{ClusterConfig, ThreadBackend};
+use sss_runtime::{ClusterConfig, SocketBackend, SocketConfig, ThreadBackend};
 use sss_sim::{Sim, SimBackend, SimConfig};
 use sss_types::{NodeId, OpResponse, Protocol, SnapshotOp};
 
@@ -169,6 +169,12 @@ fn main() {
     if choice.threads() {
         backends.push(Box::new(ThreadBackend::new(
             ClusterConfig::new(n),
+            move |id| Alg1::new(id, n),
+        )));
+    }
+    if choice.sockets() {
+        backends.push(Box::new(SocketBackend::new(
+            SocketConfig::new(n),
             move |id| Alg1::new(id, n),
         )));
     }

@@ -10,7 +10,7 @@
 use sss_bench::{recovery_cycles, run_cross_backend, BackendChoice, Table, N_SWEEP};
 use sss_core::{Alg3, Alg3Config};
 use sss_net::{Backend, FaultEvent, FaultPlan, WorkloadSpec};
-use sss_runtime::{ClusterConfig, ThreadBackend};
+use sss_runtime::{ClusterConfig, SocketBackend, SocketConfig, ThreadBackend};
 use sss_sim::{Sim, SimBackend, SimConfig};
 use sss_types::{NodeId, SnapshotOp};
 
@@ -117,6 +117,12 @@ fn main() {
     if choice.threads() {
         backends.push(Box::new(ThreadBackend::new(
             ClusterConfig::new(n),
+            move |id| Alg3::new(id, n, Alg3Config { delta: 4 }),
+        )));
+    }
+    if choice.sockets() {
+        backends.push(Box::new(SocketBackend::new(
+            SocketConfig::new(n),
             move |id| Alg3::new(id, n, Alg3Config { delta: 4 }),
         )));
     }

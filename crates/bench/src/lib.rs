@@ -25,16 +25,21 @@ use sss_types::{MsgKind, NodeId, Protocol, SnapshotOp};
 use std::path::{Path, PathBuf};
 
 /// Which execution backend(s) an experiment binary should run its
-/// cross-backend scenario on, from the `--backend {sim,threads,both}`
-/// CLI flag (default: `sim`).
+/// cross-backend scenario on, from the
+/// `--backend {sim,threads,sockets,both,all}` CLI flag (default: `sim`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BackendChoice {
     /// Deterministic simulator only.
     Sim,
     /// Threaded runtime only.
     Threads,
-    /// Both, same fault plan — the cross-backend comparison.
+    /// Real-socket UDP runtime only.
+    Sockets,
+    /// Simulator + threads, same fault plan — the original
+    /// cross-backend comparison (predates the socket backend).
     Both,
+    /// Every backend: sim, threads and sockets.
+    All,
 }
 
 impl BackendChoice {
@@ -50,20 +55,33 @@ impl BackendChoice {
             Some(i) => match args.get(i + 1).map(String::as_str) {
                 Some("sim") => BackendChoice::Sim,
                 Some("threads") => BackendChoice::Threads,
+                Some("sockets") => BackendChoice::Sockets,
                 Some("both") => BackendChoice::Both,
-                other => panic!("--backend takes sim|threads|both, got {other:?}"),
+                Some("all") => BackendChoice::All,
+                other => panic!("--backend takes sim|threads|sockets|both|all, got {other:?}"),
             },
         }
     }
 
     /// Whether the simulator backend is selected.
     pub fn sim(&self) -> bool {
-        matches!(self, BackendChoice::Sim | BackendChoice::Both)
+        matches!(
+            self,
+            BackendChoice::Sim | BackendChoice::Both | BackendChoice::All
+        )
     }
 
     /// Whether the threaded backend is selected.
     pub fn threads(&self) -> bool {
-        matches!(self, BackendChoice::Threads | BackendChoice::Both)
+        matches!(
+            self,
+            BackendChoice::Threads | BackendChoice::Both | BackendChoice::All
+        )
+    }
+
+    /// Whether the real-socket UDP backend is selected.
+    pub fn sockets(&self) -> bool {
+        matches!(self, BackendChoice::Sockets | BackendChoice::All)
     }
 }
 

@@ -34,7 +34,10 @@
 //! with microsecond timestamps, so the linearizability checker applies
 //! to real concurrent executions too.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the socket backend's `mmsg` module opts
+// back in for its hand-declared `sendmmsg`/`recvmmsg` FFI (the workspace
+// vendors no `libc`); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
@@ -53,8 +56,12 @@ use std::time::{Duration, Instant};
 
 mod backend;
 mod inbox;
+mod mmsg;
+mod socket;
 pub use backend::ThreadBackend;
 pub use inbox::{CtlMsg, InboxClosed, InvokeRejected, NodeInbox};
+pub use mmsg::SyscallMode;
+pub use socket::{SocketBackend, SocketCluster, SocketConfig};
 // Re-export the shared fault plane and the trace plane so runtime users
 // need only one import.
 pub use sss_net::{Backend, BatchPolicy, FaultEvent, FaultPlan, RunReport, RunStats, WorkloadSpec};
@@ -300,9 +307,77 @@ struct Shared {
     /// Outgoing messages absorbed into an earlier wire message by
     /// per-link coalescing.
     coalesced: AtomicU64,
+    /// UDP send syscalls issued (socket backend only; 0 in-process).
+    send_syscalls: AtomicU64,
+    /// UDP receive syscalls issued (socket backend only; 0 in-process).
+    recv_syscalls: AtomicU64,
+    /// Wire frames encoded and handed to the kernel (socket backend).
+    frames_sent: AtomicU64,
+    /// Wire frames received and decoded successfully (socket backend).
+    frames_recv: AtomicU64,
+    /// Received frames rejected by the codec (checksum/format); each is
+    /// also counted in [`Shared::dropped`] — a mangled frame *is* a lost
+    /// message to a self-stabilizing protocol.
+    frames_rejected: AtomicU64,
 }
 
 impl Shared {
+    /// The shared state both the in-process cluster and the socket
+    /// cluster hang off one `Arc`: history, fault plane, trace plane,
+    /// failure detector, and the message-plane counters.
+    fn new(cfg: &ClusterConfig, tracer: Tracer) -> Self {
+        let n = cfg.n;
+        Shared {
+            history: Mutex::new(History::new()),
+            started: Instant::now(),
+            next_op: AtomicU64::new(0),
+            links: Mutex::new(LinkModel::new(n, cfg.net, cfg.seed ^ 0x11_4e7)),
+            dropped: AtomicU64::new(0),
+            tracer,
+            round_us: (cfg.round_interval.as_micros() as u64).max(1),
+            round_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            cycle: Mutex::new(CycleProxy {
+                baseline: vec![0; n],
+                index: 0,
+            }),
+            last_heard: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            suspect_us: (cfg.suspect_after.as_micros() as u64).max(1),
+            net_transparent_base: cfg.net.loss == 0.0
+                && cfg.net.dup == 0.0
+                && cfg.net.capacity == 0,
+            links_dirty: AtomicBool::new(false),
+            cap_release: cfg.net.capacity > 0,
+            delivered: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            send_syscalls: AtomicU64::new(0),
+            recv_syscalls: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            frames_recv: AtomicU64::new(0),
+            frames_rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The message-plane counter snapshot (see [`Cluster::net_stats`]).
+    fn net_stats(&self) -> NetStats {
+        NetStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            rounds: self
+                .round_counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum(),
+            send_syscalls: self.send_syscalls.load(Ordering::Relaxed),
+            recv_syscalls: self.recv_syscalls.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_recv: self.frames_recv.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+        }
+    }
+
     fn now_us(&self) -> u64 {
         self.started.elapsed().as_micros() as u64
     }
@@ -412,6 +487,20 @@ pub struct NetStats {
     pub batches: u64,
     /// Completed `do forever` iterations across all nodes.
     pub rounds: u64,
+    /// UDP send syscalls issued. Always 0 on the in-process backends;
+    /// on the socket backend, `frames_sent / send_syscalls` is the send
+    /// batching factor the `e18` ablation gates on.
+    pub send_syscalls: u64,
+    /// UDP receive syscalls issued (0 in-process).
+    pub recv_syscalls: u64,
+    /// Wire frames encoded and handed to the kernel (0 in-process).
+    pub frames_sent: u64,
+    /// Wire frames received and decoded successfully (0 in-process).
+    pub frames_recv: u64,
+    /// Received frames rejected by the codec (checksum or format); also
+    /// counted as drops, mirroring how the fault plane's corruption
+    /// surfaces on the in-process backends.
+    pub frames_rejected: u64,
 }
 
 /// A running cluster of protocol nodes on real threads.
@@ -437,31 +526,7 @@ impl<P: Protocol + 'static> Cluster<P> {
         let n = cfg.n;
         let inboxes: Vec<Arc<NodeInbox<P::Msg>>> =
             (0..n).map(|_| Arc::new(NodeInbox::new())).collect();
-        let shared = Arc::new(Shared {
-            history: Mutex::new(History::new()),
-            started: Instant::now(),
-            next_op: AtomicU64::new(0),
-            links: Mutex::new(LinkModel::new(n, cfg.net, cfg.seed ^ 0x11_4e7)),
-            dropped: AtomicU64::new(0),
-            tracer,
-            round_us: (cfg.round_interval.as_micros() as u64).max(1),
-            round_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            cycle: Mutex::new(CycleProxy {
-                baseline: vec![0; n],
-                index: 0,
-            }),
-            last_heard: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
-            suspect_us: (cfg.suspect_after.as_micros() as u64).max(1),
-            net_transparent_base: cfg.net.loss == 0.0
-                && cfg.net.dup == 0.0
-                && cfg.net.capacity == 0,
-            links_dirty: AtomicBool::new(false),
-            cap_release: cfg.net.capacity > 0,
-            delivered: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-        });
+        let shared = Arc::new(Shared::new(&cfg, tracer));
         let mut threads = Vec::with_capacity(n);
         for (i, my_inbox) in inboxes.iter().enumerate() {
             let id = NodeId(i);
@@ -494,6 +559,7 @@ impl<P: Protocol + 'static> Cluster<P> {
             shared: Arc::clone(&self.shared),
             timeout: self.cfg.op_timeout,
             invoke_cap: self.cfg.invoke_queue,
+            nudge: None,
         }
     }
 
@@ -641,17 +707,7 @@ impl<P: Protocol + 'static> Cluster<P> {
     /// Message-plane counters: deliveries, coalesced sends, applied
     /// batches, and completed rounds across all nodes.
     pub fn net_stats(&self) -> NetStats {
-        NetStats {
-            delivered: self.shared.delivered.load(Ordering::Relaxed),
-            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            rounds: self
-                .shared
-                .round_counts
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .sum(),
-        }
+        self.shared.net_stats()
     }
 
     /// The configuration this cluster runs with.
@@ -709,6 +765,11 @@ pub struct Client<P: Protocol> {
     shared: Arc<Shared>,
     timeout: Duration,
     invoke_cap: usize,
+    /// Called after every invoke push. In-process nodes are woken by the
+    /// inbox condvar itself ([`None`]); a socket node parks in a blocking
+    /// receive, so its cluster installs a hook that fires a wake datagram
+    /// at the node's port.
+    nudge: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl<P: Protocol> Clone for Client<P> {
@@ -719,6 +780,7 @@ impl<P: Protocol> Clone for Client<P> {
             shared: Arc::clone(&self.shared),
             timeout: self.timeout,
             invoke_cap: self.invoke_cap,
+            nudge: self.nudge.clone(),
         }
     }
 }
@@ -764,6 +826,9 @@ impl<P: Protocol> Client<P> {
                 done: done_tx,
             })
             .map_err(|_| ClusterError::Shutdown)?;
+        if let Some(nudge) = &self.nudge {
+            nudge();
+        }
         // Poll the reply in slices of the suspicion window, so a lost
         // quorum surfaces as `Unavailable` (with the failure detector's
         // evidence) well before the full op timeout: detection latency is
@@ -841,6 +906,9 @@ impl<P: Protocol> Client<P> {
                 InvokeRejected::Full => SubmitError::Full,
                 InvokeRejected::Closed => SubmitError::Shutdown,
             })?;
+        if let Some(nudge) = &self.nudge {
+            nudge();
+        }
         Ok(id)
     }
 

@@ -1,0 +1,473 @@
+//! Batched UDP syscalls for the socket backend.
+//!
+//! The hot path of a socket node is "one wakeup → one receive batch →
+//! one protocol step → one send flush". On Linux this module backs the
+//! receive with a single `recvmmsg(MSG_WAITFORONE)` (block until the
+//! first datagram, then take everything already queued, one syscall) and
+//! the flush with `sendmmsg` (all destinations in one syscall); anywhere
+//! else — or with [`SyscallMode::Plain`], the benchmark ablation — it
+//! degrades to the portable one-`recv_from`/`send_to`-per-datagram loop.
+//! Callers observe only datagram counts plus how many syscalls were
+//! spent, which is exactly the ratio `e18_socket_bench` gates on.
+//!
+//! The workspace vendors no `libc`, so the Linux path declares the two
+//! syscall wrappers and their `#[repr(C)]` argument layouts directly
+//! (x86-64/aarch64 Linux ABI); the crate-level `deny(unsafe_code)` is
+//! lifted for this module alone, and the unsafety is confined to the
+//! FFI calls plus the pointer wiring their structs require.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Receive-buffer slot size: a slot must hold the largest single frame
+/// ([`sss_types::MAX_DATAGRAM_BYTES`]), since a truncated datagram would
+/// surface as a spurious checksum reject.
+pub(crate) const RECV_SLOT_BYTES: usize = 65_536;
+
+/// How the socket backend issues its UDP syscalls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyscallMode {
+    /// Use `sendmmsg`/`recvmmsg` batching where the platform has it
+    /// (Linux), the portable loop elsewhere.
+    Auto,
+    /// Require the batched path (panics at cluster start off Linux).
+    Batched,
+    /// The portable one-syscall-per-datagram loop everywhere — the
+    /// unbatched ablation `e18_socket_bench` compares against.
+    Plain,
+}
+
+impl SyscallMode {
+    /// Whether this mode resolves to the batched path on this platform.
+    pub fn batched(self) -> bool {
+        match self {
+            SyscallMode::Plain => false,
+            SyscallMode::Auto => cfg!(target_os = "linux"),
+            SyscallMode::Batched => {
+                if !cfg!(target_os = "linux") {
+                    panic!(
+                        "SyscallMode::Batched requires Linux (use Auto for the portable fallback)"
+                    );
+                }
+                true
+            }
+        }
+    }
+
+    /// A short label for reports (`"batched"` / `"plain"`).
+    pub fn label(self) -> &'static str {
+        if self.batched() {
+            "batched"
+        } else {
+            "plain"
+        }
+    }
+}
+
+/// A reusable set of receive slots filled by [`recv_batch`].
+pub(crate) struct RecvBatch {
+    bufs: Vec<Box<[u8]>>,
+    lens: Vec<usize>,
+    count: usize,
+}
+
+impl RecvBatch {
+    pub(crate) fn new(slots: usize) -> Self {
+        RecvBatch {
+            bufs: (0..slots)
+                .map(|_| vec![0u8; RECV_SLOT_BYTES].into())
+                .collect(),
+            lens: vec![0; slots],
+            count: 0,
+        }
+    }
+
+    /// The datagrams the last [`recv_batch`] call filled in.
+    pub(crate) fn datagrams(&self) -> impl Iterator<Item = &[u8]> {
+        self.bufs[..self.count]
+            .iter()
+            .zip(&self.lens)
+            .map(|(b, &l)| &b[..l])
+    }
+}
+
+/// One outgoing datagram of a send flush.
+pub(crate) struct OutDatagram {
+    pub dest: SocketAddr,
+    pub buf: Vec<u8>,
+}
+
+/// Receives up to one batch of datagrams into `batch`, blocking at most
+/// `timeout` for the first one. Returns the number of receive syscalls
+/// spent; `batch.count` says how many datagrams arrived (possibly 0).
+/// Transient errors — timeout, interrupt, and the ICMP-refused errors
+/// UDP surfaces when a peer's port is not (yet) bound — count as an
+/// empty batch, never as a failure.
+pub(crate) fn recv_batch(
+    sock: &UdpSocket,
+    batch: &mut RecvBatch,
+    batched: bool,
+    timeout: Duration,
+) -> io::Result<u64> {
+    batch.count = 0;
+    // `set_read_timeout(ZERO)` is an error in std; 1 µs is the shortest
+    // legal wait and is an effective non-blocking poll.
+    sock.set_read_timeout(Some(timeout.max(Duration::from_micros(1))))?;
+    #[cfg(target_os = "linux")]
+    if batched {
+        let (count, syscalls) = raw::recv_batch(sock, &mut batch.bufs, &mut batch.lens)?;
+        batch.count = count;
+        return Ok(syscalls);
+    }
+    let _ = batched;
+    // Portable path: one blocking recv for the first datagram, then a
+    // non-blocking drain of whatever else is queued — one syscall per
+    // datagram, which is the point of the ablation.
+    let mut syscalls = 1u64;
+    match sock.recv_from(&mut batch.bufs[0]) {
+        Ok((len, _)) => {
+            batch.lens[0] = len;
+            batch.count = 1;
+        }
+        Err(e) if transient(&e) => return Ok(syscalls),
+        Err(e) => return Err(e),
+    }
+    sock.set_nonblocking(true)?;
+    while batch.count < batch.bufs.len() {
+        let slot = batch.count;
+        syscalls += 1;
+        match sock.recv_from(&mut batch.bufs[slot]) {
+            Ok((len, _)) => {
+                batch.lens[slot] = len;
+                batch.count += 1;
+            }
+            Err(e) if transient(&e) => break,
+            Err(e) => {
+                sock.set_nonblocking(false)?;
+                return Err(e);
+            }
+        }
+    }
+    sock.set_nonblocking(false)?;
+    Ok(syscalls)
+}
+
+/// Sends every datagram in `grams`, returning the number of send
+/// syscalls spent. Transient per-datagram failures (a refused peer port
+/// in a multi-process cluster that is still starting) are skipped — UDP
+/// gives no delivery guarantee anyway, and the protocols retransmit.
+pub(crate) fn send_batch(sock: &UdpSocket, grams: &[OutDatagram], batched: bool) -> u64 {
+    if grams.is_empty() {
+        return 0;
+    }
+    #[cfg(target_os = "linux")]
+    if batched {
+        return raw::send_batch(sock, grams);
+    }
+    let _ = batched;
+    let mut syscalls = 0u64;
+    for g in grams {
+        syscalls += 1;
+        let _ = sock.send_to(&g.buf, g.dest);
+    }
+    syscalls
+}
+
+/// Errors that mean "no datagram right now", not "the socket is broken".
+fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+    )
+}
+
+/// Requests a larger kernel receive buffer (best-effort; the kernel
+/// clamps to `rmem_max`). A node draining in whole batches tolerates
+/// bursts well, but the loss-free session gate wants headroom between
+/// wakeups too.
+pub(crate) fn request_rcvbuf(sock: &UdpSocket, bytes: usize) {
+    #[cfg(target_os = "linux")]
+    raw::set_rcvbuf(sock, bytes);
+    #[cfg(not(target_os = "linux"))]
+    let _ = (sock, bytes);
+}
+
+/// The Linux FFI corner: hand-declared `sendmmsg`/`recvmmsg`/
+/// `setsockopt` and their argument layouts (the workspace vendors no
+/// `libc`). All unsafety in the crate lives behind this module's three
+/// safe entry points.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod raw {
+    use super::OutDatagram;
+    use std::io;
+    use std::net::{SocketAddr, UdpSocket};
+    use std::os::fd::AsRawFd;
+
+    #[repr(C)]
+    struct IoVec {
+        base: *mut u8,
+        len: usize,
+    }
+
+    #[repr(C)]
+    struct MsgHdr {
+        name: *mut u8,
+        namelen: u32,
+        iov: *mut IoVec,
+        iovlen: usize,
+        control: *mut u8,
+        controllen: usize,
+        flags: i32,
+    }
+
+    #[repr(C)]
+    struct MMsgHdr {
+        hdr: MsgHdr,
+        len: u32,
+    }
+
+    /// `struct sockaddr_in`: `sin_port` and `sin_addr` in network byte
+    /// order.
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+        fn recvmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32, timeout: *mut u8) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, val: *const u8, len: u32) -> i32;
+    }
+
+    const AF_INET: u16 = 2;
+    /// Return once at least one message has been received.
+    const MSG_WAITFORONE: i32 = 0x10000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+
+    fn sockaddr_of(addr: SocketAddr) -> SockAddrIn {
+        match addr {
+            SocketAddr::V4(v4) => SockAddrIn {
+                family: AF_INET,
+                port: v4.port().to_be(),
+                // The octets are already in network (memory) order.
+                addr: u32::from_ne_bytes(v4.ip().octets()),
+                zero: [0; 8],
+            },
+            SocketAddr::V6(_) => unreachable!("socket backend binds IPv4 loopback only"),
+        }
+    }
+
+    pub(super) fn send_batch(sock: &UdpSocket, grams: &[OutDatagram]) -> u64 {
+        let mut addrs: Vec<SockAddrIn> = grams.iter().map(|g| sockaddr_of(g.dest)).collect();
+        let mut iovs: Vec<IoVec> = grams
+            .iter()
+            .map(|g| IoVec {
+                base: g.buf.as_ptr() as *mut u8,
+                len: g.buf.len(),
+            })
+            .collect();
+        let addrs_ptr = addrs.as_mut_ptr();
+        let iovs_ptr = iovs.as_mut_ptr();
+        let mut hdrs: Vec<MMsgHdr> = (0..grams.len())
+            .map(|i| MMsgHdr {
+                hdr: MsgHdr {
+                    // SAFETY: i < len of both vectors, which outlive hdrs.
+                    name: unsafe { addrs_ptr.add(i) } as *mut u8,
+                    namelen: std::mem::size_of::<SockAddrIn>() as u32,
+                    iov: unsafe { iovs_ptr.add(i) },
+                    iovlen: 1,
+                    control: std::ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            })
+            .collect();
+        let fd = sock.as_raw_fd();
+        let mut sent = 0usize;
+        let mut syscalls = 0u64;
+        while sent < hdrs.len() {
+            syscalls += 1;
+            // SAFETY: the header array and everything it points into
+            // (addrs, iovs, the datagram buffers) are alive across the
+            // call; vlen matches the remaining suffix.
+            let r = unsafe {
+                sendmmsg(
+                    fd,
+                    hdrs.as_mut_ptr().add(sent),
+                    (hdrs.len() - sent) as u32,
+                    0,
+                )
+            };
+            if r <= 0 {
+                // UDP offers no delivery guarantee; a refused or failed
+                // remainder is equivalent to in-flight loss, which the
+                // protocols already retransmit around.
+                break;
+            }
+            sent += r as usize;
+        }
+        syscalls
+    }
+
+    pub(super) fn recv_batch(
+        sock: &UdpSocket,
+        bufs: &mut [Box<[u8]>],
+        lens: &mut [usize],
+    ) -> io::Result<(usize, u64)> {
+        let mut iovs: Vec<IoVec> = bufs
+            .iter_mut()
+            .map(|b| IoVec {
+                base: b.as_mut_ptr(),
+                len: b.len(),
+            })
+            .collect();
+        let iovs_ptr = iovs.as_mut_ptr();
+        let mut hdrs: Vec<MMsgHdr> = (0..iovs.len())
+            .map(|i| MMsgHdr {
+                hdr: MsgHdr {
+                    name: std::ptr::null_mut(),
+                    namelen: 0,
+                    // SAFETY: i < iovs.len(); iovs outlives hdrs.
+                    iov: unsafe { iovs_ptr.add(i) },
+                    iovlen: 1,
+                    control: std::ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            })
+            .collect();
+        // With SO_RCVTIMEO armed (the caller sets it), MSG_WAITFORONE
+        // means "block until the first datagram or the timeout, then
+        // drain whatever else is queued" — the whole wakeup's intake in
+        // one syscall. The timeout parameter is left null: its semantics
+        // are broken by design (checked only between datagrams), so the
+        // socket timeout is the reliable mechanism.
+        // SAFETY: hdrs and everything it references are alive across the
+        // call; vlen matches the array length.
+        let r = unsafe {
+            recvmmsg(
+                sock.as_raw_fd(),
+                hdrs.as_mut_ptr(),
+                hdrs.len() as u32,
+                MSG_WAITFORONE,
+                std::ptr::null_mut(),
+            )
+        };
+        if r < 0 {
+            let e = io::Error::last_os_error();
+            return if super::transient(&e) {
+                Ok((0, 1))
+            } else {
+                Err(e)
+            };
+        }
+        for (i, h) in hdrs[..r as usize].iter().enumerate() {
+            lens[i] = h.len as usize;
+        }
+        Ok((r as usize, 1))
+    }
+
+    pub(super) fn set_rcvbuf(sock: &UdpSocket, bytes: usize) {
+        let val = (bytes as i32).to_ne_bytes();
+        // SAFETY: val is a valid 4-byte int for the call's duration.
+        let r = unsafe {
+            setsockopt(
+                sock.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RCVBUF,
+                val.as_ptr(),
+                val.len() as u32,
+            )
+        };
+        // Best-effort: the kernel clamps to rmem_max; failure just means
+        // the default buffer, which the loss gate would surface.
+        let _ = r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+
+    fn pair() -> (UdpSocket, UdpSocket, SocketAddr) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let dest = b.local_addr().unwrap();
+        (a, b, dest)
+    }
+
+    fn roundtrip(batched: bool) {
+        let (tx, rx, dest) = pair();
+        let grams: Vec<OutDatagram> = (0..5u8)
+            .map(|i| OutDatagram {
+                dest,
+                buf: vec![i; 3 + i as usize],
+            })
+            .collect();
+        let send_calls = send_batch(&tx, &grams, batched);
+        assert!(send_calls >= 1);
+        if batched {
+            assert_eq!(send_calls, 1, "five loopback datagrams in one sendmmsg");
+        }
+        let mut batch = RecvBatch::new(8);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 5 && std::time::Instant::now() < deadline {
+            recv_batch(&rx, &mut batch, batched, Duration::from_millis(100)).unwrap();
+            got.extend(batch.datagrams().map(<[u8]>::to_vec));
+        }
+        got.sort();
+        let mut want: Vec<Vec<u8>> = grams.iter().map(|g| g.buf.clone()).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn plain_roundtrip() {
+        roundtrip(false);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn batched_roundtrip() {
+        roundtrip(true);
+    }
+
+    #[test]
+    fn empty_recv_times_out_cleanly() {
+        let (_tx, rx, _dest) = pair();
+        let mut batch = RecvBatch::new(4);
+        let t0 = std::time::Instant::now();
+        let syscalls = recv_batch(
+            &rx,
+            &mut batch,
+            SyscallMode::Auto.batched(),
+            Duration::from_millis(20),
+        )
+        .unwrap();
+        assert!(syscalls >= 1);
+        assert_eq!(batch.datagrams().count(), 0);
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn mode_labels_resolve() {
+        assert_eq!(SyscallMode::Plain.label(), "plain");
+        assert!(!SyscallMode::Plain.batched());
+        #[cfg(target_os = "linux")]
+        assert_eq!(SyscallMode::Auto.label(), "batched");
+    }
+}

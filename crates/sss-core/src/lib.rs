@@ -38,6 +38,7 @@ mod alg1;
 mod alg3;
 mod bounded;
 mod reset;
+mod wire_impls;
 
 pub use alg1::{Alg1, Alg1Msg};
 pub use alg3::{Alg3, Alg3Config, Alg3Msg, PndEntry, SaveEntry, TaskRef};

@@ -1,0 +1,216 @@
+//! Wire-codec layouts for the paper's message sets.
+//!
+//! Bodies are a tag byte followed by little-endian fields; register
+//! arrays decode through `WireReader::payload` into the same
+//! `Arc`-shared [`Payload`] the in-process backends hand around, so a
+//! received `WRITE` costs one allocation regardless of `n`. Tags are
+//! per-message-set (the two algorithms never share a socket), and every
+//! variable-length run is length-prefixed and validated — `decode_body`
+//! is total over arbitrary bytes, returning `WireError` rather than
+//! panicking, because the channel fault model makes arbitrary bytes a
+//! legal input.
+
+use crate::{Alg1Msg, Alg3Msg, SaveEntry, TaskRef};
+use sss_types::{SnapshotView, VectorClock, WireError, WireMsg, WireReader, WireWriter};
+use std::sync::Arc;
+
+impl WireMsg for Alg1Msg {
+    fn encode_body(&self, w: &mut WireWriter<'_>) {
+        match self {
+            Alg1Msg::Write { reg } => {
+                w.u8(0);
+                w.cells(reg.n(), reg.iter().map(|(_, c)| c));
+            }
+            Alg1Msg::WriteAck { reg } => {
+                w.u8(1);
+                w.cells(reg.n(), reg.iter().map(|(_, c)| c));
+            }
+            Alg1Msg::Snapshot { reg, ssn } => {
+                w.u8(2);
+                w.u64(*ssn);
+                w.cells(reg.n(), reg.iter().map(|(_, c)| c));
+            }
+            Alg1Msg::SnapshotAck { reg, ssn } => {
+                w.u8(3);
+                w.u64(*ssn);
+                w.cells(reg.n(), reg.iter().map(|(_, c)| c));
+            }
+            Alg1Msg::Gossip { cell } => {
+                w.u8(4);
+                w.cell(*cell);
+            }
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>, n: usize) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Alg1Msg::Write { reg: r.payload(n)? }),
+            1 => Ok(Alg1Msg::WriteAck { reg: r.payload(n)? }),
+            2 => {
+                let ssn = r.u64()?;
+                Ok(Alg1Msg::Snapshot {
+                    reg: r.payload(n)?,
+                    ssn,
+                })
+            }
+            3 => {
+                let ssn = r.u64()?;
+                Ok(Alg1Msg::SnapshotAck {
+                    reg: r.payload(n)?,
+                    ssn,
+                })
+            }
+            4 => Ok(Alg1Msg::Gossip { cell: r.cell()? }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// A node index carried inside a body: bounds-checked at decode so no
+/// downstream array access can panic on a forged or future-version frame.
+fn node_index(r: &mut WireReader<'_>, n: usize) -> Result<usize, WireError> {
+    let k = r.u16()? as usize;
+    if k >= n {
+        return Err(WireError::BadNode);
+    }
+    Ok(k)
+}
+
+fn encode_task(w: &mut WireWriter<'_>, t: &TaskRef) {
+    w.u16(t.node as u16);
+    w.u64(t.sns);
+    match &t.vc {
+        None => w.u8(0),
+        Some(vc) => {
+            w.u8(1);
+            w.clock(vc.components());
+        }
+    }
+}
+
+fn decode_task(r: &mut WireReader<'_>, n: usize) -> Result<TaskRef, WireError> {
+    let node = node_index(r, n)?;
+    let sns = r.u64()?;
+    let vc = match r.u8()? {
+        0 => None,
+        1 => Some(VectorClock::from_components(r.clock_components(n)?)),
+        _ => return Err(WireError::BadLength),
+    };
+    Ok(TaskRef { node, sns, vc })
+}
+
+fn encode_save_entry(w: &mut WireWriter<'_>, e: &SaveEntry) {
+    w.u16(e.node as u16);
+    w.u64(e.sns);
+    w.cells(e.view.n(), e.view.iter().map(|(_, c)| c));
+}
+
+fn decode_save_entry(r: &mut WireReader<'_>, n: usize) -> Result<SaveEntry, WireError> {
+    let node = node_index(r, n)?;
+    let sns = r.u64()?;
+    let view: SnapshotView = r.cells(n)?;
+    Ok(SaveEntry { node, sns, view })
+}
+
+impl WireMsg for Alg3Msg {
+    fn encode_body(&self, w: &mut WireWriter<'_>) {
+        match self {
+            Alg3Msg::Write { reg } => {
+                w.u8(0);
+                w.cells(reg.n(), reg.iter().map(|(_, c)| c));
+            }
+            Alg3Msg::WriteAck { reg } => {
+                w.u8(1);
+                w.cells(reg.n(), reg.iter().map(|(_, c)| c));
+            }
+            Alg3Msg::Snapshot { tasks, reg, ssn } => {
+                w.u8(2);
+                w.u64(*ssn);
+                w.u16(tasks.len() as u16);
+                for t in tasks.iter() {
+                    encode_task(w, t);
+                }
+                w.cells(reg.n(), reg.iter().map(|(_, c)| c));
+            }
+            Alg3Msg::SnapshotAck { reg, ssn } => {
+                w.u8(3);
+                w.u64(*ssn);
+                w.cells(reg.n(), reg.iter().map(|(_, c)| c));
+            }
+            Alg3Msg::Save { entries } => {
+                w.u8(4);
+                w.u16(entries.len() as u16);
+                for e in entries.iter() {
+                    encode_save_entry(w, e);
+                }
+            }
+            Alg3Msg::SaveAck { ids } => {
+                w.u8(5);
+                w.u16(ids.len() as u16);
+                for &(node, sns) in ids {
+                    w.u16(node as u16);
+                    w.u64(sns);
+                }
+            }
+            Alg3Msg::Gossip { cell, pnd_sns } => {
+                w.u8(6);
+                w.cell(*cell);
+                w.u64(*pnd_sns);
+            }
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>, n: usize) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Alg3Msg::Write { reg: r.payload(n)? }),
+            1 => Ok(Alg3Msg::WriteAck { reg: r.payload(n)? }),
+            2 => {
+                let ssn = r.u64()?;
+                let count = r.u16()? as usize;
+                let mut tasks = Vec::new();
+                for _ in 0..count {
+                    tasks.push(decode_task(r, n)?);
+                }
+                Ok(Alg3Msg::Snapshot {
+                    tasks: Arc::new(tasks),
+                    reg: r.payload(n)?,
+                    ssn,
+                })
+            }
+            3 => {
+                let ssn = r.u64()?;
+                Ok(Alg3Msg::SnapshotAck {
+                    reg: r.payload(n)?,
+                    ssn,
+                })
+            }
+            4 => {
+                let count = r.u16()? as usize;
+                let mut entries = Vec::new();
+                for _ in 0..count {
+                    entries.push(decode_save_entry(r, n)?);
+                }
+                Ok(Alg3Msg::Save {
+                    entries: Arc::new(entries),
+                })
+            }
+            5 => {
+                let count = r.u16()? as usize;
+                let mut ids = Vec::new();
+                for _ in 0..count {
+                    let node = node_index(r, n)?;
+                    ids.push((node, r.u64()?));
+                }
+                Ok(Alg3Msg::SaveAck { ids })
+            }
+            6 => {
+                let cell = r.cell()?;
+                Ok(Alg3Msg::Gossip {
+                    cell,
+                    pnd_sns: r.u64()?,
+                })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}

@@ -52,6 +52,7 @@ mod protocol;
 mod reg;
 mod value;
 mod vclock;
+mod wire;
 
 pub use history::{History, LatencyStats, OpRecord};
 pub use node::{majority, NodeId, ProcessSet};
@@ -64,3 +65,7 @@ pub use protocol::{
 pub use reg::RegArray;
 pub use value::{Tagged, Value, BOTTOM};
 pub use vclock::VectorClock;
+pub use wire::{
+    decode_frames, encode_frame, encode_wake, DecodedFrame, FrameIter, WireError, WireMsg,
+    WireReader, WireWriter, FRAME_HEADER_BYTES, MAX_DATAGRAM_BYTES, WIRE_MAGIC, WIRE_VERSION,
+};

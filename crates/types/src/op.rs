@@ -116,6 +116,14 @@ impl SnapshotView {
     }
 }
 
+impl FromIterator<Tagged> for SnapshotView {
+    fn from_iter<I: IntoIterator<Item = Tagged>>(iter: I) -> Self {
+        SnapshotView {
+            cells: iter.into_iter().collect(),
+        }
+    }
+}
+
 impl From<RegArray> for SnapshotView {
     fn from(reg: RegArray) -> Self {
         SnapshotView {

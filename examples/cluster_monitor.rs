@@ -4,7 +4,13 @@
 //! Run with:
 //! ```sh
 //! cargo run -p sss-examples --bin cluster_monitor
+//! cargo run -p sss-examples --bin cluster_monitor -- --backend sockets
 //! ```
+//!
+//! `--backend sockets` runs the same demo over real UDP sockets on
+//! loopback ([`SocketCluster`]): same clients, same fault plan, same
+//! live trace subscription — the telemetry stream works unchanged over
+//! genuine kernel networking.
 //!
 //! Five worker nodes continuously publish their load (writes never
 //! cease); a monitor repeatedly takes consistent global snapshots to
@@ -21,7 +27,8 @@
 
 use sss_core::{Alg3, Alg3Config};
 use sss_runtime::{
-    Cluster, ClusterConfig, FaultEvent, FaultPlan, SubscriberSink, TraceEvent, Tracer,
+    Client, Cluster, ClusterConfig, FaultEvent, FaultPlan, SocketCluster, SocketConfig,
+    SubscriberSink, TraceEvent, Tracer,
 };
 use sss_types::{NodeId, OpClass};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,6 +43,39 @@ fn encode(seq: u64, load_pct: u64) -> u64 {
 
 fn decode(v: u64) -> (u64, u64) {
     (v >> 8, v & 0xFF)
+}
+
+/// Either message plane behind one handle: in-process inboxes or real
+/// UDP sockets. Both hand out the same [`Client`] type, so the demo
+/// body is backend-agnostic.
+enum AnyCluster {
+    Threads(Cluster<Alg3>),
+    Sockets(SocketCluster<Alg3>),
+}
+
+impl AnyCluster {
+    fn client(&self, node: NodeId) -> Client<Alg3> {
+        match self {
+            AnyCluster::Threads(c) => c.client(node),
+            AnyCluster::Sockets(c) => c.client(node),
+        }
+    }
+    fn apply_plan(&self, plan: &FaultPlan) {
+        match self {
+            AnyCluster::Threads(c) => c.apply_plan(plan),
+            AnyCluster::Sockets(c) => c.apply_plan(plan),
+        }
+    }
+    fn shutdown(self) {
+        match self {
+            AnyCluster::Threads(c) => {
+                c.shutdown();
+            }
+            AnyCluster::Sockets(c) => {
+                c.shutdown();
+            }
+        }
+    }
 }
 
 /// What the telemetry thread distills from the live event stream.
@@ -61,9 +101,24 @@ fn main() {
     // the protocol threads.
     let (sink, events, shed) = SubscriberSink::bounded(65_536);
     let tracer = Tracer::new(n).with_sink(sink);
-    let cluster = Cluster::new_traced(cfg, tracer, move |id| {
-        Alg3::new(id, n, Alg3Config { delta })
-    });
+    let args: Vec<String> = std::env::args().collect();
+    let sockets = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .is_some_and(|b| b == "sockets");
+    let cluster = if sockets {
+        println!("(message plane: real UDP sockets on loopback)");
+        let mut scfg = SocketConfig::new(n);
+        scfg.cluster = cfg;
+        AnyCluster::Sockets(SocketCluster::new_traced(scfg, tracer, move |id| {
+            Alg3::new(id, n, Alg3Config { delta })
+        }))
+    } else {
+        AnyCluster::Threads(Cluster::new_traced(cfg, tracer, move |id| {
+            Alg3::new(id, n, Alg3Config { delta })
+        }))
+    };
 
     let telemetry = std::thread::spawn(move || {
         let mut t = Telemetry {

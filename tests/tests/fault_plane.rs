@@ -8,7 +8,9 @@
 
 use sss_checker::check;
 use sss_core::Alg1;
-use sss_runtime::{Cluster, ClusterConfig, ClusterError, ThreadBackend};
+use sss_runtime::{
+    Cluster, ClusterConfig, ClusterError, SocketBackend, SocketConfig, ThreadBackend,
+};
 use sss_sim::{Backend, RunReport, SimBackend, SimConfig};
 use sss_types::NodeId;
 use sss_workload::{unique_value, FaultEvent, FaultPlan, WorkloadSpec};
@@ -62,9 +64,11 @@ fn assert_linearizable_and_accounted(report: &RunReport, n: usize, total_ops: u6
 
 /// Regression test for the sim/runtime partition-semantics divergence:
 /// the *same* group-based fault plan, replayed through the shared
-/// `Backend` trait, yields a linearizable history on both backends.
+/// `Backend` trait, yields a linearizable history on every backend —
+/// the simulator, the threaded runtime, and the real-socket UDP runtime
+/// (whose fault shim sits at the datagram send hook).
 #[test]
-fn same_fault_plan_linearizable_on_both_backends() {
+fn same_fault_plan_linearizable_on_all_backends() {
     let n = 4;
     let plan = recovery_plan();
     let spec = workload();
@@ -75,6 +79,9 @@ fn same_fault_plan_linearizable_on_both_backends() {
             Alg1::new(id, n)
         })),
         Box::new(ThreadBackend::new(ClusterConfig::new(n), move |id| {
+            Alg1::new(id, n)
+        })),
+        Box::new(SocketBackend::new(SocketConfig::new(n), move |id| {
             Alg1::new(id, n)
         })),
     ];

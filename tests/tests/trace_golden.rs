@@ -18,7 +18,7 @@
 //! update the constants in the same commit.
 
 use sss_core::Alg1;
-use sss_runtime::{Cluster, ClusterConfig};
+use sss_runtime::{Cluster, ClusterConfig, SocketCluster, SocketConfig};
 use sss_sim::{Sim, SimConfig};
 use sss_types::{MsgKind, NodeId, OpClass, SnapshotOp};
 use std::collections::BTreeMap;
@@ -75,18 +75,14 @@ fn non_gossip_sends(records: &[sss_sim::TraceRecord]) -> usize {
         .count()
 }
 
-/// The same scenario on real threads.
-fn thread_trace() -> (Vec<OpEvent>, LinkKinds) {
+/// Blocks until non-gossip traffic has been quiet for two consecutive
+/// polls. Both ops complete at a *majority* of acks, so the minority's
+/// trailing message can still be in flight when the client returns:
+/// invoking the next op — or tearing down — before it lands would race
+/// it out of the trace (the sim leg runs `tail` extra time for the same
+/// reason).
+fn wait_non_gossip_quiet(buf: &sss_runtime::TraceBuffer) {
     use std::time::{Duration, Instant};
-    let (sink, buf) = sss_runtime::MemorySink::new();
-    let tracer = sss_runtime::Tracer::new(N).with_sink(sink);
-    let cluster = Cluster::new_traced(ClusterConfig::new(N), tracer, |id| Alg1::new(id, N));
-    cluster.client(NodeId(0)).write(41).unwrap();
-    cluster.client(NodeId(1)).snapshot().unwrap();
-    // The snapshot completed at a *majority* of acks: the minority's
-    // trailing SnapshotAck can still be in flight, and shutting down now
-    // would race it out of the trace. Wait until non-gossip traffic has
-    // been quiet for two consecutive polls before tearing down.
     let deadline = Instant::now() + Duration::from_secs(10);
     let (mut last, mut quiet) = (non_gossip_sends(&buf.records()), 0);
     while quiet < 2 && Instant::now() < deadline {
@@ -95,6 +91,32 @@ fn thread_trace() -> (Vec<OpEvent>, LinkKinds) {
         quiet = if now == last { quiet + 1 } else { 0 };
         last = now;
     }
+}
+
+/// The same scenario on real threads.
+fn thread_trace() -> (Vec<OpEvent>, LinkKinds) {
+    let (sink, buf) = sss_runtime::MemorySink::new();
+    let tracer = sss_runtime::Tracer::new(N).with_sink(sink);
+    let cluster = Cluster::new_traced(ClusterConfig::new(N), tracer, |id| Alg1::new(id, N));
+    cluster.client(NodeId(0)).write(41).unwrap();
+    wait_non_gossip_quiet(&buf);
+    cluster.client(NodeId(1)).snapshot().unwrap();
+    wait_non_gossip_quiet(&buf);
+    cluster.shutdown();
+    normalize(&buf.records())
+}
+
+/// The same scenario over real UDP sockets on loopback: the wire codec
+/// and the batched syscall plane must be invisible at this level of
+/// abstraction — same ops, same per-link message kinds.
+fn socket_trace() -> (Vec<OpEvent>, LinkKinds) {
+    let (sink, buf) = sss_runtime::MemorySink::new();
+    let tracer = sss_runtime::Tracer::new(N).with_sink(sink);
+    let cluster = SocketCluster::new_traced(SocketConfig::new(N), tracer, |id| Alg1::new(id, N));
+    cluster.client(NodeId(0)).write(41).unwrap();
+    wait_non_gossip_quiet(&buf);
+    cluster.client(NodeId(1)).snapshot().unwrap();
+    wait_non_gossip_quiet(&buf);
     cluster.shutdown();
     normalize(&buf.records())
 }
@@ -137,10 +159,24 @@ fn thread_trace_matches_pinned_logical_structure() {
 }
 
 #[test]
+fn socket_trace_matches_pinned_logical_structure() {
+    assert_eq!(socket_trace(), expected(), "socket trace drifted");
+}
+
+#[test]
 fn both_backends_agree_on_the_logical_trace() {
     assert_eq!(
         sim_trace(),
         thread_trace(),
         "same scenario, same schema: the logical traces must be identical"
+    );
+}
+
+#[test]
+fn socket_backend_agrees_on_the_logical_trace() {
+    assert_eq!(
+        sim_trace(),
+        socket_trace(),
+        "real UDP must not change what the protocol means"
     );
 }
