@@ -45,9 +45,9 @@
 //!
 //! [`Client::submit`]: sss_runtime::Client::submit
 
-use sss_bench::BackendChoice;
+use sss_bench::{jsonio, BackendChoice};
 use sss_core::Alg1;
-use sss_obs::JsonlSink;
+use sss_obs::{JsonlSink, OpsPlane};
 use sss_runtime::{Cluster, ClusterConfig, SocketCluster, SocketConfig};
 use sss_sim::{Ctl, Driver, Sim, SimConfig, Tracer};
 use sss_types::{clone_stats, NodeId, OpId, OpResponse, Protocol, SnapshotOp};
@@ -62,6 +62,11 @@ const SMOKE_TOLERANCE: f64 = 0.70;
 /// throughput with 2·n live threads on a shared box is noisy in a way
 /// the virtual clock is not.
 const THREADS_SMOKE_TOLERANCE: f64 = 0.35;
+/// The live ops aggregator ([`OpsPlane`], `OPS_PLANE` mask) attached to
+/// the hot simulator path must cost at most 5% of tracer-off
+/// throughput — the mask rejects the dominant send/deliver traffic with
+/// one relaxed atomic load before any lock is taken.
+const OPS_PLANE_TOLERANCE: f64 = 0.95;
 
 /// One measured configuration.
 #[derive(Clone, Debug)]
@@ -149,9 +154,10 @@ fn measure_sim_traced(n: usize, tracer: Tracer) -> Row {
 }
 
 /// `--measure-trace-overhead`: per-event cost of the trace plane on the
-/// hot simulator path, for the DESIGN.md overhead table. Three
+/// hot simulator path, for the DESIGN.md overhead table. Four
 /// configurations: tracer off (the zero-cost claim), flight recorder
-/// only, and full JSONL streaming to a temp file.
+/// only, full JSONL streaming to a temp file, and the live ops
+/// aggregator (masked to the ops plane, folding on its own thread).
 fn measure_trace_overhead() -> ! {
     let n = 32;
     let jsonl_path = std::env::temp_dir().join("e14_trace_overhead.jsonl");
@@ -167,10 +173,18 @@ fn measure_trace_overhead() -> ! {
     let jsonl = best(&|| {
         Tracer::new(n).with_sink(JsonlSink::create(&jsonl_path).expect("temp trace file"))
     });
+    let ops_plane = OpsPlane::start(n);
+    let ops = best(&|| ops_plane.tracer());
+    let folded = ops_plane.stop();
+    assert!(
+        folded.records() > 0,
+        "aggregator measured but folded nothing"
+    );
     for (label, v) in [
         ("off", off),
         ("flight recorder", ring),
         ("jsonl sink", jsonl),
+        ("live ops aggregator", ops),
     ] {
         t.row(vec![
             label.into(),
@@ -367,80 +381,56 @@ fn finish_row(
     }
 }
 
-// ----- BENCH_throughput.json (no serde: tiny hand-rolled format) -------
+// ----- BENCH_throughput.json (shared sss_bench::jsonio plumbing) -------
 
 fn render(baseline: &[Row], current: &[Row]) -> String {
     let section = |rows: &[Row]| {
-        rows.iter()
-            .map(|r| {
-                format!(
-                    "    {{\"backend\": \"{}\", \"n\": {}, \"events\": {}, \"wall_secs\": {:.4}, \
-                     \"events_per_sec\": {:.1}, \"deep_clones\": {}, \"cells_copied\": {}, \
-                     \"bytes_cloned\": {}, \"coalesced\": {}}}",
-                    r.backend,
-                    r.n,
-                    r.events,
-                    r.wall_secs,
-                    r.events_per_sec,
-                    r.deep_clones,
-                    r.cells_copied,
-                    r.bytes_cloned,
-                    r.coalesced
-                )
-            })
-            .collect::<Vec<_>>()
-            .join(",\n")
+        jsonio::array(
+            &rows
+                .iter()
+                .map(|r| {
+                    jsonio::object(&[
+                        ("backend", format!("\"{}\"", r.backend)),
+                        ("n", r.n.to_string()),
+                        ("events", r.events.to_string()),
+                        ("wall_secs", format!("{:.4}", r.wall_secs)),
+                        ("events_per_sec", format!("{:.1}", r.events_per_sec)),
+                        ("deep_clones", r.deep_clones.to_string()),
+                        ("cells_copied", r.cells_copied.to_string()),
+                        ("bytes_cloned", r.bytes_cloned.to_string()),
+                        ("coalesced", r.coalesced.to_string()),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        )
     };
-    format!(
-        "{{\n  \"benchmark\": \"e14_throughput\",\n  \"workload\": \"gossip-heavy write storm (Alg1, all nodes writing closed-loop)\",\n  \"baseline\": [\n{}\n  ],\n  \"current\": [\n{}\n  ]\n}}\n",
-        section(baseline),
-        section(current)
+    jsonio::document(
+        "e14_throughput",
+        "gossip-heavy write storm (Alg1, all nodes writing closed-loop)",
+        &[
+            ("baseline", section(baseline)),
+            ("current", section(current)),
+        ],
     )
 }
 
 fn parse_section(json: &str, name: &str) -> Option<Vec<Row>> {
-    let key = format!("\"{name}\"");
-    let start = json.find(&key)?;
-    let rest = &json[start + key.len()..];
-    let open = rest.find('[')?;
-    let close = rest[open..].find(']')? + open;
-    let body = &rest[open + 1..close];
     let mut rows = Vec::new();
-    for obj in body.split('}') {
-        let Some(brace) = obj.find('{') else { continue };
-        let obj = &obj[brace + 1..];
-        let backend = parse_str(obj, "backend")?;
+    for obj in jsonio::objects(json, name)? {
         rows.push(Row {
-            backend,
-            n: parse_num(obj, "n")? as usize,
-            events: parse_num(obj, "events")? as u64,
-            wall_secs: parse_num(obj, "wall_secs")?,
-            events_per_sec: parse_num(obj, "events_per_sec")?,
-            deep_clones: parse_num(obj, "deep_clones")? as u64,
-            cells_copied: parse_num(obj, "cells_copied")? as u64,
-            bytes_cloned: parse_num(obj, "bytes_cloned")? as u64,
+            backend: jsonio::string(obj, "backend")?,
+            n: jsonio::num(obj, "n")? as usize,
+            events: jsonio::num(obj, "events")? as u64,
+            wall_secs: jsonio::num(obj, "wall_secs")?,
+            events_per_sec: jsonio::num(obj, "events_per_sec")?,
+            deep_clones: jsonio::num(obj, "deep_clones")? as u64,
+            cells_copied: jsonio::num(obj, "cells_copied")? as u64,
+            bytes_cloned: jsonio::num(obj, "bytes_cloned")? as u64,
             // Absent on rows recorded before per-link coalescing existed.
-            coalesced: parse_num(obj, "coalesced").unwrap_or(0.0) as u64,
+            coalesced: jsonio::num(obj, "coalesced").unwrap_or(0.0) as u64,
         });
     }
     Some(rows)
-}
-
-fn parse_num(obj: &str, key: &str) -> Option<f64> {
-    let key = format!("\"{key}\":");
-    let start = obj.find(&key)? + key.len();
-    let rest = obj[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-fn parse_str(obj: &str, key: &str) -> Option<String> {
-    let key = format!("\"{key}\":");
-    let start = obj.find(&key)? + key.len();
-    let rest = obj[start..].trim_start().strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
 }
 
 fn load_existing() -> Option<(Vec<Row>, Vec<Row>)> {
@@ -492,7 +482,7 @@ fn smoke() -> ! {
         std::process::exit(1);
     };
     // Warm up once (first-touch allocation, lazy page faults), measure second.
-    let _ = measure_sim(n);
+    let warm = measure_sim(n);
     let row = measure_sim(n);
     println!(
         "smoke: sim n={n}: {:.0} events/sec (baseline {:.0}, gate {:.0})",
@@ -504,6 +494,35 @@ fn smoke() -> ! {
         eprintln!(
             "SMOKE FAIL: sim events/sec regressed >{:.0}% vs committed baseline",
             (1.0 - SMOKE_TOLERANCE) * 100.0
+        );
+        std::process::exit(1);
+    }
+    // Live ops aggregator attached: the dashboard's whole observation
+    // path (masked tracer → bounded channel → folder thread) must stay
+    // within 5% of tracer-off throughput. Best-of-two on both sides —
+    // the min-noise estimator the full sweep also uses.
+    let off_best = warm.events_per_sec.max(row.events_per_sec);
+    let ops_plane = OpsPlane::start(n);
+    let t1 = measure_sim_traced(n, ops_plane.tracer());
+    let t2 = measure_sim_traced(n, ops_plane.tracer());
+    let ops_best = t1.events_per_sec.max(t2.events_per_sec);
+    let folded = ops_plane.stop();
+    println!(
+        "smoke: sim n={n} + ops aggregator: {:.0} events/sec ({:.3}x of off, gate {:.2}x; \
+         folded {} records)",
+        ops_best,
+        ops_best / off_best.max(1e-9),
+        OPS_PLANE_TOLERANCE,
+        folded.records(),
+    );
+    if folded.records() == 0 {
+        eprintln!("SMOKE FAIL: ops aggregator attached but folded no events");
+        std::process::exit(1);
+    }
+    if ops_best < off_best * OPS_PLANE_TOLERANCE {
+        eprintln!(
+            "SMOKE FAIL: live ops aggregator costs more than {:.0}% of tracer-off throughput",
+            (1.0 - OPS_PLANE_TOLERANCE) * 100.0
         );
         std::process::exit(1);
     }

@@ -23,12 +23,18 @@
 //!   ([`CampaignConfig::hunting`]): short think times, write-heavy mix,
 //!   heavy duplication — the settings that catch the planted mutation;
 //! * `--out DIR` — write each finding (shrunk when available) as a
-//!   fixture JSON into DIR, the format `tests/fixtures/chaos/` commits.
+//!   fixture JSON into DIR, the format `tests/fixtures/chaos/` commits;
+//! * `--http PORT` — attach the live ops plane: every case's trace also
+//!   feeds a [`sss_obs::OpsPlane`] aggregator served over HTTP
+//!   (`/node_info`, `/metrics`, `/shards`) for the duration of the soak,
+//!   so a dashboard or scraper can watch faults and stabilizations land
+//!   in real time (`0` picks an ephemeral port).
 
 use sss_chaos::{
-    run_campaign, BackendChoice, CampaignConfig, CampaignReport, Fixture, StrategyKind,
+    run_campaign_with_ops, BackendChoice, CampaignConfig, CampaignReport, Fixture, StrategyKind,
 };
 use sss_core::Alg1;
+use sss_obs::{OpsHttpServer, OpsPlane, Tracer};
 use sss_runtime::{Cluster, ClusterConfig, ClusterError, RetryPolicy};
 use sss_types::NodeId;
 use std::time::{Duration, Instant};
@@ -78,6 +84,23 @@ fn main() {
         strategies.len()
     );
 
+    // --http attaches the live ops plane: campaign cases forward their
+    // traces into the aggregator, and the aggregator's state is served
+    // over HTTP for the duration of the soak.
+    let ops_plane = flag_value("--http").map(|v| {
+        let port: u16 = v.parse().expect("--http takes a port number");
+        let ops = OpsPlane::start(n);
+        let server = OpsHttpServer::serve(ops.metrics(), port).expect("bind ops HTTP server");
+        println!(
+            "ops plane: http://{} (/node_info, /metrics, /shards)\n",
+            server.addr()
+        );
+        (ops, server)
+    });
+    let ops_tracer = ops_plane
+        .as_ref()
+        .map_or_else(Tracer::off, |(ops, _)| ops.tracer());
+
     let mut table = sss_bench::Table::new(&[
         "strategy",
         "cases",
@@ -104,7 +127,8 @@ fn main() {
         if hunt {
             cfg = cfg.hunting();
         }
-        let report = run_campaign(&cfg, move |id| Alg1::new(id, n), |_, _| {});
+        let report =
+            run_campaign_with_ops(&cfg, move |id| Alg1::new(id, n), |_, _| {}, &ops_tracer);
         table.row(vec![
             strategy.name().to_string(),
             report.cases.to_string(),
@@ -152,6 +176,19 @@ fn main() {
                 println!("  fixture -> {path}");
             }
         }
+    }
+
+    if let Some((ops, server)) = ops_plane {
+        let folded = ops.stop();
+        drop(server);
+        println!();
+        println!(
+            "ops plane: folded {} records ({} cycles, {} tainted at close, {} shed)",
+            folded.records(),
+            folded.cycles(),
+            folded.tainted_count(),
+            folded.shed()
+        );
     }
 
     println!();

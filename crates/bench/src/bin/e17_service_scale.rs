@@ -39,7 +39,7 @@
 //! [`LatencySummary::merge`]: sss_sim::LatencySummary::merge
 //! [`SessionSpec`]: sss_workload::SessionSpec
 
-use sss_bench::BackendChoice;
+use sss_bench::{jsonio, BackendChoice};
 use sss_core::Alg1;
 use sss_service::{
     Service, ServiceConfig, ServiceError, ShardConfig, SimService, SimServiceConfig,
@@ -73,8 +73,9 @@ struct Row {
     p50_us: u64,
     p99_us: u64,
     p999_us: u64,
-    /// Protocol operations after group-commit collapsing (sim leg;
-    /// `0` on threads rows, where the batcher does not count them).
+    /// Protocol operations after group-commit collapsing (`0` on
+    /// threads rows recorded before the batcher grew its
+    /// `protocol_ops` counter).
     collapsed: u64,
 }
 
@@ -153,7 +154,7 @@ fn measure_threads(shards: usize, sessions: u64, max_per_flush: usize) -> Row {
         p50_us: merged.p50,
         p99_us: merged.p99,
         p999_us: merged.p999,
-        collapsed: 0,
+        collapsed: stats.iter().map(|s| s.protocol_ops).sum(),
     }
 }
 
@@ -220,85 +221,59 @@ fn measure_sim(shards: usize, sessions: u64) -> (Row, Vec<u64>) {
     )
 }
 
-// ----- BENCH_service.json (no serde: tiny hand-rolled format) ----------
+// ----- BENCH_service.json (shared sss_bench::jsonio plumbing) ----------
 
 fn render(baseline: &[Row], current: &[Row]) -> String {
     let section = |rows: &[Row]| {
-        rows.iter()
-            .map(|r| {
-                format!(
-                    "    {{\"backend\": \"{}\", \"shards\": {}, \"sessions\": {}, \
-                     \"completed\": {}, \"failed\": {}, \"wall_secs\": {:.4}, \
-                     \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
-                     \"p999_us\": {}, \"collapsed\": {}}}",
-                    r.backend,
-                    r.shards,
-                    r.sessions,
-                    r.completed,
-                    r.failed,
-                    r.wall_secs,
-                    r.ops_per_sec,
-                    r.p50_us,
-                    r.p99_us,
-                    r.p999_us,
-                    r.collapsed
-                )
-            })
-            .collect::<Vec<_>>()
-            .join(",\n")
+        jsonio::array(
+            &rows
+                .iter()
+                .map(|r| {
+                    jsonio::object(&[
+                        ("backend", format!("\"{}\"", r.backend)),
+                        ("shards", r.shards.to_string()),
+                        ("sessions", r.sessions.to_string()),
+                        ("completed", r.completed.to_string()),
+                        ("failed", r.failed.to_string()),
+                        ("wall_secs", format!("{:.4}", r.wall_secs)),
+                        ("ops_per_sec", format!("{:.1}", r.ops_per_sec)),
+                        ("p50_us", r.p50_us.to_string()),
+                        ("p99_us", r.p99_us.to_string()),
+                        ("p999_us", r.p999_us.to_string()),
+                        ("collapsed", r.collapsed.to_string()),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        )
     };
-    format!(
-        "{{\n  \"benchmark\": \"e17_service_scale\",\n  \"workload\": \"open-loop keyed \
-         sessions, 95% writes, group-commit batching (Alg1 groups of 3)\",\n  \
-         \"baseline\": [\n{}\n  ],\n  \"current\": [\n{}\n  ]\n}}\n",
-        section(baseline),
-        section(current)
+    jsonio::document(
+        "e17_service_scale",
+        "open-loop keyed sessions, 95% writes, group-commit batching (Alg1 groups of 3)",
+        &[
+            ("baseline", section(baseline)),
+            ("current", section(current)),
+        ],
     )
 }
 
 fn parse_section(json: &str, name: &str) -> Option<Vec<Row>> {
-    let key = format!("\"{name}\"");
-    let start = json.find(&key)?;
-    let rest = &json[start + key.len()..];
-    let open = rest.find('[')?;
-    let close = rest[open..].find(']')? + open;
-    let body = &rest[open + 1..close];
     let mut rows = Vec::new();
-    for obj in body.split('}') {
-        let Some(brace) = obj.find('{') else { continue };
-        let obj = &obj[brace + 1..];
+    for obj in jsonio::objects(json, name)? {
         rows.push(Row {
-            backend: parse_str(obj, "backend")?,
-            shards: parse_num(obj, "shards")? as usize,
-            sessions: parse_num(obj, "sessions")? as u64,
-            completed: parse_num(obj, "completed")? as u64,
-            failed: parse_num(obj, "failed")? as u64,
-            wall_secs: parse_num(obj, "wall_secs")?,
-            ops_per_sec: parse_num(obj, "ops_per_sec")?,
-            p50_us: parse_num(obj, "p50_us")? as u64,
-            p99_us: parse_num(obj, "p99_us")? as u64,
-            p999_us: parse_num(obj, "p999_us")? as u64,
-            collapsed: parse_num(obj, "collapsed")? as u64,
+            backend: jsonio::string(obj, "backend")?,
+            shards: jsonio::num(obj, "shards")? as usize,
+            sessions: jsonio::num(obj, "sessions")? as u64,
+            completed: jsonio::num(obj, "completed")? as u64,
+            failed: jsonio::num(obj, "failed")? as u64,
+            wall_secs: jsonio::num(obj, "wall_secs")?,
+            ops_per_sec: jsonio::num(obj, "ops_per_sec")?,
+            p50_us: jsonio::num(obj, "p50_us")? as u64,
+            p99_us: jsonio::num(obj, "p99_us")? as u64,
+            p999_us: jsonio::num(obj, "p999_us")? as u64,
+            collapsed: jsonio::num(obj, "collapsed")? as u64,
         });
     }
     Some(rows)
-}
-
-fn parse_num(obj: &str, key: &str) -> Option<f64> {
-    let key = format!("\"{key}\":");
-    let start = obj.find(&key)? + key.len();
-    let rest = obj[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-fn parse_str(obj: &str, key: &str) -> Option<String> {
-    let key = format!("\"{key}\":");
-    let start = obj.find(&key)? + key.len();
-    let rest = obj[start..].trim_start().strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
 }
 
 fn load_existing() -> Option<(Vec<Row>, Vec<Row>)> {

@@ -33,7 +33,7 @@
 //! skipped (there is nothing to compare against) and the session runs
 //! on the portable plain-syscall plane.
 
-use sss_bench::{run_cross_backend, Table};
+use sss_bench::{jsonio, run_cross_backend, Table};
 use sss_core::Alg1;
 use sss_net::Backend;
 use sss_runtime::{SocketBackend, SocketCluster, SocketConfig, SyscallMode};
@@ -205,46 +205,54 @@ fn parity() -> bool {
     run_cross_backend(n, backends, &plan, &workload)
 }
 
-// ----- BENCH_socket.json (no serde: tiny hand-rolled format) ----------
+// ----- BENCH_socket.json (shared sss_bench::jsonio plumbing) ----------
 
 fn render(sessions: &[&Session], speedup: Option<f64>, parity_ok: bool) -> String {
-    let rows = sessions
+    let rows: Vec<String> = sessions
         .iter()
         .map(|r| {
-            format!(
-                "    {{\"mode\": \"{}\", \"n\": {}, \"ops\": {}, \"wall_secs\": {:.4}, \
-                 \"ops_per_sec\": {:.1}, \"frames_sent\": {}, \"frames_recv\": {}, \
-                 \"send_syscalls\": {}, \"recv_syscalls\": {}, \"frames_per_syscall\": {:.2}, \
-                 \"dropped\": {}, \"rejected\": {}, \"coalesced\": {}, \"loss_free\": {}}}",
-                r.mode,
-                r.n,
-                r.ops,
-                r.wall_secs,
-                r.ops_per_sec,
-                r.frames_sent,
-                r.frames_recv,
-                r.send_syscalls,
-                r.recv_syscalls,
-                r.frames_per_syscall,
-                r.dropped,
-                r.rejected,
-                r.coalesced,
-                r.loss_free()
-            )
+            jsonio::object(&[
+                ("mode", format!("\"{}\"", r.mode)),
+                ("n", r.n.to_string()),
+                ("ops", r.ops.to_string()),
+                ("wall_secs", format!("{:.4}", r.wall_secs)),
+                ("ops_per_sec", format!("{:.1}", r.ops_per_sec)),
+                ("frames_sent", r.frames_sent.to_string()),
+                ("frames_recv", r.frames_recv.to_string()),
+                ("send_syscalls", r.send_syscalls.to_string()),
+                ("recv_syscalls", r.recv_syscalls.to_string()),
+                ("frames_per_syscall", format!("{:.2}", r.frames_per_syscall)),
+                ("dropped", r.dropped.to_string()),
+                ("rejected", r.rejected.to_string()),
+                ("coalesced", r.coalesced.to_string()),
+                ("loss_free", r.loss_free().to_string()),
+            ])
         })
-        .collect::<Vec<_>>()
-        .join(",\n");
-    format!(
-        "{{\n  \"benchmark\": \"e18_socket_bench\",\n  \"workload\": \"closed-loop write storm \
-         over loopback UDP (Alg1, {CLIENTS_PER_NODE} clients/node, 1/64 snapshots)\",\n  \
-         \"sessions\": [\n{rows}\n  ],\n  \"syscall_batching_speedup\": {},\n  \
-         \"parity_with_sim\": \"{}\"\n}}\n",
-        speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
-        if parity_ok {
-            "linearizable"
-        } else {
-            "VIOLATION"
-        },
+        .collect();
+    jsonio::document(
+        "e18_socket_bench",
+        &format!(
+            "closed-loop write storm over loopback UDP (Alg1, {CLIENTS_PER_NODE} clients/node, \
+             1/64 snapshots)"
+        ),
+        &[
+            ("sessions", jsonio::array(&rows)),
+            (
+                "syscall_batching_speedup",
+                speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+            ),
+            (
+                "parity_with_sim",
+                format!(
+                    "\"{}\"",
+                    if parity_ok {
+                        "linearizable"
+                    } else {
+                        "VIOLATION"
+                    }
+                ),
+            ),
+        ],
     )
 }
 

@@ -508,6 +508,90 @@ impl Table {
     }
 }
 
+/// Shared emit/parse helpers for the `BENCH_*.json` tracking files.
+///
+/// Every tracking benchmark (`e14`, `e17`, `e18`) persists its rows in
+/// the same hand-rolled shape — a top-level envelope with `benchmark`
+/// and `workload` lines plus named row arrays — and reparses them on
+/// the next run to preserve the committed baseline. The rendering and
+/// field extraction used to be copy-pasted per binary; this module is
+/// the single copy. Callers keep formatting row *values* themselves
+/// (precision differs per field); the envelope, array plumbing, and
+/// field scanning live here.
+pub mod jsonio {
+    /// Renders the standard results envelope. Each `(name, value)` in
+    /// `fields` is a pre-rendered JSON value — typically [`array`]
+    /// output, or a scalar literal like `"null"` / `"\"ok\""`.
+    pub fn document(benchmark: &str, workload: &str, fields: &[(&str, String)]) -> String {
+        let mut out =
+            format!("{{\n  \"benchmark\": \"{benchmark}\",\n  \"workload\": \"{workload}\"");
+        for (name, value) in fields {
+            out.push_str(&format!(",\n  \"{name}\": {value}"));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders pre-rendered row objects as an indented JSON array (the
+    /// shape [`objects`] reparses).
+    pub fn array(rows: &[String]) -> String {
+        if rows.is_empty() {
+            return "[\n  ]".into();
+        }
+        format!(
+            "[\n    {}\n  ]",
+            rows.to_vec().join(",\n    ")
+        )
+    }
+
+    /// Renders one row object from `(key, value-literal)` pairs. Values
+    /// are inserted verbatim — quote strings yourself.
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let inner = fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{{{inner}}}")
+    }
+
+    /// The body of each `{…}` object in the array stored under `name`,
+    /// in order. `None` when the key or its array is missing.
+    pub fn objects<'a>(json: &'a str, name: &str) -> Option<Vec<&'a str>> {
+        let key = format!("\"{name}\"");
+        let start = json.find(&key)?;
+        let rest = &json[start + key.len()..];
+        let open = rest.find('[')?;
+        let close = rest[open..].find(']')? + open;
+        let body = &rest[open + 1..close];
+        let mut objs = Vec::new();
+        for obj in body.split('}') {
+            let Some(brace) = obj.find('{') else { continue };
+            objs.push(&obj[brace + 1..]);
+        }
+        Some(objs)
+    }
+
+    /// The numeric value under `key` in one object body.
+    pub fn num(obj: &str, key: &str) -> Option<f64> {
+        let key = format!("\"{key}\":");
+        let start = obj.find(&key)? + key.len();
+        let rest = obj[start..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// The string value under `key` in one object body.
+    pub fn string(obj: &str, key: &str) -> Option<String> {
+        let key = format!("\"{key}\":");
+        let start = obj.find(&key)? + key.len();
+        let rest = obj[start..].trim_start().strip_prefix('"')?;
+        Some(rest[..rest.find('"')?].to_string())
+    }
+}
+
 /// The standard node sizes experiments sweep.
 pub const N_SWEEP: &[usize] = &[4, 8, 16, 32];
 
@@ -549,6 +633,38 @@ mod tests {
         let c = recovery_cycles(SimConfig::small(4), |id| Alg1::new(id, 4), true, 32)
             .expect("alg1 recovers");
         assert!(c <= 8, "O(1) cycles, got {c}");
+    }
+
+    #[test]
+    fn jsonio_round_trips_the_tracking_envelope() {
+        let rows = vec![
+            jsonio::object(&[
+                ("backend", "\"sim\"".into()),
+                ("n", "8".into()),
+                ("events_per_sec", "12345.6".into()),
+            ]),
+            jsonio::object(&[
+                ("backend", "\"threads\"".into()),
+                ("n", "8".into()),
+                ("events_per_sec", "9999.0".into()),
+            ]),
+        ];
+        let doc = jsonio::document(
+            "e_test",
+            "unit",
+            &[
+                ("baseline", jsonio::array(&rows)),
+                ("speedup", "null".into()),
+            ],
+        );
+        // The envelope is real JSON.
+        sss_obs::JsonValue::parse(&doc).expect("valid JSON");
+        let objs = jsonio::objects(&doc, "baseline").unwrap();
+        assert_eq!(objs.len(), 2);
+        assert_eq!(jsonio::string(objs[0], "backend").as_deref(), Some("sim"));
+        assert_eq!(jsonio::num(objs[1], "events_per_sec"), Some(9999.0));
+        assert_eq!(jsonio::num(objs[0], "n"), Some(8.0));
+        assert!(jsonio::objects(&doc, "missing").is_none());
     }
 
     #[test]

@@ -70,14 +70,39 @@ pub fn cluster_config(sc: &Scenario) -> ClusterConfig {
     cfg
 }
 
+/// The per-case tracer: a memory sink for the oracle, plus — when a
+/// live ops-plane tracer is attached — a forwarding clone of it, so a
+/// monitor sees one continuous stream across every case the campaign
+/// creates and tears down.
+fn case_tracer(n: usize, ops: &Tracer) -> (Tracer, sss_obs::TraceBuffer) {
+    let (sink, buf) = MemorySink::new();
+    let mut tracer = Tracer::new(n).with_sink(sink);
+    if ops.is_on() {
+        tracer = tracer.with_sink(ops.clone());
+    }
+    (tracer, buf)
+}
+
 /// Runs `sc` on the deterministic simulator and judges it.
 pub fn run_case_sim<P, F>(sc: &Scenario, mk: F, oracle_cfg: &OracleConfig) -> CaseOutcome
 where
     P: Protocol,
     F: FnMut(NodeId) -> P,
 {
-    let (sink, buf) = MemorySink::new();
-    let tracer = Tracer::new(sc.n).with_sink(sink);
+    run_case_sim_ops(sc, mk, oracle_cfg, &Tracer::off())
+}
+
+fn run_case_sim_ops<P, F>(
+    sc: &Scenario,
+    mk: F,
+    oracle_cfg: &OracleConfig,
+    ops: &Tracer,
+) -> CaseOutcome
+where
+    P: Protocol,
+    F: FnMut(NodeId) -> P,
+{
+    let (tracer, buf) = case_tracer(sc.n, ops);
     let mut backend = SimBackend::new(sim_config(sc), mk);
     let report = backend.run_traced(&sc.plan, &sc.workload, &tracer);
     finish_case("sim", sc, report, &tracer, &buf, oracle_cfg)
@@ -89,8 +114,20 @@ where
     P: Protocol + 'static,
     F: FnMut(NodeId) -> P,
 {
-    let (sink, buf) = MemorySink::new();
-    let tracer = Tracer::new(sc.n).with_sink(sink);
+    run_case_threads_ops(sc, mk, oracle_cfg, &Tracer::off())
+}
+
+fn run_case_threads_ops<P, F>(
+    sc: &Scenario,
+    mk: F,
+    oracle_cfg: &OracleConfig,
+    ops: &Tracer,
+) -> CaseOutcome
+where
+    P: Protocol + 'static,
+    F: FnMut(NodeId) -> P,
+{
+    let (tracer, buf) = case_tracer(sc.n, ops);
     let mut backend = ThreadBackend::new(cluster_config(sc), mk);
     let report = backend.run_traced(&sc.plan, &sc.workload, &tracer);
     finish_case("threads", sc, report, &tracer, &buf, oracle_cfg)
@@ -262,7 +299,27 @@ impl CampaignReport {
 pub fn run_campaign<P, F>(
     cfg: &CampaignConfig,
     mk: F,
+    progress: impl FnMut(&Scenario, &CaseOutcome),
+) -> CampaignReport
+where
+    P: Protocol + 'static,
+    F: Fn(NodeId) -> P,
+{
+    run_campaign_with_ops(cfg, mk, progress, &Tracer::off())
+}
+
+/// [`run_campaign`] with a long-lived **ops-plane tracer** tapping the
+/// stream: each case's private tracer additionally forwards every
+/// record through a clone of `ops` (see `impl TraceSink for Tracer`),
+/// so a live monitor — dashboard, HTTP endpoint — watches the whole
+/// soak as one continuous event stream while the per-case oracles keep
+/// their isolated buffers. With [`Tracer::off`] this is exactly
+/// [`run_campaign`].
+pub fn run_campaign_with_ops<P, F>(
+    cfg: &CampaignConfig,
+    mk: F,
     mut progress: impl FnMut(&Scenario, &CaseOutcome),
+    ops: &Tracer,
 ) -> CampaignReport
 where
     P: Protocol + 'static,
@@ -284,10 +341,10 @@ where
             }
             let mut outcomes = Vec::new();
             if cfg.backend.runs_sim() {
-                outcomes.push(run_case_sim(&sc, &mk, &cfg.oracle));
+                outcomes.push(run_case_sim_ops(&sc, &mk, &cfg.oracle, ops));
             }
             if cfg.backend.runs_threads() {
-                outcomes.push(run_case_threads(&sc, &mk, &cfg.oracle));
+                outcomes.push(run_case_threads_ops(&sc, &mk, &cfg.oracle, ops));
             }
             for outcome in outcomes {
                 report.absorb(&outcome);

@@ -41,8 +41,9 @@ mod shrink;
 mod strategy;
 
 pub use engine::{
-    cluster_config, run_campaign, run_case_sim, run_case_threads, shrink_case_sim, sim_config,
-    BackendChoice, CampaignConfig, CampaignReport, CaseOutcome, Finding,
+    cluster_config, run_campaign, run_campaign_with_ops, run_case_sim, run_case_threads,
+    shrink_case_sim, sim_config, BackendChoice, CampaignConfig, CampaignReport, CaseOutcome,
+    Finding,
 };
 pub use fixture::Fixture;
 pub use oracle::{judge, ChaosViolation, OracleConfig, OracleReport};

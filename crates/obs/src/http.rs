@@ -1,0 +1,230 @@
+//! A minimal hand-rolled HTTP/1.1 status server over the ops-plane
+//! aggregator — no framework, one thread, std's `TcpListener`.
+//!
+//! Endpoints, all `GET`, all read-only snapshots of the shared
+//! [`ClusterMetrics`]:
+//!
+//! * `/node_info` — the full aggregator state as JSON
+//!   ([`ClusterMetrics::to_node_info_json`]);
+//! * `/metrics` — Prometheus text exposition format
+//!   ([`ClusterMetrics::to_prometheus`]);
+//! * `/shards` — per-shard service gauges as JSON
+//!   ([`ClusterMetrics::shards_json`]);
+//! * `/` — a one-line index.
+//!
+//! The server binds synchronously (so an ephemeral `port: 0` caller can
+//! read the real address back) and serves each connection to completion
+//! on its single thread — the payloads are small and the consumer is an
+//! operator's `curl` or a scrape loop, not production traffic.
+
+use crate::metrics::ClusterMetrics;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Result as IoResult, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running ops HTTP server. Dropping it stops the listener thread.
+pub struct OpsHttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl OpsHttpServer {
+    /// Binds `127.0.0.1:port` (use `0` for an ephemeral port) and starts
+    /// serving `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port in use, no loopback, …).
+    pub fn serve(metrics: Arc<Mutex<ClusterMetrics>>, port: u16) -> IoResult<OpsHttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sss-ops-http".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Ok(stream) = conn {
+                            let _ = serve_one(stream, &metrics);
+                        }
+                    }
+                })?
+        };
+        Ok(OpsHttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (the real port, for ephemeral binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for OpsHttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Nudge the blocking accept so the thread observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, metrics: &Arc<Mutex<ClusterMetrics>>) -> IoResult<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut out = stream;
+    if method != "GET" {
+        return respond(&mut out, 405, "text/plain", "method not allowed\n");
+    }
+    // Snapshot under the lock, render outside it.
+    let snapshot = metrics.lock().clone();
+    match path {
+        "/node_info" => respond(
+            &mut out,
+            200,
+            "application/json",
+            &snapshot.to_node_info_json().render(),
+        ),
+        "/metrics" => respond(
+            &mut out,
+            200,
+            "text/plain; version=0.0.4",
+            &snapshot.to_prometheus(),
+        ),
+        "/shards" => respond(
+            &mut out,
+            200,
+            "application/json",
+            &snapshot.shards_json().render(),
+        ),
+        "/" => respond(
+            &mut out,
+            200,
+            "text/plain",
+            "sss live ops plane: /node_info /metrics /shards\n",
+        ),
+        _ => respond(&mut out, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> IoResult<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FaultKind, TraceEvent, TraceRecord};
+    use crate::jsonv::JsonValue;
+    use sss_types::NodeId;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        let status: u16 = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_all_endpoints_off_shared_state() {
+        let metrics = Arc::new(Mutex::new(ClusterMetrics::new(3)));
+        metrics.lock().fold(&TraceRecord {
+            seq: 0,
+            at: 42,
+            event: TraceEvent::Fault {
+                kind: FaultKind::Crash,
+                node: Some(NodeId(1)),
+                peer: None,
+            },
+        });
+        let server = OpsHttpServer::serve(Arc::clone(&metrics), 0).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0, "ephemeral port resolved");
+
+        let (status, body) = get(addr, "/node_info");
+        assert_eq!(status, 200);
+        let doc = JsonValue::parse(&body).unwrap();
+        let nodes = doc.get("nodes").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(
+            nodes[1].get("health").and_then(JsonValue::as_str),
+            Some("crashed")
+        );
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("sss_node_up{node=\"p1\"} 0"));
+
+        let (status, body) = get(addr, "/shards");
+        assert_eq!(status, 200);
+        assert!(JsonValue::parse(&body).is_ok());
+
+        // Live: mutate the shared state, the endpoint reflects it.
+        metrics.lock().fold(&TraceRecord {
+            seq: 1,
+            at: 99,
+            event: TraceEvent::Fault {
+                kind: FaultKind::Resume,
+                node: Some(NodeId(1)),
+                peer: None,
+            },
+        });
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("sss_node_up{node=\"p1\"} 1"));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        let (status, _) = get(addr, "/");
+        assert_eq!(status, 200);
+        drop(server); // clean shutdown joins the listener thread
+    }
+}

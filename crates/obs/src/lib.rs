@@ -24,7 +24,14 @@
 //!   experiments, JSONL ([`JsonlSink`]) for offline analysis, Chrome
 //!   `trace_event` JSON ([`ChromeTraceSink`]) viewable in
 //!   `chrome://tracing` / Perfetto, and a live subscription channel
-//!   ([`SubscriberSink`]) for monitoring consumers.
+//!   ([`SubscriberSink`]) for monitoring consumers;
+//! * the **live ops plane** built on that subscription: the
+//!   [`metrics`] aggregator folds the event stream into rolling
+//!   per-node health / stabilization / quorum / latency state
+//!   ([`ClusterMetrics`], turnkey via [`OpsPlane`]), the [`dash`]
+//!   module renders it as a dependency-free ANSI terminal dashboard,
+//!   and [`http`] serves it as `/node_info`, `/metrics` (Prometheus
+//!   text), and `/shards` endpoints.
 //!
 //! Because the simulator and the threaded runtime emit the same schema
 //! through the same handle (threaded via `sss_net::Backend::run_traced`),
@@ -44,9 +51,19 @@ mod event;
 mod json;
 mod jsonv;
 mod sink;
+mod stats;
 mod tracer;
 
+pub mod dash;
+pub mod http;
+pub mod metrics;
+
 pub use event::{DropCause, FaultKind, TraceEvent, TraceRecord, TraceTime};
+pub use http::OpsHttpServer;
 pub use jsonv::{escape_json, JsonValue};
-pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SubscriberSink, TraceBuffer, TraceSink};
-pub use tracer::{Tracer, DEFAULT_RING_CAPACITY};
+pub use metrics::{ClusterMetrics, FeedEntry, NodeHealth, NodeMetrics, OpsPlane, ShardGauge};
+pub use sink::{
+    ChromeTraceSink, JsonlSink, MemorySink, SubscriberSink, Subscription, TraceBuffer, TraceSink,
+};
+pub use stats::{LatencyHistogram, LatencySummary};
+pub use tracer::{EventMask, Tracer, DEFAULT_RING_CAPACITY};

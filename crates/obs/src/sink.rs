@@ -7,8 +7,10 @@ use parking_lot::Mutex;
 use std::fs::File;
 use std::io::{BufWriter, Result as IoResult, Write};
 use std::path::Path;
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A destination for trace records.
 ///
@@ -92,29 +94,79 @@ pub enum SubscriberSink {
         /// The bounded channel's send side.
         tx: SyncSender<TraceRecord>,
         /// Records shed because the consumer lagged.
-        shed: Arc<Mutex<u64>>,
+        shed: Arc<AtomicU64>,
     },
 }
 
+/// The consumer side of a [`SubscriberSink`]: the record stream plus the
+/// shed counter, in one handle.
+///
+/// The shed counter is written by the *producer* (the tracer's emission
+/// path) whenever the channel is full, so [`Subscription::shed`] tells a
+/// consumer exactly how many records it missed — live, not only at the
+/// end of the run. A consumer that sees the counter move knows its view
+/// has gaps; one that sees it stay zero knows the stream is complete.
+pub struct Subscription {
+    rx: Receiver<TraceRecord>,
+    shed: Arc<AtomicU64>,
+}
+
+impl Subscription {
+    /// Blocks until the next record, or `Err` once every producer handle
+    /// is gone and the channel is drained.
+    pub fn recv(&self) -> Result<TraceRecord, RecvError> {
+        self.rx.recv()
+    }
+
+    /// Like [`Subscription::recv`] with a deadline — the idiom for a
+    /// dashboard loop that must keep repainting while the cluster idles.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<TraceRecord, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// The next record if one is already queued (never blocks).
+    pub fn try_recv(&self) -> Option<TraceRecord> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Records the producer shed because this consumer lagged. `0` for
+    /// unbounded subscriptions.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// An iterator over incoming records; ends when producers hang up.
+    pub fn iter(&self) -> impl Iterator<Item = TraceRecord> + '_ {
+        self.rx.iter()
+    }
+}
+
 impl SubscriberSink {
-    /// An unbounded subscription: `(sink, receiver)`.
-    pub fn unbounded() -> (SubscriberSink, Receiver<TraceRecord>) {
+    /// An unbounded subscription: `(sink, subscription)`. The
+    /// subscription's shed counter stays 0.
+    pub fn unbounded() -> (SubscriberSink, Subscription) {
         let (tx, rx) = std::sync::mpsc::channel();
-        (SubscriberSink::Unbounded(tx), rx)
+        (
+            SubscriberSink::Unbounded(tx),
+            Subscription {
+                rx,
+                shed: Arc::new(AtomicU64::new(0)),
+            },
+        )
     }
 
     /// A bounded subscription that sheds when the consumer is more than
-    /// `depth` records behind: `(sink, receiver, shed-counter)`.
-    pub fn bounded(depth: usize) -> (SubscriberSink, Receiver<TraceRecord>, Arc<Mutex<u64>>) {
+    /// `depth` records behind: `(sink, subscription)`. The producer
+    /// never blocks; the subscription's shed counter reports the gap.
+    pub fn bounded(depth: usize) -> (SubscriberSink, Subscription) {
         let (tx, rx) = std::sync::mpsc::sync_channel(depth);
-        let shed = Arc::new(Mutex::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
         (
             SubscriberSink::Bounded {
                 tx,
                 shed: shed.clone(),
             },
-            rx,
-            shed,
+            Subscription { rx, shed },
         )
     }
 }
@@ -128,7 +180,9 @@ impl TraceSink for SubscriberSink {
             }
             SubscriberSink::Bounded { tx, shed } => match tx.try_send(rec.clone()) {
                 Ok(()) | Err(TrySendError::Disconnected(_)) => {}
-                Err(TrySendError::Full(_)) => *shed.lock() += 1,
+                Err(TrySendError::Full(_)) => {
+                    shed.fetch_add(1, Ordering::Relaxed);
+                }
             },
         }
     }
@@ -243,14 +297,57 @@ mod tests {
 
     #[test]
     fn bounded_subscriber_sheds_instead_of_blocking() {
-        let (mut sink, rx, shed) = SubscriberSink::bounded(1);
+        let (mut sink, sub) = SubscriberSink::bounded(1);
         sink.record(&rec(0));
         sink.record(&rec(1)); // full → shed
-        assert_eq!(*shed.lock(), 1);
-        assert_eq!(rx.recv().unwrap().seq, 0);
-        drop(rx);
+        assert_eq!(sub.shed(), 1);
+        assert_eq!(sub.recv().unwrap().seq, 0);
+        drop(sub);
         sink.record(&rec(2)); // hung-up consumer → quietly ignored
-        assert_eq!(*shed.lock(), 1);
+    }
+
+    #[test]
+    fn slow_consumer_sheds_accurately_and_never_stalls_the_producer() {
+        // Regression: a consumer that never drains must cost the
+        // producer nothing but a failed try_send, and the subscription
+        // must report exactly how many records it missed.
+        let depth = 16;
+        let emitted = 1000u64;
+        let (mut sink, sub) = SubscriberSink::bounded(depth);
+        let start = std::time::Instant::now();
+        for i in 0..emitted {
+            sink.record(&rec(i));
+        }
+        // 1000 try_sends, 984 of them failing, must be near-instant; a
+        // blocking producer would hang forever (channel never drained).
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "producer stalled behind a slow consumer"
+        );
+        assert_eq!(
+            sub.shed(),
+            emitted - depth as u64,
+            "shed counter accounts for every record beyond the channel depth"
+        );
+        // The consumer's view is exactly the first `depth` records.
+        let mut got = 0u64;
+        while let Some(r) = sub.try_recv() {
+            assert_eq!(r.seq, got);
+            got += 1;
+        }
+        assert_eq!(got, depth as u64);
+        assert_eq!(got + sub.shed(), emitted, "no record unaccounted for");
+    }
+
+    #[test]
+    fn unbounded_subscription_reports_zero_shed() {
+        let (mut sink, sub) = SubscriberSink::unbounded();
+        for i in 0..100 {
+            sink.record(&rec(i));
+        }
+        drop(sink); // hang up so the iterator terminates
+        assert_eq!(sub.shed(), 0);
+        assert_eq!(sub.iter().count(), 100);
     }
 
     #[test]

@@ -4,10 +4,90 @@ use crate::event::{TraceEvent, TraceRecord, TraceTime};
 use crate::sink::TraceSink;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Default flight-recorder depth per node (and for the global ring).
 pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// A bit-set of [`TraceEvent`] categories a tracer records.
+///
+/// The mask is checked **before** the emission lock: a masked-out event
+/// costs one atomic load and a branch, no lock and no sequence number.
+/// That is what lets a live monitoring consumer ride a hot run — the
+/// ops-plane preset ([`EventMask::OPS_PLANE`]) excludes the per-message
+/// `Send`/`Deliver` flood (the overwhelming majority of a run's events)
+/// while keeping everything a dashboard needs: operations, drops,
+/// faults, cycle boundaries, and stabilization probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventMask(u32);
+
+impl EventMask {
+    /// `OpInvoke` events.
+    pub const OP_INVOKE: EventMask = EventMask(1 << 0);
+    /// `OpComplete` events.
+    pub const OP_COMPLETE: EventMask = EventMask(1 << 1);
+    /// `OpAbort` events.
+    pub const OP_ABORT: EventMask = EventMask(1 << 2);
+    /// `Send` events (per-message; the bulk of a trace).
+    pub const SEND: EventMask = EventMask(1 << 3);
+    /// `Deliver` events (per-message; the bulk of a trace).
+    pub const DELIVER: EventMask = EventMask(1 << 4);
+    /// `Drop` events.
+    pub const DROP: EventMask = EventMask(1 << 5);
+    /// `Fault` events.
+    pub const FAULT: EventMask = EventMask(1 << 6);
+    /// `CycleEnd` events.
+    pub const CYCLE_END: EventMask = EventMask(1 << 7);
+    /// `Stabilized` probes.
+    pub const STABILIZED: EventMask = EventMask(1 << 8);
+    /// `BatchDrain` events.
+    pub const BATCH_DRAIN: EventMask = EventMask(1 << 9);
+
+    /// Every event category (the default).
+    pub const ALL: EventMask = EventMask((1 << 10) - 1);
+
+    /// The live ops-plane preset: everything **except** the per-message
+    /// `Send`/`Deliver` flood. Operations, drops, faults, cycles,
+    /// stabilization probes, and batch drains are retained — the full
+    /// signal a dashboard folds, at a per-event rate orders of magnitude
+    /// below the message plane's.
+    pub const OPS_PLANE: EventMask = EventMask(Self::ALL.0 & !Self::SEND.0 & !Self::DELIVER.0);
+
+    /// The union of two masks.
+    pub const fn union(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+
+    /// Whether this mask records `event`'s category.
+    #[inline]
+    pub fn accepts(self, event: &TraceEvent) -> bool {
+        let bit = match event {
+            TraceEvent::OpInvoke { .. } => Self::OP_INVOKE,
+            TraceEvent::OpComplete { .. } => Self::OP_COMPLETE,
+            TraceEvent::OpAbort { .. } => Self::OP_ABORT,
+            TraceEvent::Send { .. } => Self::SEND,
+            TraceEvent::Deliver { .. } => Self::DELIVER,
+            TraceEvent::Drop { .. } => Self::DROP,
+            TraceEvent::Fault { .. } => Self::FAULT,
+            TraceEvent::CycleEnd { .. } => Self::CYCLE_END,
+            TraceEvent::Stabilized { .. } => Self::STABILIZED,
+            TraceEvent::BatchDrain { .. } => Self::BATCH_DRAIN,
+        };
+        self.0 & bit.0 != 0
+    }
+
+    /// The raw bit representation (for the atomic slot in the tracer).
+    const fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for EventMask {
+    fn default() -> Self {
+        EventMask::ALL
+    }
+}
 
 struct State {
     /// Next global sequence number.
@@ -24,6 +104,8 @@ struct State {
 
 struct Inner {
     state: Mutex<State>,
+    /// The event-category filter, readable without the emission lock.
+    mask: AtomicU32,
 }
 
 /// The cloneable emission handle of the trace plane.
@@ -72,7 +154,20 @@ impl Tracer {
                 cap: DEFAULT_RING_CAPACITY,
                 sinks: Vec::new(),
             }),
+            mask: AtomicU32::new(EventMask::ALL.bits()),
         })))
+    }
+
+    /// Restricts which event categories this tracer records (builder
+    /// style). Masked-out events are rejected *before* the emission
+    /// lock — one atomic load and a branch — and receive no sequence
+    /// number, so attached sinks see a dense filtered stream. No-op when
+    /// off.
+    pub fn with_mask(self, mask: EventMask) -> Tracer {
+        if let Some(inner) = &self.0 {
+            inner.mask.store(mask.bits(), Ordering::Relaxed);
+        }
+        self
     }
 
     /// Sets the per-ring capacity (builder style). No-op when off.
@@ -112,6 +207,9 @@ impl Tracer {
     /// off.
     pub fn emit(&self, at: TraceTime, event: TraceEvent) {
         let Some(inner) = &self.0 else { return };
+        if !EventMask(inner.mask.load(Ordering::Relaxed)).accepts(&event) {
+            return;
+        }
         let mut st = inner.state.lock();
         let rec = TraceRecord {
             seq: st.seq,
@@ -168,6 +266,26 @@ impl Tracer {
                 sink.flush();
             }
         }
+    }
+}
+
+/// A tracer can itself be attached as a **sink** of another tracer:
+/// records are re-emitted through this tracer's own pipeline (mask,
+/// sequence numbering, rings, sinks). That is how a long-lived ops-plane
+/// tracer taps the stream of per-case tracers a chaos campaign creates
+/// and tears down — the campaign attaches a clone of the ops tracer to
+/// each case, and the ops plane sees one continuous stream.
+///
+/// Re-emitted records are re-stamped with *this* tracer's sequence
+/// numbers; the upstream `seq` is dropped (the two streams have
+/// different filters, so upstream numbering would be non-dense here).
+impl TraceSink for Tracer {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.emit(rec.at, rec.event.clone());
+    }
+
+    fn flush(&mut self) {
+        Tracer::flush(self);
     }
 }
 
@@ -238,6 +356,65 @@ mod tests {
         assert_eq!(ring.last().unwrap().seq, 9, "keeps the newest");
         assert!(t.flight(NodeId(1)).is_empty(), "sends scope to sender");
         assert_eq!(t.flight_global().len(), 1, "cycle ends are global");
+    }
+
+    #[test]
+    fn mask_filters_before_sequencing() {
+        let (sink, buf) = MemorySink::new();
+        let t = Tracer::new(2)
+            .with_mask(EventMask::OPS_PLANE)
+            .with_sink(sink);
+        t.emit(0, send(0, 1)); // masked out
+        t.emit(
+            1,
+            TraceEvent::Deliver {
+                from: NodeId(0),
+                to: NodeId(1),
+                kind: MsgKind::Gossip,
+            },
+        ); // masked out
+        t.emit(2, TraceEvent::Stabilized { node: NodeId(1) });
+        t.emit(3, TraceEvent::CycleEnd { index: 0 });
+        let recs = buf.records();
+        assert_eq!(recs.len(), 2, "send/deliver rejected by the mask");
+        // The surviving stream is densely renumbered.
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, 1);
+        assert_eq!(t.emitted(), 2);
+    }
+
+    #[test]
+    fn mask_accepts_matches_schema() {
+        assert!(EventMask::ALL.accepts(&send(0, 1)));
+        assert!(!EventMask::OPS_PLANE.accepts(&send(0, 1)));
+        assert!(EventMask::OPS_PLANE.accepts(&TraceEvent::Stabilized { node: NodeId(0) }));
+        assert!(EventMask::FAULT
+            .union(EventMask::DROP)
+            .accepts(&TraceEvent::Fault {
+                kind: crate::event::FaultKind::Crash,
+                node: Some(NodeId(0)),
+                peer: None,
+            }));
+        assert!(!EventMask::FAULT.accepts(&TraceEvent::CycleEnd { index: 0 }));
+    }
+
+    #[test]
+    fn tracer_as_sink_forwards_through_its_own_mask() {
+        let (sink, buf) = MemorySink::new();
+        let ops = Tracer::new(2)
+            .with_mask(EventMask::OPS_PLANE)
+            .with_sink(sink);
+        // An upstream tracer (e.g. one chaos case) with the ops tracer
+        // attached as a sink: full stream upstream, filtered downstream.
+        let upstream = Tracer::new(2).with_sink(ops.clone());
+        upstream.emit(0, send(0, 1));
+        upstream.emit(1, TraceEvent::Stabilized { node: NodeId(0) });
+        assert_eq!(upstream.emitted(), 2);
+        assert_eq!(buf.len(), 1, "ops tracer's mask filters the tap");
+        assert_eq!(
+            buf.records()[0].event,
+            TraceEvent::Stabilized { node: NodeId(0) }
+        );
     }
 
     #[test]

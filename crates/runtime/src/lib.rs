@@ -503,6 +503,26 @@ pub struct NetStats {
     pub frames_rejected: u64,
 }
 
+impl NetStats {
+    /// The counters as a JSON object — one render path shared by the
+    /// ops-plane HTTP endpoint and the bench result emitters, so the
+    /// field names stay in lock-step everywhere the stats appear.
+    pub fn to_json(&self) -> sss_obs::JsonValue {
+        use sss_obs::JsonValue as J;
+        J::Obj(vec![
+            ("delivered".into(), J::UInt(self.delivered)),
+            ("coalesced".into(), J::UInt(self.coalesced)),
+            ("batches".into(), J::UInt(self.batches)),
+            ("rounds".into(), J::UInt(self.rounds)),
+            ("send_syscalls".into(), J::UInt(self.send_syscalls)),
+            ("recv_syscalls".into(), J::UInt(self.recv_syscalls)),
+            ("frames_sent".into(), J::UInt(self.frames_sent)),
+            ("frames_recv".into(), J::UInt(self.frames_recv)),
+            ("frames_rejected".into(), J::UInt(self.frames_rejected)),
+        ])
+    }
+}
+
 /// A running cluster of protocol nodes on real threads.
 pub struct Cluster<P: Protocol> {
     inboxes: Vec<Arc<NodeInbox<P::Msg>>>,

@@ -6,6 +6,7 @@ use crate::shard::{Request, Shard, ShardConfig, ShardStats};
 use crate::{Ring, ServiceError, ServiceResult};
 use crossbeam::channel::{bounded, Receiver};
 use sss_net::FaultPlan;
+use sss_obs::{ShardGauge, Tracer};
 use sss_runtime::Unavailable;
 use sss_sim::LatencySummary;
 use sss_types::{NodeId, Protocol, Value};
@@ -71,11 +72,29 @@ impl<P: Protocol + 'static> Service<P> {
     /// [`sss_runtime::Cluster`] and batcher thread). `mk` builds the
     /// protocol instance for `(shard, node)` — e.g.
     /// `|_, id| Alg1::new(id, nodes)`.
-    pub fn start(cfg: ServiceConfig, mut mk: impl FnMut(usize, NodeId) -> P) -> Service<P> {
+    pub fn start(cfg: ServiceConfig, mk: impl FnMut(usize, NodeId) -> P) -> Service<P> {
+        Self::start_traced(cfg, |_| Tracer::off(), mk)
+    }
+
+    /// [`Service::start`] with the trace plane attached: `tracer_for`
+    /// picks the [`Tracer`] each shard's cluster emits through (node ids
+    /// in the events are group-local, `0..nodes`). A monitor typically
+    /// traces one shard of interest and hands the rest [`Tracer::off`];
+    /// handing every shard the same tracer works but interleaves
+    /// same-numbered nodes from different groups into one stream.
+    pub fn start_traced(
+        cfg: ServiceConfig,
+        mut tracer_for: impl FnMut(usize) -> Tracer,
+        mut mk: impl FnMut(usize, NodeId) -> P,
+    ) -> Service<P> {
         assert!(cfg.shards > 0, "a service needs at least one shard");
         let ring = Ring::new(cfg.shards, cfg.vnodes, cfg.seed);
         let shards = (0..cfg.shards)
-            .map(|s| Shard::start(s, cfg.shard.clone(), cfg.seed, |id| mk(s, id)))
+            .map(|s| {
+                Shard::start_traced(s, cfg.shard.clone(), cfg.seed, tracer_for(s), |id| {
+                    mk(s, id)
+                })
+            })
             .collect();
         Service { ring, shards }
     }
@@ -163,6 +182,12 @@ impl<P: Protocol + 'static> Service<P> {
         self.shards.iter().map(|s| s.stats()).collect()
     }
 
+    /// Every shard's live gauges in the ops-plane's shape — what a
+    /// monitor pushes into `ClusterMetrics::set_shards` each refresh.
+    pub fn gauges(&self) -> Vec<ShardGauge> {
+        self.shards.iter().map(|s| s.stats().gauge()).collect()
+    }
+
     /// Cross-shard aggregate latency: the per-shard summaries merged
     /// via [`LatencySummary::merge`] (exact counts and mean,
     /// bucket-resolution percentiles).
@@ -189,5 +214,68 @@ impl<P: Protocol + 'static> Service<P> {
         for shard in &mut self.shards {
             shard.shutdown();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_core::Alg1;
+
+    /// The S1 gauges: a burst queued before the first flush is visible
+    /// as queue depth, and the flush collapses it to far fewer protocol
+    /// operations than requests.
+    #[test]
+    fn gauges_expose_queue_depth_and_group_commit_collapse() {
+        let mut cfg = ServiceConfig {
+            shards: 1,
+            vnodes: 8,
+            seed: 0xD00D,
+            shard: ShardConfig::default(),
+        };
+        // A long first flush window so the whole burst is parked — and
+        // measurable — before any protocol operation is issued.
+        cfg.shard.flush_interval = Duration::from_millis(250);
+        let n = cfg.shard.nodes;
+        let svc = Service::start(cfg, move |_, id| Alg1::new(id, n));
+
+        let mut tickets = Vec::new();
+        for key in 0..64u64 {
+            tickets.push(svc.write(key, key + 1).unwrap());
+        }
+        tickets.push(svc.snapshot(0).unwrap());
+        let parked = svc.gauges()[0].clone();
+
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = svc.shard_stats(0);
+        assert!(
+            parked.queue_depth > 0,
+            "burst invisible: depth {}",
+            parked.queue_depth
+        );
+        assert_eq!(stats.accepted, 65);
+        assert_eq!(stats.absorbed, 65, "every request flows through a flush");
+        assert!(
+            stats.protocol_ops >= 1 && stats.protocol_ops <= n as u64 + 1,
+            "one flush issues at most nodes+1 ops, issued {}",
+            stats.protocol_ops
+        );
+        assert!(
+            stats.collapse_factor() > 10.0,
+            "65 requests over ≤{} ops must collapse hard, got {:.1}",
+            n + 1,
+            stats.collapse_factor()
+        );
+        assert_eq!(stats.queue_depth, 0, "drained after the flush");
+        assert!(!stats.down);
+
+        // The gauge conversion carries the same numbers.
+        let g = stats.gauge();
+        assert_eq!(g.absorbed, stats.absorbed);
+        assert_eq!(g.protocol_ops, stats.protocol_ops);
+        assert_eq!(g.collapse_factor(), stats.collapse_factor());
+        svc.shutdown();
     }
 }

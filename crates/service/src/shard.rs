@@ -38,6 +38,7 @@
 use crate::{ServiceError, ServiceReply, ServiceResult};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sss_net::{mix64, FaultPlan};
+use sss_obs::{ShardGauge, Tracer};
 use sss_runtime::{Client, Cluster, ClusterConfig, SubmitError};
 use sss_sim::LatencySummary;
 use sss_types::{NodeId, OpResponse, Protocol, SnapshotOp, Value};
@@ -145,6 +146,18 @@ pub struct ShardStats {
     /// Admission rejections due to the down flag (fail-fast while the
     /// group cannot reach a majority).
     pub unavailable: u64,
+    /// Requests sitting in the admission queue at the instant of this
+    /// snapshot (a live gauge, not a cumulative counter).
+    pub queue_depth: u64,
+    /// Requests absorbed by group-commit flushes since start (every
+    /// drained request counts, whatever its eventual outcome).
+    pub absorbed: u64,
+    /// Protocol operations the flushes actually issued: at most
+    /// `nodes + 1` per flush, however many requests it absorbed.
+    pub protocol_ops: u64,
+    /// Whether the shard's batcher currently considers its group
+    /// quorum-less.
+    pub down: bool,
     /// End-to-end (admission → completion) latency of successful
     /// requests, in microseconds.
     pub latency: LatencySummary,
@@ -155,6 +168,35 @@ impl ShardStats {
     pub fn pending(&self) -> u64 {
         self.accepted - self.completed - self.failed
     }
+
+    /// Group-commit collapse: requests absorbed per protocol operation
+    /// issued (`1.0` before any flush). The batcher's whole point is
+    /// keeping this well above 1 under load.
+    pub fn collapse_factor(&self) -> f64 {
+        if self.protocol_ops == 0 {
+            1.0
+        } else {
+            self.absorbed as f64 / self.protocol_ops as f64
+        }
+    }
+
+    /// This snapshot as the ops-plane's [`ShardGauge`] — the shape the
+    /// dashboard's shard panel and the `/shards` endpoint consume.
+    pub fn gauge(&self) -> ShardGauge {
+        ShardGauge {
+            shard: self.shard,
+            queue_depth: self.queue_depth,
+            accepted: self.accepted,
+            completed: self.completed,
+            failed: self.failed,
+            overloaded: self.overloaded,
+            unavailable: self.unavailable,
+            absorbed: self.absorbed,
+            protocol_ops: self.protocol_ops,
+            down: self.down,
+            latency: self.latency,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -164,6 +206,8 @@ struct StatsInner {
     failed: AtomicU64,
     overloaded: AtomicU64,
     unavailable: AtomicU64,
+    absorbed: AtomicU64,
+    protocol_ops: AtomicU64,
     samples: Mutex<Vec<u64>>,
 }
 
@@ -215,6 +259,11 @@ impl Queue {
         self.cv.notify_all();
     }
 
+    /// Requests currently parked (the dashboard's queue-depth gauge).
+    fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").buf.len()
+    }
+
     /// Sleeps until `deadline` (or until closed), then drains up to
     /// `max` requests. Returns the batch and whether the queue is
     /// closed *and* empty (the batcher's exit condition).
@@ -247,12 +296,16 @@ pub(crate) struct Shard<P: Protocol> {
 }
 
 impl<P: Protocol + 'static> Shard<P> {
-    /// Boots the group and its batcher. `seed` is the *service* seed;
-    /// the shard derives its own cluster seed and routing stream.
-    pub(crate) fn start(
+    /// Boots the group and its batcher with the trace plane attached:
+    /// the shard's cluster emits through `tracer` (node ids are
+    /// group-local, `0..nodes`). `seed` is the *service* seed; the
+    /// shard derives its own cluster seed and routing stream. Pass
+    /// [`Tracer::off`] for an untraced shard.
+    pub(crate) fn start_traced(
         id: usize,
         cfg: ShardConfig,
         seed: u64,
+        tracer: Tracer,
         mk: impl FnMut(NodeId) -> P,
     ) -> Shard<P> {
         let n = cfg.nodes;
@@ -260,7 +313,7 @@ impl<P: Protocol + 'static> Shard<P> {
         ccfg.round_interval = cfg.round_interval;
         ccfg.suspect_after = cfg.suspect_after;
         ccfg.seed = mix64(seed, id as u64);
-        let cluster = Arc::new(Cluster::new(ccfg, mk));
+        let cluster = Arc::new(Cluster::new_traced(ccfg, tracer, mk));
         let queue = Arc::new(Queue::new());
         let stats = Arc::new(StatsInner::default());
         let down = Arc::new(AtomicBool::new(false));
@@ -328,6 +381,10 @@ impl<P: Protocol + 'static> Shard<P> {
             failed: self.stats.failed.load(Ordering::Relaxed),
             overloaded: self.stats.overloaded.load(Ordering::Relaxed),
             unavailable: self.stats.unavailable.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            absorbed: self.stats.absorbed.load(Ordering::Relaxed),
+            protocol_ops: self.stats.protocol_ops.load(Ordering::Relaxed),
+            down: self.down.load(Ordering::Relaxed),
             latency: LatencySummary::from_samples(&samples),
         }
     }
@@ -418,6 +475,11 @@ impl<P: Protocol> Batcher<P> {
     /// operations, waits for them, and resolves every request.
     fn flush(&self, batch: Vec<Request>, contact: usize) {
         let n = self.cfg.nodes;
+        // Every drained request was absorbed by this group commit; the
+        // protocol-op counter below then measures the collapse.
+        self.stats
+            .absorbed
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         let mut write_groups: Vec<Vec<Request>> = (0..n).map(|_| Vec::new()).collect();
         let mut write_vals: Vec<Option<Value>> = vec![None; n];
         let mut snaps: Vec<Request> = Vec::new();
@@ -439,7 +501,10 @@ impl<P: Protocol> Batcher<P> {
             let group = std::mem::take(&mut write_groups[reg]);
             let (tx, rx) = bounded(1);
             match self.clients[reg].submit(SnapshotOp::Write(v), tx) {
-                Ok(_) => waits.push((rx, group)),
+                Ok(_) => {
+                    self.stats.protocol_ops.fetch_add(1, Ordering::Relaxed);
+                    waits.push((rx, group));
+                }
                 Err(SubmitError::Full) => {
                     self.fail(group, ServiceError::Overloaded { shard: self.shard })
                 }
@@ -449,7 +514,10 @@ impl<P: Protocol> Batcher<P> {
         if !snaps.is_empty() {
             let (tx, rx) = bounded(1);
             match self.clients[contact].submit(SnapshotOp::Snapshot, tx) {
-                Ok(_) => waits.push((rx, snaps)),
+                Ok(_) => {
+                    self.stats.protocol_ops.fetch_add(1, Ordering::Relaxed);
+                    waits.push((rx, snaps));
+                }
                 Err(SubmitError::Full) => {
                     self.fail(snaps, ServiceError::Overloaded { shard: self.shard })
                 }
