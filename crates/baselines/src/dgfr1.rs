@@ -362,6 +362,7 @@ impl Protocol for Dgfr1 {
         ProtocolStats {
             rounds: self.rounds,
             write_index: self.ts,
+            stale_epoch_dropped: 0,
             snapshot_index: self.ssn,
         }
     }

@@ -512,6 +512,7 @@ impl Protocol for Dgfr2 {
         ProtocolStats {
             rounds: self.rounds,
             write_index: self.ts,
+            stale_epoch_dropped: 0,
             snapshot_index: self.sns,
         }
     }

@@ -420,6 +420,7 @@ impl Protocol for Stacked {
         ProtocolStats {
             rounds: self.rounds,
             write_index: self.ts,
+            stale_epoch_dropped: 0,
             snapshot_index: self.next_qid,
         }
     }

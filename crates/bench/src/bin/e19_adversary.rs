@@ -1,0 +1,472 @@
+//! E19 — Adversary soak: §5's global reset against a lying network.
+//!
+//! The two adversarial strategies ([`StrategyKind::ADVERSARIAL`]) run
+//! `Bounded<Alg1>` on the deterministic simulator:
+//!
+//! * `counter-exhaustion` — every node's operation indices start next to
+//!   `MAXINT` (via `Bounded::seed_indices_for_test`), so the workload's
+//!   first writes trigger the global reset; the schedule races that
+//!   reset against oscillating partitions and coordinator crashes. This
+//!   is a *fault-only* plan: every §5 invariant must hold, and any break
+//!   is an oracle violation.
+//! * `byzantine-storm` — `1..=f` nodes lie on the wire (equivocation,
+//!   stale replay, index inflation) under crash/heal churn. The paper
+//!   promises nothing here, so the oracle reports which invariants
+//!   *survived* ([`sss_chaos::InvariantSurvival`]) instead of failing:
+//!   linearizability is judged on the honest sub-history only, broken
+//!   invariants are listed, never panicked on.
+//!
+//! Modes:
+//! * default — full soak: per-strategy table plus the invariant-survival
+//!   tally; exits 1 if any fault-only case produced a violation;
+//! * `--smoke` — CI gate: counter-exhaustion must fire ≥1 global reset
+//!   under an active partition plan with post-reset linearizability
+//!   verified on the honest sub-history, and a 1-equivocator
+//!   byzantine-storm must produce a non-empty survival report with
+//!   epoch monotonicity and the no-stale-epoch-leak invariant held.
+//!
+//! Flags:
+//! * `--n N` — cluster size (default 5);
+//! * `--seeds N` — seeds per strategy (default 4);
+//! * `--strategy NAME` — restrict to one adversarial strategy;
+//! * `--shrink-runs N` — re-execution budget when minimizing a scenario
+//!   for `--out` (default 150);
+//! * `--out DIR` — delta-debug each strategy's exemplar down to a
+//!   minimal schedule that still exhibits the adversarial property
+//!   (reset-under-partition, surviving-liar) and write it as a fixture
+//!   JSON, the format `tests/fixtures/chaos/adversary/` commits.
+//!
+//! Results append to `BENCH_adversary.json` at the repo root.
+
+use sss_chaos::{
+    run_case_sim, shrink, CaseOutcome, Fixture, OracleConfig, Scenario, StrategyKind,
+    INV_EPOCH_MONOTONICITY, INV_NO_STALE_EPOCH_LEAK, INV_POST_RESET_LINEARIZABILITY,
+    INV_RESET_TERMINATION,
+};
+use sss_core::{Alg1, Bounded, BoundedConfig};
+use sss_net::{ByzBehavior, FaultEvent};
+use sss_obs::TraceEvent;
+use sss_types::NodeId;
+
+const RESULT_PATH: &str = "BENCH_adversary.json";
+
+/// How far below `MAXINT` the seeded indices start: a handful of writes
+/// reaches the threshold, so the reset fires while the schedule's first
+/// partitions are still up.
+const SEED_MARGIN: u64 = 4;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{name} takes a value"))
+            .clone()
+    })
+}
+
+/// The protocol factory for one adversarial scenario: the bounded
+/// construction over Alg 1, indices seeded next to `MAXINT` when the
+/// strategy calls for it.
+fn mk_bounded(n: usize, seed_counters: bool) -> impl Fn(NodeId) -> Bounded<Alg1> {
+    move |id| {
+        let cfg = BoundedConfig::default();
+        let mut p = Bounded::new(Alg1::new(id, n), cfg);
+        if seed_counters {
+            p.seed_indices_for_test(cfg.max_int - SEED_MARGIN);
+        }
+        p
+    }
+}
+
+/// The non-honest Byzantine activations in a plan (the quiesce suffix's
+/// return-to-honesty events are not lies).
+fn liars(sc: &Scenario) -> Vec<(NodeId, ByzBehavior)> {
+    sc.plan
+        .events()
+        .iter()
+        .filter_map(|(_, ev)| match ev {
+            FaultEvent::Byzantine { node, behavior }
+                if !matches!(behavior, ByzBehavior::Honest) =>
+            {
+                Some((*node, *behavior))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn has_partition(sc: &Scenario) -> bool {
+    sc.plan
+        .events()
+        .iter()
+        .any(|(_, ev)| matches!(ev, FaultEvent::Partition(_)))
+}
+
+/// Did a node change epoch *while a partition was active* — i.e. did
+/// the reset actually race the cut rather than finishing before it?
+fn reset_during_partition(sc: &Scenario, outcome: &CaseOutcome) -> bool {
+    let mut intervals: Vec<(u64, u64)> = Vec::new();
+    let mut open: Option<u64> = None;
+    for (t, ev) in sc.plan.events() {
+        match ev {
+            FaultEvent::Partition(_) => open = open.or(Some(*t)),
+            FaultEvent::Heal => {
+                if let Some(s) = open.take() {
+                    intervals.push((s, *t));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = open {
+        intervals.push((s, u64::MAX));
+    }
+    outcome.records.iter().any(|r| {
+        matches!(r.event, TraceEvent::EpochChange { .. })
+            && intervals.iter().any(|&(a, b)| r.at >= a && r.at < b)
+    })
+}
+
+/// Did the run fire at least one global reset?
+fn reset_fired(outcome: &CaseOutcome) -> bool {
+    outcome.report.probes.iter().any(|p| p.epoch >= 1)
+}
+
+fn held(outcome: &CaseOutcome, invariant: &str) -> bool {
+    outcome
+        .oracle
+        .survival
+        .as_ref()
+        .is_some_and(|s| s.held.contains(&invariant))
+}
+
+/// One judged case with everything the acceptance checks look at.
+struct Case {
+    scenario: Scenario,
+    outcome: CaseOutcome,
+}
+
+fn run_one(strategy: StrategyKind, n: usize, seed: u64, oracle_cfg: &OracleConfig) -> Case {
+    let scenario = strategy.scenario(n, seed);
+    let outcome = run_case_sim(
+        &scenario,
+        mk_bounded(n, strategy.seeds_counters()),
+        oracle_cfg,
+    );
+    Case { scenario, outcome }
+}
+
+/// Finds a byzantine-storm seed fielding exactly one liar whose script
+/// is equivocation — the ISSUE's named acceptance case. Generation is
+/// pure, so the scan is cheap (no simulation until the seed is found).
+fn single_equivocator_seed(n: usize) -> Option<u64> {
+    (0..512).find(|&seed| {
+        let sc = StrategyKind::ByzantineStorm.scenario(n, seed);
+        matches!(liars(&sc).as_slice(), [(_, ByzBehavior::Equivocate)])
+    })
+}
+
+/// Minimizes `sc` down to the smallest schedule that still satisfies
+/// `interesting` — the shrinker's "still fails" hook repurposed: the
+/// property being preserved is the adversarial behaviour itself
+/// (reset-under-partition, surviving-liar), not an oracle violation.
+fn shrink_interesting(
+    sc: &Scenario,
+    n: usize,
+    seed_counters: bool,
+    oracle_cfg: &OracleConfig,
+    budget: usize,
+    interesting: impl Fn(&Scenario, &CaseOutcome) -> bool,
+) -> sss_chaos::ShrinkOutcome {
+    let mk = mk_bounded(n, seed_counters);
+    shrink(sc.n, &sc.plan, budget, |candidate| {
+        let trial = sc.with_plan(candidate.clone());
+        let outcome = run_case_sim(&trial, &mk, oracle_cfg);
+        interesting(&trial, &outcome)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let n: usize = flag_value("--n").map_or(5, |v| v.parse().expect("--n takes an integer"));
+    let seeds: u64 =
+        flag_value("--seeds").map_or(4, |v| v.parse().expect("--seeds takes an integer"));
+    let strategies: Vec<StrategyKind> =
+        match flag_value("--strategy") {
+            None => StrategyKind::ADVERSARIAL.to_vec(),
+            Some(name) => vec![StrategyKind::from_name(&name)
+                .unwrap_or_else(|| panic!("unknown strategy '{name}'"))],
+        };
+    let shrink_runs: usize = flag_value("--shrink-runs")
+        .map_or(150, |v| v.parse().expect("--shrink-runs takes an integer"));
+    let out_dir = flag_value("--out");
+    let oracle_cfg = OracleConfig::default();
+
+    println!(
+        "E19: adversary soak — {} strategies × {seeds} seeds, n = {n}, backend = sim\n",
+        strategies.len()
+    );
+
+    let mut table = sss_bench::Table::new(&[
+        "strategy",
+        "cases",
+        "completed",
+        "aborted",
+        "resets",
+        "stale drops",
+        "audits",
+        "inv broken",
+        "violations",
+    ]);
+    let mut rows: Vec<String> = Vec::new();
+    let mut violations_total = 0usize;
+    let mut cases: Vec<Case> = Vec::new();
+    for &strategy in &strategies {
+        let (mut completed, mut aborted, mut resets, mut stale, mut audits) =
+            (0u64, 0u64, 0usize, 0u64, 0usize);
+        let (mut broken, mut violations) = (0usize, 0usize);
+        for seed in 0..seeds {
+            let case = run_one(strategy, n, seed, &oracle_cfg);
+            completed += case.outcome.report.stats.ops_completed;
+            aborted += case
+                .outcome
+                .report
+                .history
+                .records()
+                .iter()
+                .filter(|r| r.aborted)
+                .count() as u64;
+            resets += usize::from(reset_fired(&case.outcome));
+            stale += case
+                .outcome
+                .report
+                .probes
+                .iter()
+                .map(|p| p.stale_epoch_dropped)
+                .sum::<u64>();
+            if let Some(s) = &case.outcome.oracle.survival {
+                audits += 1;
+                broken += s.broken.len();
+            }
+            violations += case.outcome.oracle.violations.len();
+            cases.push(case);
+        }
+        violations_total += violations;
+        table.row(vec![
+            strategy.name().to_string(),
+            seeds.to_string(),
+            completed.to_string(),
+            aborted.to_string(),
+            resets.to_string(),
+            stale.to_string(),
+            audits.to_string(),
+            broken.to_string(),
+            violations.to_string(),
+        ]);
+        rows.push(sss_bench::jsonio::object(&[
+            ("strategy", format!("\"{}\"", strategy.name())),
+            ("cases", seeds.to_string()),
+            ("ops_completed", completed.to_string()),
+            ("ops_aborted", aborted.to_string()),
+            ("resets_fired", resets.to_string()),
+            ("stale_epoch_dropped", stale.to_string()),
+            ("survival_audits", audits.to_string()),
+            ("invariants_broken", broken.to_string()),
+            ("violations", violations.to_string()),
+        ]));
+    }
+    table.print();
+
+    // The invariant-survival tally: for each audited invariant, how many
+    // cases held it versus broke it (broken entries on Byzantine plans
+    // are observations, not failures).
+    println!();
+    let mut survival_table = sss_bench::Table::new(&["invariant", "held", "broken"]);
+    for inv in [
+        INV_EPOCH_MONOTONICITY,
+        INV_NO_STALE_EPOCH_LEAK,
+        INV_RESET_TERMINATION,
+        INV_POST_RESET_LINEARIZABILITY,
+    ] {
+        let held_n = cases.iter().filter(|c| held(&c.outcome, inv)).count();
+        let broken_n = cases
+            .iter()
+            .filter(|c| {
+                c.outcome
+                    .oracle
+                    .survival
+                    .as_ref()
+                    .is_some_and(|s| s.broken.iter().any(|(b, _)| *b == inv))
+            })
+            .count();
+        survival_table.row(vec![
+            inv.to_string(),
+            held_n.to_string(),
+            broken_n.to_string(),
+        ]);
+    }
+    survival_table.print();
+
+    for case in &cases {
+        let survival = match &case.outcome.oracle.survival {
+            Some(s) if !s.broken.is_empty() => s,
+            _ => continue,
+        };
+        println!();
+        println!("OBSERVED [{}]:", case.scenario.label());
+        for (inv, detail) in &survival.broken {
+            println!("  - {inv}: {detail}");
+        }
+    }
+    for case in &cases {
+        for v in &case.outcome.oracle.violations {
+            println!();
+            println!("VIOLATION [{}]: {v}", case.scenario.label());
+        }
+    }
+
+    // --smoke: the acceptance gate. Counter-exhaustion must show the
+    // reset winning against an active partition schedule; a single
+    // equivocator must leave the cluster's honest core intact.
+    let mut smoke_ok = true;
+    if smoke {
+        let reset_case = cases.iter().find(|c| {
+            c.scenario.strategy == StrategyKind::CounterExhaustion
+                && has_partition(&c.scenario)
+                && reset_fired(&c.outcome)
+                && reset_during_partition(&c.scenario, &c.outcome)
+                && held(&c.outcome, INV_POST_RESET_LINEARIZABILITY)
+                && c.outcome.oracle.ok()
+        });
+        println!();
+        match reset_case {
+            Some(c) => {
+                let max_epoch = c
+                    .outcome
+                    .report
+                    .probes
+                    .iter()
+                    .map(|p| p.epoch)
+                    .max()
+                    .unwrap_or(0);
+                println!(
+                    "smoke: counter-exhaustion {} fired a global reset (epoch {max_epoch}) \
+                         under partitions; post-reset linearizability held",
+                    c.scenario.label()
+                );
+            }
+            None => {
+                println!(
+                    "smoke FAIL: no counter-exhaustion case fired a reset under partitions \
+                         with post-reset linearizability held"
+                );
+                smoke_ok = false;
+            }
+        }
+        let eq_seed = single_equivocator_seed(n)
+            .expect("a single-equivocator byzantine-storm seed within the scan range");
+        let eq = run_one(StrategyKind::ByzantineStorm, n, eq_seed, &oracle_cfg);
+        let survival = eq.outcome.oracle.survival.as_ref();
+        let nonempty = survival.is_some_and(|s| !s.held.is_empty() || !s.broken.is_empty());
+        let core_held =
+            held(&eq.outcome, INV_EPOCH_MONOTONICITY) && held(&eq.outcome, INV_NO_STALE_EPOCH_LEAK);
+        if nonempty && core_held {
+            let s = survival.expect("nonempty implies present");
+            println!(
+                "smoke: byzantine-storm/s{eq_seed} (1 equivocator) survival report: \
+                     {} held, {} broken",
+                s.held.len(),
+                s.broken.len()
+            );
+            for (inv, detail) in &s.broken {
+                println!("  - broke {inv}: {detail}");
+            }
+        } else {
+            println!(
+                "smoke FAIL: 1-equivocator byzantine-storm must hold epoch monotonicity and \
+                     the stale-epoch envelope (survival: {survival:?})"
+            );
+            smoke_ok = false;
+        }
+    }
+
+    // --out: minimize each strategy's exemplar and write it as a
+    // committable fixture.
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out dir");
+        if let Some(c) = cases.iter().find(|c| {
+            c.scenario.strategy == StrategyKind::CounterExhaustion
+                && reset_fired(&c.outcome)
+                && c.outcome.oracle.ok()
+        }) {
+            let shrunk = shrink_interesting(
+                &c.scenario,
+                n,
+                true,
+                &oracle_cfg,
+                shrink_runs,
+                |trial, outcome| {
+                    reset_fired(outcome)
+                        && reset_during_partition(trial, outcome)
+                        && outcome.oracle.ok()
+                },
+            );
+            let sc = c.scenario.with_plan(shrunk.plan.clone());
+            let name = format!("counter-exhaustion-s{}-reset-under-partition", sc.seed);
+            let fx = Fixture::capture(&name, "sim", &sc, vec![]);
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, fx.to_json()).expect("write fixture");
+            println!(
+                "fixture -> {path} (shrunk {} -> {} events in {} runs)",
+                shrunk.from_events, shrunk.to_events, shrunk.runs
+            );
+        }
+        if let Some(eq_seed) = single_equivocator_seed(n) {
+            let eq = run_one(StrategyKind::ByzantineStorm, n, eq_seed, &oracle_cfg);
+            let shrunk = shrink_interesting(
+                &eq.scenario,
+                n,
+                false,
+                &oracle_cfg,
+                shrink_runs,
+                |trial, outcome| {
+                    !liars(trial).is_empty()
+                        && held(outcome, INV_EPOCH_MONOTONICITY)
+                        && held(outcome, INV_NO_STALE_EPOCH_LEAK)
+                },
+            );
+            let sc = eq.scenario.with_plan(shrunk.plan.clone());
+            let name = format!("byzantine-storm-s{}-single-equivocator", sc.seed);
+            let fx = Fixture::capture(&name, "sim", &sc, vec![]);
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, fx.to_json()).expect("write fixture");
+            println!(
+                "fixture -> {path} (shrunk {} -> {} events in {} runs)",
+                shrunk.from_events, shrunk.to_events, shrunk.runs
+            );
+        }
+    }
+
+    let doc = sss_bench::jsonio::document(
+        "e19_adversary",
+        "adversarial chaos soak (sim)",
+        &[("rows", sss_bench::jsonio::array(&rows))],
+    );
+    std::fs::write(RESULT_PATH, doc).expect("write results json");
+    println!();
+    println!("results -> {RESULT_PATH}");
+
+    if violations_total > 0 {
+        println!("adversary soak: {violations_total} violation(s) — see above");
+        std::process::exit(1);
+    }
+    if smoke {
+        if !smoke_ok {
+            std::process::exit(1);
+        }
+        println!("smoke: OK");
+    } else {
+        println!("adversary soak: clean (fault-only invariants all held)");
+    }
+}

@@ -538,10 +538,7 @@ pub mod jsonio {
         if rows.is_empty() {
             return "[\n  ]".into();
         }
-        format!(
-            "[\n    {}\n  ]",
-            rows.to_vec().join(",\n    ")
-        )
+        format!("[\n    {}\n  ]", rows.to_vec().join(",\n    "))
     }
 
     /// Renders one row object from `(key, value-literal)` pairs. Values

@@ -25,7 +25,14 @@
 //!   time compaction, re-validated and re-verified at every step;
 //! * [`Fixture`] — shrunk reproducers serialize as committable,
 //!   human-readable JSON that replays deterministically
-//!   (`tests/fixtures/chaos/`).
+//!   (`tests/fixtures/chaos/`);
+//! * the **adversary plane** — [`StrategyKind::ADVERSARIAL`] races §5's
+//!   global reset against wraparound seeding (`counter-exhaustion`) and
+//!   fields `1..=f` lying nodes (`byzantine-storm`); the oracle then
+//!   judges linearizability on the honest sub-history only and audits
+//!   which reset-plane invariants held in an [`InvariantSurvival`]
+//!   report (broken entries are listed, never panicked on, and only
+//!   escalate to violations on fault-only plans).
 //!
 //! The engine ([`run_campaign`]) sweeps strategies × seeds across both
 //! execution backends — the deterministic simulator and the threaded
@@ -46,6 +53,10 @@ pub use engine::{
     Finding,
 };
 pub use fixture::Fixture;
-pub use oracle::{judge, ChaosViolation, OracleConfig, OracleReport};
+pub use oracle::{
+    byzantine_nodes, judge, ChaosViolation, InvariantSurvival, OracleConfig, OracleReport,
+    INV_EPOCH_MONOTONICITY, INV_NO_STALE_EPOCH_LEAK, INV_POST_RESET_LINEARIZABILITY,
+    INV_RESET_TERMINATION,
+};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use strategy::{Scenario, StrategyKind};

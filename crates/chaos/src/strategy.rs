@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sss_net::{FaultEvent, FaultPlan, LinkConfig, ModelTime, WorkloadSpec};
+use sss_net::{ByzBehavior, FaultEvent, FaultPlan, LinkConfig, ModelTime, WorkloadSpec};
 use sss_types::NodeId;
 
 /// The adversary strategies the chaos engine can draw scenarios from.
@@ -26,16 +26,36 @@ pub enum StrategyKind {
     /// the cluster keeps operating, then let its stale traffic flood
     /// back in.
     WriterEclipse,
+    /// Start the bounded construction's counters next to `MAXINT` (the
+    /// runner seeds them via `Bounded::seed_indices_for_test`) so the
+    /// first writes trigger §5's global reset, then race that reset
+    /// against partition-oscillator cuts and coordinator crashes.
+    CounterExhaustion,
+    /// Turn `1..=f` nodes Byzantine (equivocation, stale replay, index
+    /// inflation) while crash/heal churn runs underneath — the
+    /// lying-network soak behind the [`crate::InvariantSurvival`]
+    /// report.
+    ByzantineStorm,
 }
 
 impl StrategyKind {
-    /// Every strategy, in a stable order (`e16_chaos_soak` sweeps this).
+    /// The fault-only strategies, in a stable order (`e16_chaos_soak`
+    /// sweeps this; the adversarial pair lives in
+    /// [`StrategyKind::ADVERSARIAL`] so existing campaigns keep their
+    /// case counts).
     pub const ALL: [StrategyKind; 5] = [
         StrategyKind::UniformRandom,
         StrategyKind::QuorumCrasher,
         StrategyKind::PartitionOscillator,
         StrategyKind::CorruptionStorm,
         StrategyKind::WriterEclipse,
+    ];
+
+    /// The adversarial strategies `e19_adversary` sweeps: wraparound
+    /// exhaustion and the Byzantine storm.
+    pub const ADVERSARIAL: [StrategyKind; 2] = [
+        StrategyKind::CounterExhaustion,
+        StrategyKind::ByzantineStorm,
     ];
 
     /// A stable kebab-case name for CLI flags and fixtures.
@@ -46,12 +66,24 @@ impl StrategyKind {
             StrategyKind::PartitionOscillator => "partition-oscillator",
             StrategyKind::CorruptionStorm => "corruption-storm",
             StrategyKind::WriterEclipse => "writer-eclipse",
+            StrategyKind::CounterExhaustion => "counter-exhaustion",
+            StrategyKind::ByzantineStorm => "byzantine-storm",
         }
     }
 
     /// The inverse of [`StrategyKind::name`].
     pub fn from_name(name: &str) -> Option<StrategyKind> {
-        StrategyKind::ALL.into_iter().find(|s| s.name() == name)
+        StrategyKind::ALL
+            .into_iter()
+            .chain(StrategyKind::ADVERSARIAL)
+            .find(|s| s.name() == name)
+    }
+
+    /// Whether the runner should seed the protocol's operation indices
+    /// next to `MAXINT` before this scenario (the counter-exhaustion
+    /// contract: generation stays protocol-agnostic, the harness seeds).
+    pub fn seeds_counters(self) -> bool {
+        self == StrategyKind::CounterExhaustion
     }
 
     /// Generates the strategy's scenario for an `n`-node cluster from
@@ -71,8 +103,19 @@ impl StrategyKind {
             StrategyKind::PartitionOscillator => partition_oscillator(&mut g),
             StrategyKind::CorruptionStorm => corruption_storm(&mut g),
             StrategyKind::WriterEclipse => writer_eclipse(&mut g),
+            StrategyKind::CounterExhaustion => counter_exhaustion(&mut g),
+            StrategyKind::ByzantineStorm => byzantine_storm(&mut g),
         }
         g.quiesce();
+        if StrategyKind::ADVERSARIAL.contains(&self) {
+            // Keep the run alive past the quiesce point: the global
+            // reset races the healed network to termination (and a
+            // liar's inflated indices trigger resets of their own), and
+            // the oracle's reset-termination invariant needs the rounds
+            // to actually happen before the end-of-run probes sample.
+            g.hold(6_000);
+            g.push(FaultEvent::Heal);
+        }
         let plan = FaultPlan::with_events(mix(seed, 0xFA17), g.events);
         if let Err(e) = plan.validate(n) {
             panic!("strategy {} generated an invalid plan: {e}", self.name());
@@ -157,6 +200,7 @@ struct Gen {
     t: ModelTime,
     crashed: Vec<bool>,
     ever_crashed: Vec<bool>,
+    byzantine: Vec<bool>,
     events: Vec<(ModelTime, FaultEvent)>,
 }
 
@@ -168,6 +212,7 @@ impl Gen {
             t: 300,
             crashed: vec![false; n],
             ever_crashed: vec![false; n],
+            byzantine: vec![false; n],
             events: Vec::new(),
         }
     }
@@ -216,6 +261,11 @@ impl Gen {
         });
     }
 
+    fn make_byzantine(&mut self, node: NodeId, behavior: ByzBehavior) {
+        self.byzantine[node.index()] = !matches!(behavior, ByzBehavior::Honest);
+        self.push(FaultEvent::Byzantine { node, behavior });
+    }
+
     /// A random partition into `groups` non-empty groups covering every
     /// node (no node is left isolated-by-omission).
     fn random_partition(&mut self, groups: usize) -> FaultEvent {
@@ -237,11 +287,16 @@ impl Gen {
     }
 
     /// The quiesce suffix: restore every link, revive every crashed
-    /// node. After this the system must converge — which is exactly
-    /// what the stabilization oracle judges.
+    /// node, return every liar to honesty. After this the system must
+    /// converge — which is exactly what the stabilization oracle judges.
     fn quiesce(&mut self) {
         self.hold(400);
         self.push(FaultEvent::Heal);
+        for i in 0..self.n {
+            if self.byzantine[i] {
+                self.make_byzantine(NodeId(i), ByzBehavior::Honest);
+            }
+        }
         for i in 0..self.n {
             if self.crashed[i] {
                 self.revive(NodeId(i), false);
@@ -382,6 +437,86 @@ fn writer_eclipse(g: &mut Gen) {
     }
 }
 
+/// Race §5's global reset against a hostile network. The runner seeds
+/// every node's indices next to `MAXINT`, so the workload's first writes
+/// start the reset; this schedule then cuts the cluster into oscillating
+/// partitions and crashes the current reset coordinator (the lowest live
+/// id) mid-protocol, forcing the handoff rotation to finish the job.
+fn counter_exhaustion(g: &mut Gen) {
+    let swings = g.rng.gen_range(3..=4);
+    for swing in 0..swings {
+        let ev = g.random_partition(2);
+        g.push(ev);
+        if g.crashed_count() == 0 && g.rng.gen_bool(0.7) {
+            // The §5 reset coordinator is the lowest live id: crash it
+            // while the Sync/Install exchange is (likely) in flight.
+            let coordinator = g.live_nodes()[0];
+            g.crash(coordinator);
+        }
+        let span = g.rng.gen_range(600..=1_200);
+        g.hold(span);
+        g.push(FaultEvent::Heal);
+        // Revive late — on the last swing the quiesce suffix does it —
+        // so the handoff deadline actually elapses under the outage.
+        if swing % 2 == 1 && g.crashed_count() > 0 {
+            let down: Vec<NodeId> = (0..g.n).filter(|&i| g.crashed[i]).map(NodeId).collect();
+            for node in down {
+                g.revive(node, false);
+            }
+        }
+        let span = g.rng.gen_range(300..=700);
+        g.hold(span);
+    }
+}
+
+/// `1..=f` nodes lie on the wire — equivocating, replaying stale
+/// captures, inflating operation indices to force spurious wraps —
+/// while crash/heal churn runs underneath. The oracle judges only the
+/// honest sub-history and reports which §5 invariants survived.
+fn byzantine_storm(g: &mut Gen) {
+    let f = ((g.n - 1) / 2).max(1);
+    let liars = g.rng.gen_range(1..=f);
+    let mut order: Vec<NodeId> = (0..g.n).map(NodeId).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, g.rng.gen_range(0..=i));
+    }
+    let behaviors = [
+        ByzBehavior::Equivocate,
+        ByzBehavior::ReplayStale,
+        ByzBehavior::InflateIndex,
+    ];
+    for &liar in order.iter().take(liars) {
+        let behavior = behaviors[g.rng.gen_range(0..behaviors.len())];
+        g.make_byzantine(liar, behavior);
+    }
+    let honest: Vec<NodeId> = order.iter().skip(liars).copied().collect();
+    let churns = g.rng.gen_range(2..=3);
+    for _ in 0..churns {
+        // Crash/heal churn concurrent with the lying: only honest nodes
+        // crash (a crashed liar is just a quieter liar).
+        if !honest.is_empty() && g.crashed_count() == 0 {
+            let victim = honest[g.rng.gen_range(0..honest.len())];
+            g.crash(victim);
+        }
+        if g.rng.gen_bool(0.5) {
+            let ev = g.random_partition(2);
+            g.push(ev);
+        }
+        let span = g.rng.gen_range(700..=1_400);
+        g.hold(span);
+        g.push(FaultEvent::Heal);
+        if g.crashed_count() > 0 {
+            let down: Vec<NodeId> = (0..g.n).filter(|&i| g.crashed[i]).map(NodeId).collect();
+            for node in down {
+                let restart = g.rng.gen_bool(0.3);
+                g.revive(node, restart);
+            }
+        }
+        let span = g.rng.gen_range(300..=800);
+        g.hold(span);
+    }
+}
+
 /// splitmix64-style mixer deriving independent sub-seeds.
 fn mix(seed: u64, salt: u64) -> u64 {
     let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -394,9 +529,15 @@ fn mix(seed: u64, salt: u64) -> u64 {
 mod tests {
     use super::*;
 
+    fn all_strategies() -> impl Iterator<Item = StrategyKind> {
+        StrategyKind::ALL
+            .into_iter()
+            .chain(StrategyKind::ADVERSARIAL)
+    }
+
     #[test]
     fn names_round_trip() {
-        for s in StrategyKind::ALL {
+        for s in all_strategies() {
             assert_eq!(StrategyKind::from_name(s.name()), Some(s));
         }
         assert_eq!(StrategyKind::from_name("no-such-strategy"), None);
@@ -404,7 +545,7 @@ mod tests {
 
     #[test]
     fn every_strategy_generates_valid_plans() {
-        for s in StrategyKind::ALL {
+        for s in all_strategies() {
             for n in [2, 3, 4, 5, 7] {
                 for seed in 0..20 {
                     let sc = s.scenario(n, seed);
@@ -431,7 +572,7 @@ mod tests {
 
     #[test]
     fn timestamps_strictly_increase() {
-        for s in StrategyKind::ALL {
+        for s in all_strategies() {
             let sc = s.scenario(5, 11);
             let times: Vec<_> = sc.plan.events().iter().map(|(t, _)| *t).collect();
             for w in times.windows(2) {
@@ -442,10 +583,11 @@ mod tests {
 
     #[test]
     fn plans_quiesce_with_no_crashed_nodes_and_healed_links() {
-        for s in StrategyKind::ALL {
+        for s in all_strategies() {
             for seed in 0..10 {
                 let sc = s.scenario(5, seed);
                 let mut crashed = [false; 5];
+                let mut byzantine = [false; 5];
                 let mut last_matrix_op_was_heal = true;
                 for (_, ev) in sc.plan.events() {
                     match ev {
@@ -458,11 +600,19 @@ mod tests {
                         }
                         FaultEvent::Heal => last_matrix_op_was_heal = true,
                         FaultEvent::Corrupt(_) => {}
+                        FaultEvent::Byzantine { node, behavior } => {
+                            byzantine[node.index()] = !matches!(behavior, ByzBehavior::Honest)
+                        }
                     }
                 }
                 assert!(
                     crashed.iter().all(|&c| !c),
                     "{} seed {seed} leaves crashed nodes",
+                    s.name()
+                );
+                assert!(
+                    byzantine.iter().all(|&b| !b),
+                    "{} seed {seed} leaves Byzantine nodes",
                     s.name()
                 );
                 assert!(
@@ -472,6 +622,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn byzantine_storm_fields_at_least_one_liar() {
+        for seed in 0..10 {
+            let sc = StrategyKind::ByzantineStorm.scenario(5, seed);
+            let liars = sc
+                .plan
+                .events()
+                .iter()
+                .filter(|(_, ev)| {
+                    matches!(
+                        ev,
+                        FaultEvent::Byzantine { behavior, .. }
+                            if !matches!(behavior, ByzBehavior::Honest)
+                    )
+                })
+                .count();
+            assert!(liars >= 1, "seed {seed} fields no liar");
+            let f = (5 - 1) / 2;
+            assert!(liars <= f, "seed {seed} fields {liars} liars (f={f})");
+        }
+        assert!(StrategyKind::CounterExhaustion.seeds_counters());
+        assert!(!StrategyKind::ByzantineStorm.seeds_counters());
     }
 
     #[test]

@@ -35,7 +35,13 @@
 //!
 //! Pending (unresponded) operations are treated as possibly-effective:
 //! a pending write may or may not be observed; it only generates the
-//! constraints that follow from its invocation time.
+//! constraints that follow from its invocation time. Operations aborted
+//! by §5's global reset get the same treatment — an abort means
+//! *outcome unknown*, not *did not happen*: the write may already have
+//! taken effect at some nodes when the reset discarded it, so a
+//! snapshot observing its value is legal and nothing is required to
+//! observe it. (Aborted snapshots returned no view and constrain
+//! nothing.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -151,9 +151,6 @@ impl Extracted {
         let mut next_index = vec![0u64; n];
         let mut by_value: HashMap<(usize, Value), u64> = HashMap::new();
         for rec in history.records() {
-            if rec.aborted {
-                continue;
-            }
             if let SnapshotOp::Write(v) = rec.op {
                 let k = rec.node.index();
                 next_index[k] += 1;
@@ -167,7 +164,12 @@ impl Extracted {
                     writer: rec.node,
                     index,
                     invoked_at: rec.invoked_at,
-                    completed_at: rec.completed_at,
+                    // A write aborted by §5's global reset has *unknown*
+                    // outcome — it may already have taken effect at some
+                    // nodes when the reset discarded it. Model it like a
+                    // pending write: possibly-effective, constraining
+                    // only through its invocation time.
+                    completed_at: if rec.aborted { None } else { rec.completed_at },
                 });
             }
         }
@@ -273,11 +275,28 @@ mod tests {
     }
 
     #[test]
-    fn aborted_ops_are_excluded() {
+    fn aborted_writes_are_possibly_effective() {
+        // §5's reset aborts with unknown outcome: the write keeps its
+        // value binding (a snapshot may legitimately observe it) but no
+        // completion time (nothing is *required* to observe it).
         let mut h = History::new();
         h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Write(1), 0);
         h.record_abort(OpId(0), 2);
+        h.record_invoke(NodeId(0), OpId(1), SnapshotOp::Snapshot, 3);
+        h.record_complete(OpId(1), OpResponse::Snapshot(view(&[(0, 1, 1)], 1)), 5);
         let m = Extracted::from_history(&h, 1);
-        assert!(m.writes.is_empty());
+        assert_eq!(m.writes.len(), 1);
+        assert!(m.writes[0].completed_at.is_none());
+        assert!(m.violations.is_empty(), "{:?}", m.violations);
+        assert_eq!(m.snaps[0].vec, vec![1]);
+    }
+
+    #[test]
+    fn aborted_snapshots_constrain_nothing() {
+        let mut h = History::new();
+        h.record_invoke(NodeId(0), OpId(0), SnapshotOp::Snapshot, 0);
+        h.record_abort(OpId(0), 2);
+        let m = Extracted::from_history(&h, 1);
+        assert!(m.snaps.is_empty());
     }
 }

@@ -139,6 +139,20 @@ pub struct RunStats {
     pub model_time: ModelTime,
 }
 
+/// End-of-run bounded-counter probes for one node. All-default for
+/// protocols without an epoch envelope (`epoch_probe() == None`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeProbe {
+    /// The node's global-reset epoch when the run ended.
+    pub epoch: u64,
+    /// Whether a global reset was still in progress at the end.
+    pub wrapping: bool,
+    /// Whether the node's local invariants held at the end.
+    pub invariants_ok: bool,
+    /// Inner messages the node's epoch envelope discarded over the run.
+    pub stale_epoch_dropped: u64,
+}
+
 /// What a backend returns for one scenario run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -148,6 +162,9 @@ pub struct RunReport {
     pub history: History,
     /// Outcome counters.
     pub stats: RunStats,
+    /// Per-node end-of-run probes, indexed by node id (empty when the
+    /// backend cannot sample final protocol state).
+    pub probes: Vec<NodeProbe>,
 }
 
 /// An execution model that can replay a fault plan under a workload.

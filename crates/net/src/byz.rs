@@ -1,0 +1,250 @@
+//! The Byzantine message-rewrite hook shared by every backend.
+//!
+//! A Byzantine node in this fault model is *compromised but scripted*: it
+//! still runs the protocol state machine, but everything it sends passes
+//! through a seeded per-destination rewrite driven by
+//! [`ByzBehavior`] — equivocation, stale replay, or index inflation. The
+//! hook sits on the **sender side**, after the protocol produced its
+//! effects and before the link model rules on delivery, which is the one
+//! place all three backends (simulator, threads, sockets) share: each
+//! drains `Effects::drain_sends` through [`ByzPlane::rewrite`] and
+//! forwards whatever comes back.
+//!
+//! Determinism: each `(node, behavior)` activation gets its own `StdRng`
+//! seeded from the plan seed via [`crate::mix64`], so the same plan
+//! replayed on any backend produces the same lies in the same order.
+
+use crate::mix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sss_types::{ByzBehavior, NodeId, ProtoMsg, INFLATED_INDEX};
+use std::collections::VecDeque;
+
+/// How many of its own outgoing messages a replaying node remembers.
+/// Old enough captures cross reset (epoch) boundaries in practice while
+/// keeping the ring bounded.
+const CAPTURE_RING: usize = 64;
+
+/// One node's active Byzantine mode: the scripted behaviour plus the
+/// seeded randomness and capture ring that drive it.
+#[derive(Debug)]
+pub struct ByzState<M> {
+    behavior: ByzBehavior,
+    rng: StdRng,
+    /// Ring of this node's own past outgoing messages (destination kept
+    /// so replays go where the original went — a lie that still parses).
+    captured: VecDeque<(NodeId, M)>,
+}
+
+impl<M: ProtoMsg> ByzState<M> {
+    /// A fresh state for `node` adopting `behavior`, seeded from the
+    /// plan seed (deterministic across backends).
+    pub fn new(node: NodeId, behavior: ByzBehavior, plan_seed: u64) -> Self {
+        ByzState {
+            behavior,
+            rng: StdRng::seed_from_u64(mix64(
+                plan_seed,
+                0xB12A_17E5_0000_0000u64.wrapping_add(node.index() as u64),
+            )),
+            captured: VecDeque::with_capacity(CAPTURE_RING),
+        }
+    }
+
+    /// The scripted behaviour.
+    pub fn behavior(&self) -> ByzBehavior {
+        self.behavior
+    }
+
+    /// Rewrites one outgoing message according to the scripted
+    /// behaviour. Returns the message to actually put on the wire (the
+    /// original if the behaviour has nothing to say about this kind).
+    pub fn rewrite(&mut self, to: NodeId, msg: M) -> M {
+        match self.behavior {
+            ByzBehavior::Honest => msg,
+            ByzBehavior::Equivocate => {
+                // Fresh perturbation per destination: receivers p_j and
+                // p_k get *different* values for the same logical update.
+                let _ = to;
+                msg.equivocate(&mut self.rng).unwrap_or(msg)
+            }
+            ByzBehavior::InflateIndex => msg.inflate_index(INFLATED_INDEX).unwrap_or(msg),
+            ByzBehavior::ReplayStale => {
+                // Capture everything; half the time, substitute the
+                // oldest capture for the fresh message — re-injecting
+                // pre-reset traffic across whatever epoch boundary has
+                // passed since.
+                if self.captured.len() == CAPTURE_RING {
+                    self.captured.pop_front();
+                }
+                self.captured.push_back((to, msg.clone()));
+                if self.rng.gen_bool(0.5) {
+                    if let Some((_, old)) = self.captured.front() {
+                        return old.clone();
+                    }
+                }
+                msg
+            }
+        }
+    }
+}
+
+/// The per-cluster Byzantine plane: which nodes are currently lying and
+/// how. Backends consult it on every outgoing message.
+#[derive(Debug)]
+pub struct ByzPlane<M> {
+    nodes: Vec<Option<ByzState<M>>>,
+    plan_seed: u64,
+    active: usize,
+}
+
+impl<M: ProtoMsg> ByzPlane<M> {
+    /// An all-honest plane for an `n`-node cluster.
+    pub fn new(n: usize, plan_seed: u64) -> Self {
+        ByzPlane {
+            nodes: (0..n).map(|_| None).collect(),
+            plan_seed,
+            active: 0,
+        }
+    }
+
+    /// Applies a `FaultEvent::Byzantine { node, behavior }`:
+    /// [`ByzBehavior::Honest`] clears the node's mode, anything else
+    /// (re-)arms it with a fresh seeded state.
+    pub fn set(&mut self, node: NodeId, behavior: ByzBehavior) {
+        let slot = &mut self.nodes[node.index()];
+        if behavior == ByzBehavior::Honest {
+            if slot.take().is_some() {
+                self.active -= 1;
+            }
+        } else {
+            if slot.is_none() {
+                self.active += 1;
+            }
+            *slot = Some(ByzState::new(node, behavior, self.plan_seed));
+        }
+    }
+
+    /// Whether `node` is currently Byzantine.
+    pub fn is_byzantine(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].is_some()
+    }
+
+    /// Whether any node is currently Byzantine (lets the hot path skip
+    /// the per-message check entirely in the common all-honest case).
+    pub fn any(&self) -> bool {
+        self.active > 0
+    }
+
+    /// Rewrites `from`'s outgoing `msg` to `to` if `from` is Byzantine;
+    /// passes it through untouched otherwise. Self-deliveries are never
+    /// rewritten — a node cannot lie to itself about its own state.
+    pub fn rewrite(&mut self, from: NodeId, to: NodeId, msg: M) -> M {
+        if from == to {
+            return msg;
+        }
+        match &mut self.nodes[from.index()] {
+            Some(state) => state.rewrite(to, msg),
+            None => msg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sss_types::{cell_bits, MsgKind};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Cell {
+        ts: u64,
+        val: u64,
+    }
+    impl ProtoMsg for Cell {
+        fn kind(&self) -> MsgKind {
+            MsgKind::Gossip
+        }
+        fn size_bits(&self, nu: u32) -> u64 {
+            64 + cell_bits(nu)
+        }
+        fn equivocate(&self, rng: &mut dyn rand::RngCore) -> Option<Self> {
+            Some(Cell {
+                ts: self.ts,
+                val: rng.next_u64(),
+            })
+        }
+        fn inflate_index(&self, floor: u64) -> Option<Self> {
+            Some(Cell {
+                ts: self.ts.max(floor),
+                val: self.val,
+            })
+        }
+    }
+
+    #[test]
+    fn honest_nodes_pass_through_untouched() {
+        let mut plane: ByzPlane<Cell> = ByzPlane::new(3, 7);
+        assert!(!plane.any());
+        let m = Cell { ts: 5, val: 10 };
+        assert_eq!(plane.rewrite(NodeId(0), NodeId(1), m.clone()), m);
+    }
+
+    #[test]
+    fn equivocation_gives_different_peers_different_values() {
+        let mut plane: ByzPlane<Cell> = ByzPlane::new(3, 7);
+        plane.set(NodeId(0), ByzBehavior::Equivocate);
+        assert!(plane.any() && plane.is_byzantine(NodeId(0)));
+        let m = Cell { ts: 5, val: 10 };
+        let to1 = plane.rewrite(NodeId(0), NodeId(1), m.clone());
+        let to2 = plane.rewrite(NodeId(0), NodeId(2), m.clone());
+        assert_eq!(to1.ts, m.ts, "equivocation perturbs values, not shape");
+        assert_ne!(to1.val, to2.val, "different peers hear different lies");
+        // Non-byzantine senders are unaffected.
+        assert_eq!(plane.rewrite(NodeId(1), NodeId(0), m.clone()), m);
+        // Self-delivery is never rewritten.
+        assert_eq!(plane.rewrite(NodeId(0), NodeId(0), m.clone()), m);
+    }
+
+    #[test]
+    fn inflation_jumps_indices_to_the_floor() {
+        let mut plane: ByzPlane<Cell> = ByzPlane::new(2, 7);
+        plane.set(NodeId(0), ByzBehavior::InflateIndex);
+        let out = plane.rewrite(NodeId(0), NodeId(1), Cell { ts: 5, val: 10 });
+        assert_eq!(out.ts, INFLATED_INDEX);
+        assert_eq!(out.val, 10);
+    }
+
+    #[test]
+    fn replay_substitutes_stale_captures_deterministically() {
+        let run = |seed: u64| {
+            let mut plane: ByzPlane<Cell> = ByzPlane::new(2, seed);
+            plane.set(NodeId(0), ByzBehavior::ReplayStale);
+            (0..200)
+                .map(|i| {
+                    plane
+                        .rewrite(NodeId(0), NodeId(1), Cell { ts: i, val: i })
+                        .ts
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same plan seed, same lies");
+        assert!(
+            a.iter().enumerate().any(|(i, ts)| *ts != i as u64),
+            "some messages must be stale replays"
+        );
+        assert!(
+            a.iter().enumerate().any(|(i, ts)| *ts == i as u64),
+            "some messages still go out fresh"
+        );
+    }
+
+    #[test]
+    fn honest_event_clears_the_mode() {
+        let mut plane: ByzPlane<Cell> = ByzPlane::new(2, 7);
+        plane.set(NodeId(1), ByzBehavior::InflateIndex);
+        plane.set(NodeId(1), ByzBehavior::Honest);
+        assert!(!plane.any());
+        let m = Cell { ts: 5, val: 10 };
+        assert_eq!(plane.rewrite(NodeId(1), NodeId(0), m.clone()), m);
+    }
+}

@@ -29,12 +29,17 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod byz;
 mod link;
 mod plan;
 
-pub use backend::{unique_value, Backend, BatchPolicy, RunReport, RunStats, WorkloadSpec};
+pub use backend::{
+    unique_value, Backend, BatchPolicy, NodeProbe, RunReport, RunStats, WorkloadSpec,
+};
+pub use byz::{ByzPlane, ByzState};
 pub use link::{cut_matrix, DropReason, LinkConfig, LinkModel, LinkVerdict};
 pub use plan::{FaultEvent, FaultPlan, PlanError};
+pub use sss_types::ByzBehavior;
 
 /// SplitMix64-style seed mixing: derives an independent, well-distributed
 /// sub-seed from `(seed, salt)`. This is the one hash every seeded

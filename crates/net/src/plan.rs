@@ -4,7 +4,7 @@ use crate::ModelTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sss_obs::JsonValue;
-use sss_types::NodeId;
+use sss_types::{ByzBehavior, NodeId};
 
 /// One fault event in a [`FaultPlan`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,6 +34,17 @@ pub enum FaultEvent {
         to: NodeId,
         /// `true` restores the link, `false` cuts it.
         up: bool,
+    },
+    /// Turn a node Byzantine (or honest again with
+    /// [`ByzBehavior::Honest`]): its outgoing messages pass through a
+    /// seeded per-link rewrite hook — equivocation, stale replay, or
+    /// index inflation — so all backends inherit the same adversary
+    /// unchanged.
+    Byzantine {
+        /// The lying node.
+        node: NodeId,
+        /// What kind of lies it tells.
+        behavior: ByzBehavior,
     },
 }
 
@@ -261,6 +272,15 @@ impl FaultPlan {
                 Some(*from),
                 Some(*to),
             ),
+            FaultEvent::Byzantine { node, behavior } => (
+                if *behavior == ByzBehavior::Honest {
+                    FaultKind::Honest
+                } else {
+                    FaultKind::Byzantine
+                },
+                Some(*node),
+                None,
+            ),
         };
         sss_obs::TraceEvent::Fault { kind, node, peer }
     }
@@ -403,6 +423,16 @@ impl FaultPlan {
                         return Err(PlanError::ConflictingLinkOps { at: *t });
                     }
                 }
+                FaultEvent::Byzantine { node, .. } => {
+                    node_ok(node, *t)?;
+                    if node_ops.contains(node) {
+                        return Err(PlanError::ConflictingNodeOps {
+                            node: *node,
+                            at: *t,
+                        });
+                    }
+                    node_ops.push(*node);
+                }
                 FaultEvent::SetLink { from, to, up } => {
                     node_ok(from, *t)?;
                     node_ok(to, *t)?;
@@ -508,6 +538,17 @@ impl FaultPlan {
                         .collect::<Result<Vec<_>, _>>()?;
                     FaultEvent::Partition(groups)
                 }
+                "byzantine" => {
+                    let name = item
+                        .get("behavior")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("byzantine: missing 'behavior'")?;
+                    FaultEvent::Byzantine {
+                        node: node("node")?,
+                        behavior: ByzBehavior::from_name(name)
+                            .ok_or_else(|| format!("byzantine: unknown behavior '{name}'"))?,
+                    }
+                }
                 other => return Err(format!("unknown event kind '{other}'")),
             };
             events.push((t, ev));
@@ -558,6 +599,11 @@ fn event_json(t: ModelTime, ev: &FaultEvent) -> String {
             "{{\"t\": {t}, \"kind\": \"set_link\", \"from\": {}, \"to\": {}, \"up\": {up}}}",
             from.index(),
             to.index()
+        ),
+        FaultEvent::Byzantine { node, behavior } => format!(
+            "{{\"t\": {t}, \"kind\": \"byzantine\", \"node\": {}, \"behavior\": \"{}\"}}",
+            node.index(),
+            behavior.name()
         ),
         FaultEvent::Partition(groups) => {
             let gs = groups
@@ -783,7 +829,21 @@ mod tests {
             )
             .at(500, FaultEvent::Heal)
             .at(600, FaultEvent::Restart(NodeId(1)))
-            .at(700, FaultEvent::Resume(NodeId(2)));
+            .at(700, FaultEvent::Resume(NodeId(2)))
+            .at(
+                800,
+                FaultEvent::Byzantine {
+                    node: NodeId(0),
+                    behavior: ByzBehavior::Equivocate,
+                },
+            )
+            .at(
+                900,
+                FaultEvent::Byzantine {
+                    node: NodeId(0),
+                    behavior: ByzBehavior::Honest,
+                },
+            );
         let text = plan.to_json();
         let back = FaultPlan::from_json(&text).expect("parse back");
         assert_eq!(back.seed(), plan.seed());

@@ -202,10 +202,11 @@ pub fn render(m: &ClusterMetrics, style: &DashStyle) -> String {
     f.mid("nodes");
     for i in 0..m.n() {
         let nm = m.node(i);
-        let health = match (nm.health, nm.tainted) {
-            (NodeHealth::Crashed, _) => f.paint("31;1", "DOWN "),
-            (NodeHealth::Up, true) => f.paint("33;1", "TAINT"),
-            (NodeHealth::Up, false) => f.paint("32", "up   "),
+        let health = match (nm.health, nm.byzantine_suspected, nm.tainted) {
+            (NodeHealth::Crashed, _, _) => f.paint("31;1", "DOWN "),
+            (NodeHealth::Up, true, _) => f.paint("35;1", "BYZ  "),
+            (NodeHealth::Up, false, true) => f.paint("33;1", "TAINT"),
+            (NodeHealth::Up, false, false) => f.paint("32", "up   "),
         };
         let reach = m.reachable(i);
         let quorum = if m.quorum_ok(i) {

@@ -56,6 +56,11 @@ pub enum FaultKind {
     LinkUp,
     /// One directed link cut.
     LinkDown,
+    /// Node turned Byzantine: its outgoing messages are now rewritten
+    /// (equivocation, stale replay, or index inflation).
+    Byzantine,
+    /// Node behaves honestly again (clears a `Byzantine` injection).
+    Honest,
 }
 
 impl FaultKind {
@@ -70,6 +75,8 @@ impl FaultKind {
             FaultKind::Heal => "heal",
             FaultKind::LinkUp => "link_up",
             FaultKind::LinkDown => "link_down",
+            FaultKind::Byzantine => "byzantine",
+            FaultKind::Honest => "honest",
         }
     }
 }
@@ -159,6 +166,19 @@ pub enum TraceEvent {
         /// The recovered node.
         node: NodeId,
     },
+    /// A bounded-counter probe changed at `node`: its global-reset epoch
+    /// advanced (a Section 5 reset installed) and/or its stale-epoch
+    /// discard counter grew (the epoch envelope rejected replays).
+    /// Emitted by drivers that poll `Protocol::epoch_probe` after each
+    /// step; never emitted for protocols without an epoch envelope.
+    EpochChange {
+        /// The node whose probe changed.
+        node: NodeId,
+        /// Its current global-reset epoch.
+        epoch: u64,
+        /// Its cumulative count of stale-epoch discards.
+        stale_dropped: u64,
+    },
     /// A node drained an inbox backlog and applied it as one protocol
     /// step (threaded runtime's batched message path). Makes batch sizes
     /// and coalescing rates observable per wakeup.
@@ -184,6 +204,7 @@ impl TraceEvent {
             | TraceEvent::OpComplete { node, .. }
             | TraceEvent::OpAbort { node, .. }
             | TraceEvent::BatchDrain { node, .. }
+            | TraceEvent::EpochChange { node, .. }
             | TraceEvent::Stabilized { node } => Some(*node),
             TraceEvent::Send { from, .. } | TraceEvent::Drop { from, .. } => Some(*from),
             TraceEvent::Deliver { to, .. } => Some(*to),

@@ -79,6 +79,16 @@ pub(crate) fn to_jsonl(rec: &TraceRecord) -> String {
             drained,
             coalesced
         ),
+        TraceEvent::EpochChange {
+            node,
+            epoch,
+            stale_dropped,
+        } => format!(
+            "\"ev\":\"epoch_change\",\"node\":{},\"epoch\":{},\"stale_dropped\":{}",
+            node.index(),
+            epoch,
+            stale_dropped
+        ),
     };
     format!("{head},{body}}}")
 }
@@ -147,6 +157,9 @@ pub(crate) fn to_chrome(rec: &TraceRecord) -> String {
             node.index(),
             "t",
         ),
+        TraceEvent::EpochChange { node, epoch, .. } => {
+            instant(format!("epoch {epoch}"), node.index(), "p")
+        }
     }
 }
 

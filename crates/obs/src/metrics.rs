@@ -105,6 +105,14 @@ pub struct NodeMetrics {
     pub completed: u64,
     /// Operations aborted (global reset) at this node.
     pub aborted: u64,
+    /// The fault plane currently rewrites this node's outgoing messages
+    /// (a `Byzantine` injection not yet cleared by `Honest`).
+    pub byzantine_suspected: bool,
+    /// The node's current bounded-counter epoch (0 for protocols without
+    /// an epoch envelope).
+    pub epoch: u64,
+    /// Messages this node discarded for carrying a stale epoch tag.
+    pub stale_epoch_dropped: u64,
     /// Messages this node sent (0 when `Send` is masked out).
     pub sent: u64,
     /// Messages delivered to this node (0 when `Deliver` is masked out).
@@ -131,6 +139,9 @@ impl NodeMetrics {
             invoked: 0,
             completed: 0,
             aborted: 0,
+            byzantine_suspected: false,
+            epoch: 0,
+            stale_epoch_dropped: 0,
             sent: 0,
             delivered: 0,
             drops: [0; 4],
@@ -507,6 +518,16 @@ impl ClusterMetrics {
                             self.uncut(f.index(), t.index());
                         }
                     }
+                    FaultKind::Byzantine => {
+                        if let Some(nm) = node.and_then(|p| self.nodes.get_mut(p.index())) {
+                            nm.byzantine_suspected = true;
+                        }
+                    }
+                    FaultKind::Honest => {
+                        if let Some(nm) = node.and_then(|p| self.nodes.get_mut(p.index())) {
+                            nm.byzantine_suspected = false;
+                        }
+                    }
                 }
                 let text = match (loc, peer) {
                     (Some(l), Some(p)) => format!("{} {l}->p{}", kind.label(), p.index()),
@@ -524,6 +545,20 @@ impl ClusterMetrics {
                     nm.stabilizations += 1;
                 }
                 self.push_feed(at, format!("stabilized p{}", node.index()));
+            }
+            TraceEvent::EpochChange {
+                node,
+                epoch,
+                stale_dropped,
+            } => {
+                if let Some(nm) = self.nodes.get_mut(node.index()) {
+                    let advanced = *epoch > nm.epoch;
+                    nm.epoch = nm.epoch.max(*epoch);
+                    nm.stale_epoch_dropped = nm.stale_epoch_dropped.max(*stale_dropped);
+                    if advanced {
+                        self.push_feed(at, format!("epoch {epoch} p{}", node.index()));
+                    }
+                }
             }
             TraceEvent::BatchDrain { .. } => {}
         }
@@ -584,6 +619,12 @@ impl ClusterMetrics {
                         JsonValue::Str(nm.health.label().to_string()),
                     ),
                     ("tainted".into(), JsonValue::Bool(nm.tainted)),
+                    ("byzantine".into(), JsonValue::Bool(nm.byzantine_suspected)),
+                    ("epoch".into(), JsonValue::UInt(nm.epoch)),
+                    (
+                        "stale_epoch_dropped".into(),
+                        JsonValue::UInt(nm.stale_epoch_dropped),
+                    ),
                     ("corruptions".into(), JsonValue::UInt(nm.corruptions)),
                     ("stabilizations".into(), JsonValue::UInt(nm.stabilizations)),
                     ("restarts".into(), JsonValue::UInt(nm.restarts)),
@@ -720,6 +761,38 @@ impl ClusterMetrics {
                 out,
                 "sss_node_tainted{{node=\"p{i}\"}} {}",
                 u8::from(nm.tainted)
+            );
+        }
+        gauge(
+            &mut out,
+            "sss_node_byzantine",
+            "1 while the fault plane rewrites this node's outgoing messages",
+        );
+        for (i, nm) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "sss_node_byzantine{{node=\"p{i}\"}} {}",
+                u8::from(nm.byzantine_suspected)
+            );
+        }
+        gauge(
+            &mut out,
+            "sss_node_epoch",
+            "Current bounded-counter global-reset epoch",
+        );
+        for (i, nm) in self.nodes.iter().enumerate() {
+            let _ = writeln!(out, "sss_node_epoch{{node=\"p{i}\"}} {}", nm.epoch);
+        }
+        counter(
+            &mut out,
+            "sss_node_stale_epoch_dropped_total",
+            "Messages discarded for carrying a stale epoch tag",
+        );
+        for (i, nm) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "sss_node_stale_epoch_dropped_total{{node=\"p{i}\"}} {}",
+                nm.stale_epoch_dropped
             );
         }
         gauge(

@@ -43,9 +43,11 @@ impl EventMask {
     pub const STABILIZED: EventMask = EventMask(1 << 8);
     /// `BatchDrain` events.
     pub const BATCH_DRAIN: EventMask = EventMask(1 << 9);
+    /// `EpochChange` probes (bounded-counter epoch/stale-drop changes).
+    pub const EPOCH_CHANGE: EventMask = EventMask(1 << 10);
 
     /// Every event category (the default).
-    pub const ALL: EventMask = EventMask((1 << 10) - 1);
+    pub const ALL: EventMask = EventMask((1 << 11) - 1);
 
     /// The live ops-plane preset: everything **except** the per-message
     /// `Send`/`Deliver` flood. Operations, drops, faults, cycles,
@@ -73,6 +75,7 @@ impl EventMask {
             TraceEvent::CycleEnd { .. } => Self::CYCLE_END,
             TraceEvent::Stabilized { .. } => Self::STABILIZED,
             TraceEvent::BatchDrain { .. } => Self::BATCH_DRAIN,
+            TraceEvent::EpochChange { .. } => Self::EPOCH_CHANGE,
         };
         self.0 & bit.0 != 0
     }

@@ -2,7 +2,9 @@
 //! under the spec-derived workload on real threads and wall-clock time.
 
 use crate::{Cluster, ClusterConfig, ClusterError};
-use sss_net::{Backend, BatchPolicy, FaultPlan, RunReport, RunStats, WorkloadSpec, MODEL_ROUND_US};
+use sss_net::{
+    Backend, BatchPolicy, FaultPlan, NodeProbe, RunReport, RunStats, WorkloadSpec, MODEL_ROUND_US,
+};
 use sss_obs::Tracer;
 use sss_types::{NodeId, Protocol, SnapshotOp};
 
@@ -78,6 +80,10 @@ where
                         Ok(()) => {}
                         Err(ClusterError::Timeout) => timed_out += 1,
                         Err(ClusterError::Unavailable(_)) => unavailable += 1,
+                        // Reset-aborted op: recorded as aborted in the
+                        // history (the checker excuses it); the workload
+                        // client just moves on.
+                        Err(ClusterError::Aborted { .. }) => {}
                         Err(ClusterError::Shutdown) => break,
                     }
                 }
@@ -96,7 +102,18 @@ where
         let history = cluster.history();
         let elapsed_us = cluster.shared.now_us();
         let messages_dropped = cluster.messages_dropped();
-        cluster.shutdown();
+        // `shutdown` hands back the final protocol states in node order —
+        // exactly what the end-of-run probes sample.
+        let probes = cluster
+            .shutdown()
+            .iter()
+            .map(|p| NodeProbe {
+                epoch: p.epoch_probe().unwrap_or(0),
+                wrapping: p.wrapping_probe(),
+                invariants_ok: p.local_invariants_hold(),
+                stale_epoch_dropped: p.stats().stale_epoch_dropped,
+            })
+            .collect();
         RunReport {
             backend: "threads",
             stats: RunStats {
@@ -110,6 +127,7 @@ where
                     / (self.cfg.round_interval.as_micros() as u64).max(1),
             },
             history,
+            probes,
         }
     }
 }

@@ -26,7 +26,7 @@
 //! uncontended push path to one lock round-trip.
 
 use crossbeam::channel::Sender;
-use sss_types::{NodeId, OpId, OpResponse, SnapshotOp};
+use sss_types::{ByzBehavior, NodeId, OpId, OpResponse, SnapshotOp};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -49,6 +49,10 @@ pub enum CtlMsg {
     Resume,
     /// Inject a transient fault from this seed.
     Corrupt(u64),
+    /// Adopt a Byzantine behaviour: every outgoing message is rewritten
+    /// through the shared [`sss_net::ByzState`] hook
+    /// ([`ByzBehavior::Honest`] clears the mode).
+    Byzantine(ByzBehavior),
     /// Detectable restart: re-initialize all variables.
     Restart,
     /// Terminate the node thread.

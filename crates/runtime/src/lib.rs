@@ -44,11 +44,12 @@ use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sss_net::{DropReason, LinkConfig, LinkModel, LinkVerdict, MODEL_ROUND_US};
+use sss_net::{ByzState, DropReason, LinkConfig, LinkModel, LinkVerdict, MODEL_ROUND_US};
 use sss_types::{
-    Effects, History, NodeId, OpClass, OpId, OpResponse, Outbox, ProtoMsg, Protocol, SnapshotOp,
-    SnapshotView, Value,
+    ByzBehavior, Effects, History, NodeId, OpClass, OpId, OpResponse, Outbox, ProtoMsg, Protocol,
+    SnapshotOp, SnapshotView, Value,
 };
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -87,6 +88,18 @@ pub enum ClusterError {
     /// operation was failed fast with the detector's evidence instead of
     /// stalling out the full `op_timeout`.
     Unavailable(Unavailable),
+    /// The operation was aborted by a bounded-counter global reset while
+    /// the node was at `epoch`. **The outcome is unknown**: the paper's
+    /// §5 criterion allows aborting in-flight operations during the
+    /// seldom wrap periods, and an aborted write may or may not have
+    /// reached a majority before the reset discarded the in-flight
+    /// quorum state. Unlike [`ClusterError::Timeout`], blind re-issue is
+    /// NOT safe for writes — re-read (snapshot) first and only re-write
+    /// if the value is absent, as [`RetryingClient::write`] does.
+    Aborted {
+        /// The node's reset epoch when the abort fired.
+        epoch: u64,
+    },
     /// The cluster has shut down.
     Shutdown,
 }
@@ -133,6 +146,9 @@ impl std::fmt::Display for ClusterError {
                     " (suspects {:?}, silent ≥ {:?})",
                     ev.suspected, ev.silent_for
                 )
+            }
+            ClusterError::Aborted { epoch } => {
+                write!(f, "operation aborted by a global reset (epoch {epoch})")
             }
             ClusterError::Shutdown => write!(f, "cluster has shut down"),
         }
@@ -319,6 +335,15 @@ struct Shared {
     /// also counted in [`Shared::dropped`] — a mangled frame *is* a lost
     /// message to a self-stabilizing protocol.
     frames_rejected: AtomicU64,
+    /// Per-node stale-epoch drop counters, published by node threads
+    /// from `ProtocolStats::stale_epoch_dropped` once per round (always
+    /// 0 for protocols without an epoch envelope).
+    stale_epoch_dropped: Vec<AtomicU64>,
+    /// Reset-aborted operations the clients have not yet observed:
+    /// `OpId.0 → epoch at abort`. Lets [`Client::run`] distinguish a
+    /// dropped reply channel caused by a global reset
+    /// ([`ClusterError::Aborted`]) from a plain [`ClusterError::Timeout`].
+    aborted_ops: Mutex<HashMap<u64, u64>>,
 }
 
 impl Shared {
@@ -356,6 +381,8 @@ impl Shared {
             frames_sent: AtomicU64::new(0),
             frames_recv: AtomicU64::new(0),
             frames_rejected: AtomicU64::new(0),
+            stale_epoch_dropped: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            aborted_ops: Mutex::new(HashMap::new()),
         }
     }
 
@@ -375,6 +402,11 @@ impl Shared {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
             frames_recv: self.frames_recv.load(Ordering::Relaxed),
             frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            stale_epoch_dropped: self
+                .stale_epoch_dropped
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum(),
         }
     }
 
@@ -501,6 +533,12 @@ pub struct NetStats {
     /// counted as drops, mirroring how the fault plane's corruption
     /// surfaces on the in-process backends.
     pub frames_rejected: u64,
+    /// Inner protocol messages discarded by the bounded-counter epoch
+    /// envelope (stale or foreign epoch), summed across nodes. Always 0
+    /// for protocols without the envelope; a non-zero value under a
+    /// Byzantine replay campaign is the visible footprint of the §5
+    /// defense working.
+    pub stale_epoch_dropped: u64,
 }
 
 impl NetStats {
@@ -519,6 +557,10 @@ impl NetStats {
             ("frames_sent".into(), J::UInt(self.frames_sent)),
             ("frames_recv".into(), J::UInt(self.frames_recv)),
             ("frames_rejected".into(), J::UInt(self.frames_rejected)),
+            (
+                "stale_epoch_dropped".into(),
+                J::UInt(self.stale_epoch_dropped),
+            ),
         ])
     }
 }
@@ -615,6 +657,14 @@ impl<P: Protocol + 'static> Cluster<P> {
         let _ = self.inboxes[node.index()].push_ctl(CtlMsg::Restart);
     }
 
+    /// Puts `node` into Byzantine `behavior`: every message it sends
+    /// from now on is rewritten through the shared sender-side hook
+    /// ([`sss_net::ByzState`]), exactly as the simulator rewrites it for
+    /// the same plan. [`ByzBehavior::Honest`] clears the mode.
+    pub fn set_byzantine(&self, node: NodeId, behavior: ByzBehavior) {
+        let _ = self.inboxes[node.index()].push_ctl(CtlMsg::Byzantine(behavior));
+    }
+
     /// Cuts or restores the directed link `from → to`; while down, every
     /// message on it is dropped (the protocols' retransmission masks
     /// transient cuts; a full partition blocks minority sides).
@@ -709,6 +759,7 @@ impl<P: Protocol + 'static> Cluster<P> {
                 FaultEvent::Partition(groups) => self.partition(groups),
                 FaultEvent::Heal => self.heal_partition(),
                 FaultEvent::SetLink { from, to, up } => self.set_link(*from, *to, *up),
+                FaultEvent::Byzantine { node, behavior } => self.set_byzantine(*node, *behavior),
             }
         }
     }
@@ -889,10 +940,17 @@ impl<P: Protocol> Client<P> {
                         return Err(ClusterError::Unavailable(ev));
                     }
                 }
-                // The node dropped the reply channel (op aborted, e.g. a
-                // bounded-counter reset): same contract as before the
-                // detector existed.
-                Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::Timeout),
+                // The node dropped the reply channel: a bounded-counter
+                // reset aborted the op. Surface the distinct `Aborted`
+                // error (outcome unknown — see the variant docs) when
+                // the abort table confirms it; fall back to `Timeout`
+                // for a channel lost any other way.
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(match self.shared.aborted_ops.lock().remove(&id.0) {
+                        Some(epoch) => ClusterError::Aborted { epoch },
+                        None => ClusterError::Timeout,
+                    })
+                }
             }
         }
     }
@@ -1028,6 +1086,13 @@ impl RetryPolicy {
 /// results are retried (the underlying ops are idempotent: a write
 /// re-issue is a fresh op, a snapshot has no side effects); `Shutdown`
 /// is returned immediately.
+///
+/// [`ClusterError::Aborted`] is **not** blindly retried for writes: an
+/// abort leaves the outcome unknown (the write may have reached a
+/// majority before the reset), so [`RetryingClient::write`] first
+/// re-reads via a snapshot and only re-issues the write if the value is
+/// absent. Snapshots, having no side effects, retry aborts like
+/// timeouts.
 pub struct RetryingClient<P: Protocol> {
     client: Client<P>,
     policy: RetryPolicy,
@@ -1066,13 +1131,28 @@ impl<P: Protocol> RetryingClient<P> {
         Err(last)
     }
 
-    /// [`Client::write`] with retries.
+    /// [`Client::write`] with retries. A reset-aborted attempt is never
+    /// blindly re-issued: the outcome of an aborted write is unknown, so
+    /// this re-reads (snapshot) first and treats a visible value as
+    /// success — only a confirmed-absent write is retried.
     ///
     /// # Errors
     ///
     /// The last failure once the attempt budget is exhausted.
     pub fn write(&self, v: Value) -> Result<(), ClusterError> {
-        self.run_retry(|| self.client.write(v))
+        self.run_retry(|| match self.client.write(v) {
+            Err(ClusterError::Aborted { epoch }) => {
+                // Outcome unknown: re-read before re-write. If our value
+                // is already visible the write took effect before the
+                // reset; re-issuing it would double-apply.
+                match self.client.snapshot() {
+                    Ok(view) if view.value_of(self.client.node()) == Some(v) => Ok(()),
+                    Ok(_) => Err(ClusterError::Aborted { epoch }),
+                    Err(e) => Err(e),
+                }
+            }
+            r => r,
+        })
     }
 
     /// [`Client::snapshot`] with retries.
@@ -1109,6 +1189,12 @@ fn node_loop<P: Protocol>(
     let mut wire: Vec<Verdicted<P::Msg>> = Vec::new();
     let mut ctl: Vec<CtlMsg> = Vec::new();
     let mut batch: Vec<(NodeId, P::Msg)> = Vec::new();
+    // Byzantine rewrite state (None = honest), armed by the fault plane
+    // via `CtlMsg::Byzantine`; seeded from the cluster seed so a plan
+    // replays the same lies here as on the simulator.
+    let mut byz: Option<ByzState<P::Msg>> = None;
+    // Last epoch observed by the EpochChange trace probe.
+    let mut last_epoch = 0u64;
     loop {
         // Park until traffic arrives or the round deadline passes,
         // then take all control messages and up to `max_batch` data
@@ -1118,7 +1204,13 @@ fn node_loop<P: Protocol>(
         // queue behind a data backlog.
         for c in ctl.drain(..) {
             match c {
-                CtlMsg::Stop => return proto,
+                CtlMsg::Stop => {
+                    // Final stats publish so `net_stats` reflects the
+                    // whole run even when the last round never fired.
+                    shared.stale_epoch_dropped[me.index()]
+                        .store(proto.stats().stale_epoch_dropped, Ordering::Relaxed);
+                    return proto;
+                }
                 CtlMsg::Crash => {
                     crashed = true;
                     // The shared flag feeds the failure detector (and the
@@ -1145,6 +1237,22 @@ fn node_loop<P: Protocol>(
                         // land in a legal state stabilizes in zero steps.
                         tainted = true;
                         check_stabilized(&proto, &mut tainted, &shared);
+                        check_epoch(&proto, &mut last_epoch, &shared);
+                    }
+                }
+                CtlMsg::Byzantine(behavior) => {
+                    byz = if matches!(behavior, ByzBehavior::Honest) {
+                        None
+                    } else {
+                        Some(ByzState::new(me, behavior, cfg.seed))
+                    };
+                    if shared.tracer.is_on() {
+                        let kind = if byz.is_none() {
+                            FaultKind::Honest
+                        } else {
+                            FaultKind::Byzantine
+                        };
+                        emit_fault(&shared, kind, me);
                     }
                 }
                 CtlMsg::Restart => {
@@ -1156,6 +1264,7 @@ fn node_loop<P: Protocol>(
                         // Re-initialization resolves an outstanding
                         // corruption.
                         check_stabilized(&proto, &mut tainted, &shared);
+                        check_epoch(&proto, &mut last_epoch, &shared);
                     }
                 }
                 CtlMsg::Invoke { id, op, done } => {
@@ -1185,9 +1294,12 @@ fn node_loop<P: Protocol>(
             if !crashed {
                 proto.on_round(&mut fx);
                 shared.round_counts[me.index()].fetch_add(1, Ordering::Relaxed);
+                shared.stale_epoch_dropped[me.index()]
+                    .store(proto.stats().stale_epoch_dropped, Ordering::Relaxed);
                 if shared.tracer.is_on() {
                     shared.on_traced_round(me);
                     check_stabilized(&proto, &mut tainted, &shared);
+                    check_epoch(&proto, &mut last_epoch, &shared);
                 }
             }
             while next_round <= now {
@@ -1237,6 +1349,7 @@ fn node_loop<P: Protocol>(
                 shared.batches.fetch_add(1, Ordering::Relaxed);
                 if tracing {
                     check_stabilized(&proto, &mut tainted, &shared);
+                    check_epoch(&proto, &mut last_epoch, &shared);
                 }
             } else {
                 // Crashed receiver: the backlog is lost, same accounting
@@ -1269,6 +1382,8 @@ fn node_loop<P: Protocol>(
             &peers,
             &mut pending,
             &shared,
+            &mut byz,
+            proto.epoch_probe().unwrap_or(0),
         );
         if shared.tracer.is_on() && (drained > 0 || coalesced > 0) {
             shared.tracer.emit(
@@ -1310,6 +1425,26 @@ fn check_stabilized<P: Protocol>(proto: &P, tainted: &mut bool, shared: &Shared)
     }
 }
 
+/// The epoch probe: emits [`TraceEvent::EpochChange`] when the node's
+/// bounded-counter epoch moved since the last check — a no-op for
+/// protocols without an epoch envelope (caller has already checked
+/// `tracer.is_on()`).
+fn check_epoch<P: Protocol>(proto: &P, last_epoch: &mut u64, shared: &Shared) {
+    if let Some(epoch) = proto.epoch_probe() {
+        if epoch != *last_epoch {
+            *last_epoch = epoch;
+            shared.tracer.emit(
+                shared.model_now(),
+                TraceEvent::EpochChange {
+                    node: proto.id(),
+                    epoch,
+                    stale_dropped: proto.stats().stale_epoch_dropped,
+                },
+            );
+        }
+    }
+}
+
 /// A wire message with its link-model verdict, staged so verdicts are
 /// drawn under one link lock and deliveries pushed after it is released.
 struct Verdicted<M> {
@@ -1330,6 +1465,7 @@ struct Verdicted<M> {
 /// their inbox lock while touching the link model (`NodeInbox::drain`
 /// copies out and releases first), so `links → inbox` nesting cannot
 /// deadlock.
+#[allow(clippy::too_many_arguments)]
 fn flush_effects<M: ProtoMsg>(
     me: NodeId,
     fx: &mut Effects<M>,
@@ -1338,10 +1474,20 @@ fn flush_effects<M: ProtoMsg>(
     peers: &[Arc<NodeInbox<M>>],
     pending: &mut Vec<(OpId, Sender<OpResponse>)>,
     shared: &Shared,
+    byz: &mut Option<ByzState<M>>,
+    epoch: u64,
 ) -> u64 {
     let tracing = shared.tracer.is_on();
     let coalesced_before = outbox.coalesced();
     for (to, msg) in fx.drain_sends() {
+        // The Byzantine plane sits here — after the protocol produced
+        // the send, before coalescing and the link model — the same
+        // logical point as the simulator's rewrite. Self-deliveries are
+        // never rewritten (a node cannot lie to itself).
+        let msg = match byz.as_mut() {
+            Some(state) if to != me => state.rewrite(to, msg),
+            _ => msg,
+        };
         if to == me {
             // Self-delivery: reliable, immediate (an internal step) —
             // bypasses the link model and the coalescing outbox.
@@ -1444,8 +1590,13 @@ fn flush_effects<M: ProtoMsg>(
     }
     for id in fx.drain_aborts() {
         // Aborted operations (bounded-counter resets) unblock the client
-        // by dropping the reply sender; the client's timeout/disconnect
-        // path handles it.
+        // by dropping the reply sender. Record the abort *first*: the
+        // drop is what wakes the client's Disconnected path, which then
+        // consults the table to return `ClusterError::Aborted` instead
+        // of a misleading `Timeout`.
+        shared.aborted_ops.lock().insert(id.0, epoch);
+        let now = shared.now_us();
+        shared.history.lock().try_record_abort(id, now);
         if tracing {
             shared
                 .tracer

@@ -37,17 +37,17 @@
 
 use crate::mmsg::{self, OutDatagram, RecvBatch, SyscallMode};
 use crate::{
-    check_stabilized, emit_fault, sleep_until, Client, ClusterConfig, ClusterError, CtlMsg,
-    NodeInbox, Shared, Verdicted, TRACE_NU_BITS,
+    check_epoch, check_stabilized, emit_fault, sleep_until, Client, ClusterConfig, ClusterError,
+    CtlMsg, NodeInbox, Shared, Verdicted, TRACE_NU_BITS,
 };
 use sss_net::{
-    Backend, BatchPolicy, FaultEvent, FaultPlan, LinkVerdict, RunReport, RunStats, WorkloadSpec,
-    MODEL_ROUND_US,
+    Backend, BatchPolicy, ByzState, FaultEvent, FaultPlan, LinkVerdict, NodeProbe, RunReport,
+    RunStats, WorkloadSpec, MODEL_ROUND_US,
 };
 use sss_obs::{DropCause, FaultKind, TraceEvent, Tracer};
 use sss_types::{
-    decode_frames, encode_frame, encode_wake, DecodedFrame, Effects, NodeId, Outbox, ProtoMsg,
-    Protocol, SnapshotOp, WireMsg, MAX_DATAGRAM_BYTES,
+    decode_frames, encode_frame, encode_wake, ByzBehavior, DecodedFrame, Effects, NodeId, Outbox,
+    ProtoMsg, Protocol, SnapshotOp, WireMsg, MAX_DATAGRAM_BYTES,
 };
 use std::net::{SocketAddr, UdpSocket};
 use std::ops::Range;
@@ -314,6 +314,18 @@ where
         self.wake(node);
     }
 
+    /// Turns `node` Byzantine with the given behavior
+    /// ([`ByzBehavior::Honest`] restores it). The rewrite hook sits on
+    /// the send path *before* wire encoding, so equivocated copies go
+    /// out checksummed and well-formed — honest receivers cannot tell
+    /// them from genuine traffic, exactly the adversary §5 assumes away
+    /// only with signatures.
+    pub fn set_byzantine(&self, node: NodeId, behavior: ByzBehavior) {
+        self.assert_hosted(node);
+        let _ = self.inboxes[node.index()].push_ctl(CtlMsg::Byzantine(behavior));
+        self.wake(node);
+    }
+
     /// Cuts or restores the directed link `from → to` in the shared
     /// fault plane (the send hook consults it before encoding).
     pub fn set_link(&self, from: NodeId, to: NodeId, up: bool) {
@@ -395,6 +407,7 @@ where
                 FaultEvent::Partition(groups) => self.partition(groups),
                 FaultEvent::Heal => self.heal_partition(),
                 FaultEvent::SetLink { from, to, up } => self.set_link(*from, *to, *up),
+                FaultEvent::Byzantine { node, behavior } => self.set_byzantine(*node, *behavior),
             }
         }
     }
@@ -506,6 +519,10 @@ where
     // Set when the previous flush pushed loopback traffic the bounded
     // drain may not have taken yet: the next receive must poll, not park.
     let mut self_pending = false;
+    // Byzantine rewrite state (None = honest) and the last epoch this
+    // node was observed in, for EpochChange trace events.
+    let mut byz: Option<ByzState<P::Msg>> = None;
+    let mut last_epoch = 0u64;
     loop {
         // 1. Park in the kernel until traffic arrives or the round is
         // due (a poll when loopback data is already waiting).
@@ -535,7 +552,11 @@ where
         self_pending = inbox.data_len() > 0;
         for c in ctl.drain(..) {
             match c {
-                CtlMsg::Stop => return proto,
+                CtlMsg::Stop => {
+                    shared.stale_epoch_dropped[me.index()]
+                        .store(proto.stats().stale_epoch_dropped, Ordering::Relaxed);
+                    return proto;
+                }
                 CtlMsg::Crash => {
                     crashed = true;
                     shared.crashed[me.index()].store(true, Ordering::Relaxed);
@@ -557,6 +578,22 @@ where
                         emit_fault(&shared, FaultKind::Corrupt, me);
                         tainted = true;
                         check_stabilized(&proto, &mut tainted, &shared);
+                        check_epoch(&proto, &mut last_epoch, &shared);
+                    }
+                }
+                CtlMsg::Byzantine(behavior) => {
+                    byz = if matches!(behavior, ByzBehavior::Honest) {
+                        None
+                    } else {
+                        Some(ByzState::new(me, behavior, cfg.cluster.seed))
+                    };
+                    if shared.tracer.is_on() {
+                        let kind = if matches!(behavior, ByzBehavior::Honest) {
+                            FaultKind::Honest
+                        } else {
+                            FaultKind::Byzantine
+                        };
+                        emit_fault(&shared, kind, me);
                     }
                 }
                 CtlMsg::Restart => {
@@ -566,6 +603,7 @@ where
                     if shared.tracer.is_on() {
                         emit_fault(&shared, FaultKind::Restart, me);
                         check_stabilized(&proto, &mut tainted, &shared);
+                        check_epoch(&proto, &mut last_epoch, &shared);
                     }
                 }
                 CtlMsg::Invoke { id, op, done } => {
@@ -586,9 +624,12 @@ where
             if !crashed {
                 proto.on_round(&mut fx);
                 shared.round_counts[me.index()].fetch_add(1, Ordering::Relaxed);
+                shared.stale_epoch_dropped[me.index()]
+                    .store(proto.stats().stale_epoch_dropped, Ordering::Relaxed);
                 if shared.tracer.is_on() {
                     shared.on_traced_round(me);
                     check_stabilized(&proto, &mut tainted, &shared);
+                    check_epoch(&proto, &mut last_epoch, &shared);
                 }
             }
             while next_round <= now {
@@ -659,6 +700,7 @@ where
                 shared.batches.fetch_add(1, Ordering::Relaxed);
                 if tracing {
                     check_stabilized(&proto, &mut tainted, &shared);
+                    check_epoch(&proto, &mut last_epoch, &shared);
                 }
             } else {
                 shared.dropped.fetch_add(drained as u64, Ordering::Relaxed);
@@ -694,6 +736,8 @@ where
             &shared,
             batched,
             pack_budget,
+            &mut byz,
+            proto.epoch_probe().unwrap_or(0),
         );
         self_pending |= pushed_self;
         if shared.tracer.is_on() && (drained > 0 || coalesced > 0) {
@@ -736,11 +780,21 @@ fn flush_socket<M: WireMsg>(
     shared: &Shared,
     batched: bool,
     pack_budget: usize,
+    byz: &mut Option<ByzState<M>>,
+    epoch: u64,
 ) -> (u64, bool) {
     let tracing = shared.tracer.is_on();
     let mut pushed_self = false;
     let coalesced_before = outbox.coalesced();
     for (to, msg) in fx.drain_sends() {
+        // The Byzantine rewrite hook: sender-side, per destination,
+        // before the fault shim and the wire codec — forged copies leave
+        // correctly checksummed. Self-sends are never rewritten (a liar
+        // has no reason to lie to itself).
+        let msg = match byz.as_mut() {
+            Some(state) if to != me => state.rewrite(to, msg),
+            _ => msg,
+        };
         if to == me {
             if tracing {
                 shared.tracer.emit(
@@ -849,6 +903,14 @@ fn flush_socket<M: WireMsg>(
                 .tracer
                 .emit(shared.model_now(), TraceEvent::OpAbort { node: me, id });
         }
+        // Publish the abort *before* dropping the reply sender: the
+        // client wakes on Disconnected and must find the epoch already
+        // in the table to report `Aborted` instead of `Timeout`.
+        shared.aborted_ops.lock().insert(id.0, epoch);
+        shared
+            .history
+            .lock()
+            .try_record_abort(id, shared.model_now());
         pending.retain(|(pid, _)| *pid != id);
     }
     (coalesced, pushed_self)
@@ -963,6 +1025,9 @@ where
                         Ok(()) => {}
                         Err(ClusterError::Timeout) => timed_out += 1,
                         Err(ClusterError::Unavailable(_)) => unavailable += 1,
+                        // Reset-aborted: recorded in the history as
+                        // aborted; the workload client moves on.
+                        Err(ClusterError::Aborted { .. }) => {}
                         Err(ClusterError::Shutdown) => break,
                     }
                 }
@@ -979,7 +1044,18 @@ where
         let history = cluster.history();
         let elapsed_us = cluster.shared.now_us();
         let messages_dropped = cluster.messages_dropped();
-        cluster.shutdown();
+        // End-of-run probes sample the final protocol states shutdown
+        // hands back in node order — same sourcing as ThreadBackend.
+        let probes = cluster
+            .shutdown()
+            .iter()
+            .map(|p| NodeProbe {
+                epoch: p.epoch_probe().unwrap_or(0),
+                wrapping: p.wrapping_probe(),
+                invariants_ok: p.local_invariants_hold(),
+                stale_epoch_dropped: p.stats().stale_epoch_dropped,
+            })
+            .collect();
         RunReport {
             backend: "sockets",
             stats: RunStats {
@@ -991,6 +1067,7 @@ where
                     / (ccfg.round_interval.as_micros() as u64).max(1),
             },
             history,
+            probes,
         }
     }
 }

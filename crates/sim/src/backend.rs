@@ -4,7 +4,7 @@
 use crate::config::SimConfig;
 use crate::runner::{Ctl, Driver, Sim};
 use crate::SimTime;
-use sss_net::{Backend, FaultPlan, RunReport, RunStats, WorkloadSpec};
+use sss_net::{Backend, FaultPlan, NodeProbe, RunReport, RunStats, WorkloadSpec};
 use sss_obs::Tracer;
 use sss_types::{NodeId, OpId, OpResponse, Protocol, SnapshotOp};
 use std::collections::VecDeque;
@@ -152,6 +152,17 @@ impl<P: Protocol, F: FnMut(NodeId) -> P> Backend for SimBackend<P, F> {
         let mut driver = SpecDriver::new(self.cfg.n, workload);
         sim.run_with_driver(&mut driver, self.horizon);
         let m = sim.metrics();
+        let probes = (0..self.cfg.n)
+            .map(|i| {
+                let p = sim.node(NodeId(i));
+                NodeProbe {
+                    epoch: p.epoch_probe().unwrap_or(0),
+                    wrapping: p.wrapping_probe(),
+                    invariants_ok: p.local_invariants_hold(),
+                    stale_epoch_dropped: p.stats().stale_epoch_dropped,
+                }
+            })
+            .collect();
         RunReport {
             backend: "sim",
             history: sim.history().clone(),
@@ -164,6 +175,7 @@ impl<P: Protocol, F: FnMut(NodeId) -> P> Backend for SimBackend<P, F> {
                 messages_dropped: m.kinds().map(|(_, c)| c.dropped).sum(),
                 model_time: sim.now(),
             },
+            probes,
         }
     }
 }

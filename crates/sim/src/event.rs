@@ -36,6 +36,11 @@ pub(crate) enum Ev<M> {
     Heal,
     /// One directed link is cut or restored.
     SetLink { from: NodeId, to: NodeId, up: bool },
+    /// Node's Byzantine behavior changes (Honest clears it).
+    Byzantine {
+        node: NodeId,
+        behavior: sss_types::ByzBehavior,
+    },
     /// Driver wake-up callback carrying an opaque token.
     Wake { token: u64 },
 }

@@ -7,11 +7,11 @@ use crate::metrics::Metrics;
 use crate::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sss_net::{FaultEvent, FaultPlan, LinkModel, LinkVerdict};
+use sss_net::{ByzPlane, FaultEvent, FaultPlan, LinkModel, LinkVerdict};
 use sss_obs::{DropCause, TraceEvent, Tracer};
 use sss_types::{
-    ArbitraryMsg, Effects, History, NodeId, OpClass, OpId, OpResponse, ProcessSet, ProtoMsg,
-    Protocol, SnapshotOp,
+    ArbitraryMsg, ByzBehavior, Effects, History, NodeId, OpClass, OpId, OpResponse, ProcessSet,
+    ProtoMsg, Protocol, SnapshotOp,
 };
 
 /// A workload driver: receives completion callbacks and may schedule
@@ -133,6 +133,13 @@ pub struct Sim<P: Protocol> {
     /// the per-step check when nothing is tainted.
     tainted: Vec<bool>,
     tainted_count: usize,
+    /// The shared Byzantine plane: sender-side message rewrites for
+    /// nodes the fault plan has marked as lying ([`ByzPlane::any`]
+    /// short-circuits the per-send check in the all-honest case).
+    byz: ByzPlane<P::Msg>,
+    /// Last epoch observed per node by the [`TraceEvent::EpochChange`]
+    /// probe (only consulted with the tracer on).
+    epoch_seen: Vec<u64>,
 }
 
 impl<P: Protocol> Sim<P> {
@@ -169,6 +176,8 @@ impl<P: Protocol> Sim<P> {
             traced_cycles: 0,
             tainted: vec![false; cfg.n],
             tainted_count: 0,
+            byz: ByzPlane::new(cfg.n, cfg.seed),
+            epoch_seen: vec![0; cfg.n],
             cfg,
         };
         for i in 0..cfg.n {
@@ -340,6 +349,19 @@ impl<P: Protocol> Sim<P> {
             .push(t.max(self.now), Ev::Corrupt { node, seed: None });
     }
 
+    /// Schedules `node` to adopt Byzantine `behavior` at `t`: from then
+    /// on every message it sends is rewritten through the shared
+    /// [`ByzPlane`] (pass [`ByzBehavior::Honest`] to clear the mode).
+    pub fn set_byzantine_at(&mut self, t: SimTime, node: NodeId, behavior: ByzBehavior) {
+        self.queue
+            .push(t.max(self.now), Ev::Byzantine { node, behavior });
+    }
+
+    /// Whether `node` is currently rewriting its outgoing messages.
+    pub fn is_byzantine(&self, node: NodeId) -> bool {
+        self.byz.is_byzantine(node)
+    }
+
     /// Schedules the whole fault plan: crashes, resumes, restarts,
     /// plan-seeded corruptions, partitions, heals and link cuts, at
     /// their scheduled virtual times. This is the simulator's entry
@@ -382,6 +404,15 @@ impl<P: Protocol> Sim<P> {
                             from: *from,
                             to: *to,
                             up: *up,
+                        },
+                    );
+                }
+                FaultEvent::Byzantine { node, behavior } => {
+                    self.queue.push(
+                        at,
+                        Ev::Byzantine {
+                            node: *node,
+                            behavior: *behavior,
                         },
                     );
                 }
@@ -429,6 +460,28 @@ impl<P: Protocol> Sim<P> {
             self.tainted[node.index()] = false;
             self.tainted_count -= 1;
             self.tracer.emit(self.now, TraceEvent::Stabilized { node });
+        }
+    }
+
+    /// Emits [`TraceEvent::EpochChange`] when `node`'s bounded-counter
+    /// epoch moved since the last probe (no-op for protocols without an
+    /// epoch envelope). Only called with the tracer on.
+    fn check_epoch(&mut self, node: NodeId) {
+        let p = &self.nodes[node.index()];
+        let Some(epoch) = p.epoch_probe() else {
+            return;
+        };
+        if epoch != self.epoch_seen[node.index()] {
+            self.epoch_seen[node.index()] = epoch;
+            let stale_dropped = p.stats().stale_epoch_dropped;
+            self.tracer.emit(
+                self.now,
+                TraceEvent::EpochChange {
+                    node,
+                    epoch,
+                    stale_dropped,
+                },
+            );
         }
     }
 
@@ -560,6 +613,7 @@ impl<P: Protocol> Sim<P> {
                 self.apply_effects(node, driver, stop);
                 if self.tracer.is_on() {
                     self.check_stabilized(node);
+                    self.check_epoch(node);
                     self.emit_new_cycles();
                 }
                 let jitter = if self.cfg.round_jitter > 0 {
@@ -607,6 +661,7 @@ impl<P: Protocol> Sim<P> {
                 self.apply_effects(to, driver, stop);
                 if self.tracer.is_on() {
                     self.check_stabilized(to);
+                    self.check_epoch(to);
                     self.emit_new_cycles();
                 }
             }
@@ -669,6 +724,7 @@ impl<P: Protocol> Sim<P> {
                     // A restart re-initializes every variable, which also
                     // resolves any outstanding corruption.
                     self.check_stabilized(node);
+                    self.check_epoch(node);
                 }
             }
             Ev::Corrupt { node, seed } => {
@@ -685,6 +741,7 @@ impl<P: Protocol> Sim<P> {
                 if self.tracer.is_on() {
                     self.emit_fault(sss_obs::FaultKind::Corrupt, node);
                     self.taint(node);
+                    self.check_epoch(node);
                 }
             }
             Ev::Partition { groups } => {
@@ -733,6 +790,18 @@ impl<P: Protocol> Sim<P> {
                     );
                 }
             }
+            Ev::Byzantine { node, behavior } => {
+                self.trace = fold(self.trace, 0xB00 + node.index() as u64);
+                self.byz.set(node, behavior);
+                if self.tracer.is_on() {
+                    let kind = if matches!(behavior, ByzBehavior::Honest) {
+                        sss_obs::FaultKind::Honest
+                    } else {
+                        sss_obs::FaultKind::Byzantine
+                    };
+                    self.emit_fault(kind, node);
+                }
+            }
             Ev::Wake { token } => {
                 self.trace = fold(self.trace, 0x700 + token);
                 let mut ctl = Ctl {
@@ -754,7 +823,16 @@ impl<P: Protocol> Sim<P> {
     /// and field-disjoint borrows let the loop mutate the queue, metrics
     /// and link model while the drain iterator holds `self.scratch`.
     fn apply_effects<D: Driver<P>>(&mut self, at: NodeId, driver: &mut D, stop: &mut bool) {
+        let byz_active = self.byz.any();
         for (to, msg) in self.scratch.drain_sends() {
+            // The Byzantine plane sits here — after the protocol produced
+            // the send, before the link model rules on it — so all three
+            // backends rewrite at the same logical point.
+            let msg = if byz_active && to != at {
+                self.byz.rewrite(at, to, msg)
+            } else {
+                msg
+            };
             let kind = msg.kind();
             let bits = msg.size_bits(self.cfg.nu_bits);
             self.metrics.on_sent(kind, bits);

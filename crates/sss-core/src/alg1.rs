@@ -87,6 +87,29 @@ impl ProtoMsg for Alg1Msg {
         }
     }
 
+    /// A Byzantine sender equivocates through gossip: it keeps the index
+    /// honest but tells each peer a different value, so honest receivers
+    /// adopt conflicting register cells for the liar's entry.
+    fn equivocate(&self, rng: &mut dyn RngCore) -> Option<Self> {
+        match self {
+            Alg1Msg::Gossip { cell } if !cell.is_bottom() => Some(Alg1Msg::Gossip {
+                cell: Tagged::new(rng.next_u64() as Value, cell.ts),
+            }),
+            _ => None,
+        }
+    }
+
+    /// A Byzantine sender inflates the gossip index to `floor`, driving
+    /// honest receivers' timestamps toward `MAXINT` on demand.
+    fn inflate_index(&self, floor: u64) -> Option<Self> {
+        match self {
+            Alg1Msg::Gossip { cell } => Some(Alg1Msg::Gossip {
+                cell: Tagged::new(cell.val, cell.ts.max(floor)),
+            }),
+            _ => None,
+        }
+    }
+
     /// Conservative per-link coalescing (see [`ProtoMsg::try_coalesce`]).
     ///
     /// * two `GOSSIP`s merge into their cell join — the handler (line 25)
@@ -532,6 +555,7 @@ impl Protocol for Alg1 {
             rounds: self.rounds,
             write_index: self.ts,
             snapshot_index: self.ssn,
+            stale_epoch_dropped: 0,
         }
     }
 }
@@ -563,6 +587,10 @@ impl crate::bounded::HasIndices for Alg1 {
         }
         ids.extend(self.pending.drain(..).map(|(id, _)| id));
         ids
+    }
+
+    fn seed_indices(&mut self, base: u64) {
+        self.ts = self.ts.max(base);
     }
 }
 

@@ -180,6 +180,30 @@ impl ProtoMsg for Alg3Msg {
         }
     }
 
+    /// A Byzantine sender equivocates through gossip: honest index,
+    /// per-peer conflicting value (see [`Alg1Msg::equivocate`]).
+    fn equivocate(&self, rng: &mut dyn RngCore) -> Option<Self> {
+        match self {
+            Alg3Msg::Gossip { cell, pnd_sns } if !cell.is_bottom() => Some(Alg3Msg::Gossip {
+                cell: Tagged::new(rng.next_u64() as Value, cell.ts),
+                pnd_sns: *pnd_sns,
+            }),
+            _ => None,
+        }
+    }
+
+    /// A Byzantine sender inflates the gossip indices to `floor`,
+    /// driving honest receivers' timestamps toward `MAXINT` on demand.
+    fn inflate_index(&self, floor: u64) -> Option<Self> {
+        match self {
+            Alg3Msg::Gossip { cell, pnd_sns } => Some(Alg3Msg::Gossip {
+                cell: Tagged::new(cell.val, cell.ts.max(floor)),
+                pnd_sns: (*pnd_sns).max(floor),
+            }),
+            _ => None,
+        }
+    }
+
     /// Conservative per-link coalescing (see [`ProtoMsg::try_coalesce`]).
     ///
     /// Mirrors [`Alg1Msg::try_coalesce`](crate::Alg1Msg): gossip joins
@@ -980,6 +1004,7 @@ impl Protocol for Alg3 {
             rounds: self.rounds,
             write_index: self.ts,
             snapshot_index: self.sns,
+            stale_epoch_dropped: 0,
         }
     }
 }
@@ -1034,6 +1059,10 @@ impl crate::bounded::HasIndices for Alg3 {
         ids.extend(self.snap_queue.drain(..));
         self.base = None;
         ids
+    }
+
+    fn seed_indices(&mut self, base: u64) {
+        self.ts = self.ts.max(base);
     }
 }
 

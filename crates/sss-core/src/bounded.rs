@@ -23,18 +23,62 @@
 //! * the reset itself is coordinated by the lowest node id
 //!   (see [`crate::reset`]).
 //!
-//! Caveat: an aborted write may still have *taken effect* — in particular
-//! the write that pushed the index to `MAXINT` installs its value locally
+//! # Abort semantics: "outcome unknown"
+//!
+//! An aborted write may still have *taken effect* — in particular the
+//! write that pushed the index to `MAXINT` installs its value locally
 //! before the node disables operations, and the reset's sync phase then
-//! preserves that value. Clients must treat an abort as "outcome unknown"
-//! (like a timeout), not as "did not happen".
+//! preserves that value. Clients must treat an abort as "outcome
+//! unknown" (like a timeout), **not** as "did not happen". The only safe
+//! retry for an aborted write is re-read-then-decide: take a snapshot
+//! first and re-issue only if the observed state shows the write did not
+//! land. The runtime reports aborts distinctly from timeouts
+//! (`ClusterError::Aborted { epoch }` names the reset epoch that killed
+//! the operation) precisely so retry policies can apply that rule
+//! instead of blindly re-issuing.
+//!
+//! # Reset hardening against crashes and liars
+//!
+//! The paper's reset assumes the coordinator (lowest id) stays up and
+//! every node answers the sync phase. Under the chaos plane's adversary
+//! (crashes mid-reset, partitions, Byzantine peers) that would wedge the
+//! protocol, so the implementation bounds every wait:
+//!
+//! * **coordinator handoff** — coordination rotates by deadline: a node
+//!   stuck in wrapping mode for `HANDOFF_ROUNDS` rounds without reset
+//!   progress treats the next id (round-robin) as coordinator, and
+//!   promotes itself when its own turn comes. A live coordinator's
+//!   `SyncReq` retransmissions reset every follower's patience, so
+//!   handoff only fires when the current coordinator is crashed,
+//!   partitioned away, or lying silently;
+//! * **majority sync** — a coordinator whose sync phase stalls for
+//!   `SYNC_QUORUM_ROUNDS` rounds proceeds once a majority has answered,
+//!   instead of waiting for all `n` (crashed minorities cannot block the
+//!   reset forever);
+//! * **bounded install retransmission** — `Install` is retransmitted to
+//!   unacked nodes for at most `INSTALL_RETRANSMIT_ROUNDS` rounds;
+//!   stragglers that resume later catch up through the `Request` →
+//!   `Install` path (any node ahead of the requester answers, not just
+//!   the coordinator).
 
 use crate::reset::{ResetMsg, ResetState};
 use rand::RngCore;
 use sss_types::{
     reg_array_bits, ArbitraryMsg, Effects, MsgKind, NodeId, OpId, ProcessSet, ProtoMsg, Protocol,
-    ProtocolStats, RegArray, SnapshotOp,
+    ProtocolStats, RegArray, SnapshotOp, Tagged,
 };
+
+/// Rounds a node tolerates in wrapping mode without reset progress
+/// before it rotates coordination to the next id.
+const HANDOFF_ROUNDS: u64 = 12;
+
+/// Rounds a coordinator's sync phase may stall before it proceeds with
+/// a majority instead of all `n`.
+const SYNC_QUORUM_ROUNDS: u64 = 6;
+
+/// Rounds `Install` is retransmitted to unacked nodes before the
+/// coordinator gives up and leaves stragglers to the catch-up path.
+const INSTALL_RETRANSMIT_ROUNDS: u64 = 30;
 
 /// Extra capabilities [`Bounded`] needs from the wrapped protocol.
 pub trait HasIndices: Protocol {
@@ -53,6 +97,11 @@ pub trait HasIndices: Protocol {
     /// Removes all in-progress and queued client operations, returning
     /// their ids so the wrapper can abort them.
     fn drain_ops(&mut self) -> Vec<OpId>;
+
+    /// Raises the local write index to at least `base` (test/chaos hook:
+    /// lets wraparound campaigns start operations next to `MAXINT`
+    /// instead of counting up from zero).
+    fn seed_indices(&mut self, base: u64);
 }
 
 /// Configuration of [`Bounded`].
@@ -106,6 +155,47 @@ impl<M: ProtoMsg> ProtoMsg for BoundedMsg<M> {
             },
         }
     }
+
+    /// Equivocation keeps the epoch envelope intact (a liar that breaks
+    /// the envelope is just dropped) and forges either the inner payload
+    /// or — the nastiest case — the register array it contributes to a
+    /// reset's sync phase, feeding lies into the canonical state.
+    fn equivocate(&self, rng: &mut dyn RngCore) -> Option<Self> {
+        match self {
+            BoundedMsg::Inner { epoch, msg } => msg.equivocate(rng).map(|m| BoundedMsg::Inner {
+                epoch: *epoch,
+                msg: m,
+            }),
+            BoundedMsg::Reset(ResetMsg::SyncResp { epoch, reg }) => {
+                let mut forged = reg.clone();
+                for k in 0..forged.n() {
+                    let cell = forged.get(NodeId(k));
+                    if !cell.is_bottom() {
+                        forged.set(NodeId(k), Tagged::new(rng.next_u64(), cell.ts));
+                    }
+                }
+                Some(BoundedMsg::Reset(ResetMsg::SyncResp {
+                    epoch: *epoch,
+                    reg: forged,
+                }))
+            }
+            BoundedMsg::Reset(_) => None,
+        }
+    }
+
+    /// Index inflation also keeps the envelope: the inflated inner index
+    /// is what honest receivers merge, driving them over `MAXINT`.
+    fn inflate_index(&self, floor: u64) -> Option<Self> {
+        match self {
+            BoundedMsg::Inner { epoch, msg } => {
+                msg.inflate_index(floor).map(|m| BoundedMsg::Inner {
+                    epoch: *epoch,
+                    msg: m,
+                })
+            }
+            BoundedMsg::Reset(_) => None,
+        }
+    }
 }
 
 impl<M: ArbitraryMsg> ArbitraryMsg for BoundedMsg<M> {
@@ -141,10 +231,18 @@ pub struct Bounded<P: HasIndices> {
     reset: Option<ResetState>,
     /// Coordinator-only: Install retransmission until everyone acked.
     pending_install: Option<(u64, RegArray, ProcessSet)>,
+    /// Rounds spent in wrapping mode without reset progress — drives the
+    /// coordinator-handoff rotation and the majority-sync deadline.
+    wrap_rounds: u64,
+    /// Rounds `pending_install` has been retransmitting.
+    install_rounds: u64,
     /// Number of resets completed locally (experiment probe).
     resets_done: u64,
     /// Operations aborted by resets (experiment probe).
     aborted: u64,
+    /// Inner messages discarded by the epoch envelope (stale or foreign
+    /// epochs — replays across a reset land here).
+    stale_dropped: u64,
 }
 
 impl<P: HasIndices> Bounded<P> {
@@ -158,8 +256,11 @@ impl<P: HasIndices> Bounded<P> {
             mode: Mode::Normal,
             reset: None,
             pending_install: None,
+            wrap_rounds: 0,
+            install_rounds: 0,
             resets_done: 0,
             aborted: 0,
+            stale_dropped: 0,
         }
     }
 
@@ -188,12 +289,33 @@ impl<P: HasIndices> Bounded<P> {
         self.aborted
     }
 
+    /// Inner messages discarded by the epoch envelope at this node.
+    pub fn stale_epoch_dropped(&self) -> u64 {
+        self.stale_dropped
+    }
+
+    /// Seeds the inner protocol's indices to at least `base` (test/chaos
+    /// hook — see [`HasIndices::seed_indices`]).
+    pub fn seed_indices_for_test(&mut self, base: u64) {
+        self.inner.seed_indices(base);
+    }
+
+    /// The node this one currently treats as reset coordinator: the
+    /// lowest id at first, rotating round-robin every `HANDOFF_ROUNDS`
+    /// of stalled wrapping (so a crashed or lying coordinator cannot
+    /// wedge the reset forever).
     fn coordinator(&self) -> NodeId {
-        NodeId(0)
+        let rank = (self.wrap_rounds / HANDOFF_ROUNDS) as usize % self.inner.n();
+        NodeId(rank)
     }
 
     fn is_coordinator(&self) -> bool {
         self.inner.id() == self.coordinator()
+    }
+
+    /// A strict majority of the process universe.
+    fn majority(&self) -> usize {
+        self.inner.n() / 2 + 1
     }
 
     fn wrap_inner_effects(
@@ -233,6 +355,7 @@ impl<P: HasIndices> Bounded<P> {
             return;
         }
         self.mode = Mode::Wrapping;
+        self.wrap_rounds = 0;
         self.abort_drained(fx);
         if self.is_coordinator() {
             let st = ResetState::new(epoch, self.inner.export_reg(), self.inner.id());
@@ -255,7 +378,30 @@ impl<P: HasIndices> Bounded<P> {
         self.epoch = epoch;
         self.mode = Mode::Normal;
         self.reset = None;
+        self.wrap_rounds = 0;
         self.resets_done += 1;
+    }
+
+    /// Seals the sync phase: computes the canonical array, broadcasts
+    /// `Install` (tracking acks for retransmission), and installs
+    /// locally. Reached either when all `n` answered the sync, or when a
+    /// majority did and the `SYNC_QUORUM_ROUNDS` deadline expired.
+    fn finish_sync(&mut self, fx: &mut Effects<BoundedMsg<P::Msg>>) {
+        let st = self.reset.as_mut().expect("reset state");
+        let epoch = st.epoch;
+        let canonical = st.make_canonical();
+        let mut acked = ProcessSet::new(self.inner.n());
+        acked.insert(self.inner.id());
+        fx.broadcast(
+            self.inner.n(),
+            &BoundedMsg::Reset(ResetMsg::Install {
+                epoch,
+                reg: canonical.clone(),
+            }),
+        );
+        self.pending_install = Some((epoch, canonical.clone(), acked));
+        self.install_rounds = 0;
+        self.install(epoch, canonical, fx);
     }
 }
 
@@ -281,9 +427,31 @@ impl<P: HasIndices> Protocol for Bounded<P> {
                 }
             }
             Mode::Wrapping => {
-                // Retransmit the current reset phase.
-                match (&self.reset, self.is_coordinator()) {
-                    (Some(st), true) => {
+                self.wrap_rounds += 1;
+                let target = self.reset.as_ref().map_or(self.epoch + 1, |st| st.epoch);
+                if self.is_coordinator() {
+                    // Promote: a handed-off coordinator starts its own
+                    // sync phase for the same target epoch.
+                    if self.reset.is_none() {
+                        self.reset = Some(ResetState::new(
+                            target,
+                            self.inner.export_reg(),
+                            self.inner.id(),
+                        ));
+                    }
+                    let tenure = self.wrap_rounds % HANDOFF_ROUNDS;
+                    let quorum_due = {
+                        let st = self.reset.as_ref().expect("reset state");
+                        st.canonical.is_none()
+                            && tenure >= SYNC_QUORUM_ROUNDS
+                            && st.synced.len() >= self.majority()
+                    };
+                    if quorum_due {
+                        // The stragglers are crashed or cut off; a
+                        // majority view is the best available.
+                        self.finish_sync(fx);
+                    } else {
+                        let st = self.reset.as_ref().expect("reset state");
                         let msg = match &st.canonical {
                             None => ResetMsg::SyncReq { epoch: st.epoch },
                             Some(reg) => ResetMsg::Install {
@@ -293,19 +461,24 @@ impl<P: HasIndices> Protocol for Bounded<P> {
                         };
                         fx.broadcast(self.inner.n(), &BoundedMsg::Reset(msg));
                     }
-                    _ => {
-                        // Non-coordinator keeps requesting until served.
-                        let epoch = self.epoch + 1;
-                        fx.broadcast(
-                            self.inner.n(),
-                            &BoundedMsg::Reset(ResetMsg::Request { epoch }),
-                        );
-                    }
+                } else {
+                    // Non-coordinator keeps requesting until served.
+                    fx.broadcast(
+                        self.inner.n(),
+                        &BoundedMsg::Reset(ResetMsg::Request { epoch: target }),
+                    );
                 }
             }
         }
         // Coordinator: retransmit Install to stragglers even after
-        // returning to Normal.
+        // returning to Normal — but not forever; past the deadline,
+        // stragglers catch up through the Request → Install path.
+        if self.pending_install.is_some() {
+            self.install_rounds += 1;
+            if self.install_rounds > INSTALL_RETRANSMIT_ROUNDS {
+                self.pending_install = None;
+            }
+        }
         if let Some((epoch, reg, acked)) = &self.pending_install {
             let (epoch, reg) = (*epoch, reg.clone());
             for k in 0..self.inner.n() {
@@ -330,8 +503,22 @@ impl<P: HasIndices> Protocol for Bounded<P> {
     ) {
         match msg {
             BoundedMsg::Inner { epoch, msg } => {
-                if epoch != self.epoch || matches!(self.mode, Mode::Wrapping) {
-                    // Stale (or early) epoch, or operations disabled.
+                if epoch != self.epoch {
+                    // Stale or foreign epoch: the envelope rejects it so
+                    // pre-reset indices cannot leak across a reset.
+                    self.stale_dropped += 1;
+                    if epoch > self.epoch {
+                        // The sender is ahead — we missed an Install.
+                        // Ask it to catch us up.
+                        fx.send(
+                            from,
+                            BoundedMsg::Reset(ResetMsg::Request { epoch: self.epoch }),
+                        );
+                    }
+                    return;
+                }
+                if matches!(self.mode, Mode::Wrapping) {
+                    // Operations disabled while the reset runs.
                     return;
                 }
                 let mut inner_fx = Effects::new();
@@ -345,9 +532,10 @@ impl<P: HasIndices> Protocol for Bounded<P> {
                 ResetMsg::Request { epoch } => {
                     if epoch > self.epoch {
                         self.enter_wrapping(epoch, fx);
-                    } else if self.is_coordinator() {
-                        // The requester lags behind a finished reset:
-                        // catch it up with the current state.
+                    } else if !matches!(self.mode, Mode::Wrapping) {
+                        // The requester lags behind a finished reset: any
+                        // node ahead of it catches it up (not just the
+                        // coordinator — it may be crashed).
                         fx.send(
                             from,
                             BoundedMsg::Reset(ResetMsg::Install {
@@ -358,15 +546,36 @@ impl<P: HasIndices> Protocol for Bounded<P> {
                     }
                 }
                 ResetMsg::SyncReq { epoch } => {
+                    if from == self.inner.id() {
+                        // Our own broadcast echo: the coordinator already
+                        // merged its own state in `ResetState::new`, and
+                        // zeroing our own handoff clock here would demote
+                        // us every round.
+                        return;
+                    }
                     if epoch > self.epoch {
                         if !matches!(self.mode, Mode::Wrapping) {
                             self.mode = Mode::Wrapping;
                             self.abort_drained(fx);
                         }
+                        // A live coordinator's retransmissions reset the
+                        // handoff clock: rotation only fires when the
+                        // coordinator goes silent.
+                        self.wrap_rounds = 0;
                         fx.send(
                             from,
                             BoundedMsg::Reset(ResetMsg::SyncResp {
                                 epoch,
+                                reg: self.inner.export_reg(),
+                            }),
+                        );
+                    } else if !matches!(self.mode, Mode::Wrapping) {
+                        // A stale coordinator (resumed after its reset
+                        // completed without it): catch it up.
+                        fx.send(
+                            from,
+                            BoundedMsg::Reset(ResetMsg::Install {
+                                epoch: self.epoch,
                                 reg: self.inner.export_reg(),
                             }),
                         );
@@ -380,19 +589,7 @@ impl<P: HasIndices> Protocol for Bounded<P> {
                         _ => false,
                     };
                     if all {
-                        let st = self.reset.as_mut().expect("reset state");
-                        let canonical = st.make_canonical();
-                        let mut acked = ProcessSet::new(self.inner.n());
-                        acked.insert(self.inner.id());
-                        fx.broadcast(
-                            self.inner.n(),
-                            &BoundedMsg::Reset(ResetMsg::Install {
-                                epoch,
-                                reg: canonical.clone(),
-                            }),
-                        );
-                        self.pending_install = Some((epoch, canonical.clone(), acked));
-                        self.install(epoch, canonical, fx);
+                        self.finish_sync(fx);
                     }
                 }
                 ResetMsg::Install { epoch, reg } => {
@@ -446,6 +643,8 @@ impl<P: HasIndices> Protocol for Bounded<P> {
         self.mode = Mode::Normal;
         self.reset = None;
         self.pending_install = None;
+        self.wrap_rounds = 0;
+        self.install_rounds = 0;
     }
 
     fn restart(&mut self) {
@@ -454,6 +653,8 @@ impl<P: HasIndices> Protocol for Bounded<P> {
         self.mode = Mode::Normal;
         self.reset = None;
         self.pending_install = None;
+        self.wrap_rounds = 0;
+        self.install_rounds = 0;
     }
 
     fn local_invariants_hold(&self) -> bool {
@@ -461,7 +662,17 @@ impl<P: HasIndices> Protocol for Bounded<P> {
     }
 
     fn stats(&self) -> ProtocolStats {
-        self.inner.stats()
+        let mut stats = self.inner.stats();
+        stats.stale_epoch_dropped = self.stale_dropped;
+        stats
+    }
+
+    fn epoch_probe(&self) -> Option<u64> {
+        Some(self.epoch)
+    }
+
+    fn wrapping_probe(&self) -> bool {
+        self.is_wrapping()
     }
 }
 
@@ -529,6 +740,173 @@ mod tests {
             &mut e,
         );
         assert_eq!(a.inner().ts(), 0, "stale-epoch gossip ignored");
+        assert_eq!(a.stale_epoch_dropped(), 1, "the envelope counts drops");
+        assert_eq!(a.stats().stale_epoch_dropped, 1);
+        assert!(e.take_sends().is_empty(), "stale drop is silent");
+    }
+
+    #[test]
+    fn future_epoch_messages_trigger_catch_up() {
+        let mut a = node(1, 3, 1000);
+        let mut e = fx();
+        a.on_message(
+            NodeId(0),
+            BoundedMsg::Inner {
+                epoch: 3,
+                msg: crate::Alg1Msg::Gossip {
+                    cell: Tagged::new(9, 500),
+                },
+            },
+            &mut e,
+        );
+        assert_eq!(a.inner().ts(), 0, "foreign-epoch gossip ignored");
+        assert_eq!(a.stale_epoch_dropped(), 1);
+        let sends = e.take_sends();
+        assert_eq!(sends.len(), 1, "asks the ahead sender for an Install");
+        assert!(matches!(
+            &sends[0],
+            (NodeId(0), BoundedMsg::Reset(ResetMsg::Request { epoch: 0 }))
+        ));
+    }
+
+    #[test]
+    fn any_node_serves_lagging_requesters() {
+        // A non-coordinator that finished the reset catches up a
+        // straggler — the coordinator may be crashed.
+        let mut a = node(2, 3, 1000);
+        a.epoch = 4;
+        let mut e = fx();
+        a.on_message(
+            NodeId(1),
+            BoundedMsg::Reset(ResetMsg::Request { epoch: 2 }),
+            &mut e,
+        );
+        let sends = e.take_sends();
+        assert_eq!(sends.len(), 1);
+        assert!(matches!(
+            &sends[0],
+            (
+                NodeId(1),
+                BoundedMsg::Reset(ResetMsg::Install { epoch: 4, .. })
+            )
+        ));
+    }
+
+    #[test]
+    fn coordinator_crash_hands_off_and_majority_completes_the_reset() {
+        // Node 0 (the initial coordinator) is crashed for the whole run:
+        // its messages are never delivered and it takes no steps. The
+        // reset must still terminate via handoff to node 1 plus the
+        // majority-sync deadline.
+        let n = 3;
+        let mut nodes: Vec<B> = (0..n).map(|i| node(i, n, 10)).collect();
+        let mut queues: Vec<Vec<(NodeId, BoundedMsg<crate::Alg1Msg>)>> = vec![vec![]; n];
+        let mut e = fx();
+        nodes[2].on_message(
+            NodeId(1),
+            BoundedMsg::Inner {
+                epoch: 0,
+                msg: crate::Alg1Msg::Gossip {
+                    cell: Tagged::new(42, 10),
+                },
+            },
+            &mut e,
+        );
+        for (to, m) in e.take_sends() {
+            queues[to.index()].push((NodeId(2), m));
+        }
+        assert!(nodes[2].is_wrapping());
+        // Alternate delivery and rounds; node 0 never participates.
+        for _ in 0..(4 * HANDOFF_ROUNDS) {
+            for i in 1..n {
+                let inbox = std::mem::take(&mut queues[i]);
+                for (from, m) in inbox {
+                    let mut e = fx();
+                    nodes[i].on_message(from, m, &mut e);
+                    for (to, m2) in e.take_sends() {
+                        queues[to.index()].push((NodeId(i), m2));
+                    }
+                }
+            }
+            for (i, node) in nodes.iter_mut().enumerate().skip(1) {
+                let mut e = fx();
+                node.on_round(&mut e);
+                for (to, m2) in e.take_sends() {
+                    queues[to.index()].push((NodeId(i), m2));
+                }
+            }
+            if (1..n).all(|i| !nodes[i].is_wrapping() && nodes[i].epoch() == 1) {
+                break;
+            }
+        }
+        for (i, node) in nodes.iter().enumerate().skip(1) {
+            assert_eq!(node.epoch(), 1, "node {i} reset without node 0");
+            assert!(!node.is_wrapping(), "node {i} back to normal");
+        }
+        // The register value survived the coordinator crash.
+        assert_eq!(nodes[1].inner().reg().get(NodeId(2)).val, 42);
+    }
+
+    #[test]
+    fn equivocated_gossip_keeps_the_envelope_but_forges_the_value() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let msg = BoundedMsg::Inner {
+            epoch: 7,
+            msg: crate::Alg1Msg::Gossip {
+                cell: Tagged::new(5, 3),
+            },
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let forged = msg.equivocate(&mut rng).expect("gossip equivocates");
+        match forged {
+            BoundedMsg::Inner {
+                epoch,
+                msg: crate::Alg1Msg::Gossip { cell },
+            } => {
+                assert_eq!(epoch, 7, "envelope intact");
+                assert_eq!(cell.ts, 3, "index intact");
+                assert_ne!(cell.val, 5, "value forged");
+            }
+            other => panic!("unexpected rewrite {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inflated_gossip_drives_receivers_over_maxint() {
+        let msg = BoundedMsg::Inner {
+            epoch: 0,
+            msg: crate::Alg1Msg::Gossip {
+                cell: Tagged::new(5, 3),
+            },
+        };
+        let forged = msg.inflate_index(1 << 20).expect("gossip inflates");
+        match &forged {
+            BoundedMsg::Inner {
+                msg: crate::Alg1Msg::Gossip { cell },
+                ..
+            } => assert_eq!(cell.ts, 1 << 20),
+            other => panic!("unexpected rewrite {other:?}"),
+        }
+        // Delivering it to an honest node trips the overflow guard.
+        let mut a = node(1, 3, 1 << 20);
+        let mut e = fx();
+        a.on_message(NodeId(0), forged, &mut e);
+        assert!(a.is_wrapping(), "inflation forced a reset");
+    }
+
+    #[test]
+    fn seeding_indices_points_the_node_at_maxint() {
+        let mut a = node(0, 3, 1000);
+        a.seed_indices_for_test(999);
+        assert_eq!(a.inner().ts(), 999);
+        let mut e = fx();
+        a.on_round(&mut e);
+        // One more write index and the overflow guard fires; seeding
+        // alone (999 < 1000) must not.
+        assert!(!a.is_wrapping());
+        a.invoke(OpId(1), SnapshotOp::Write(5), &mut e);
+        a.on_round(&mut e);
+        assert!(a.is_wrapping(), "first write after seeding wraps");
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub enum ResetMsg {
     },
 }
 
-/// Coordinator-side state of one reset (only the lowest node id runs it).
+/// Coordinator-side state of one reset. Normally only the lowest node id
+/// runs it; under the hardened wrapper a deadline rotates coordination to
+/// the next id when the current coordinator is crashed or cut off (see
+/// the [`Bounded`](crate::Bounded) module docs).
 #[derive(Clone, Debug)]
 pub struct ResetState {
     /// The epoch being established.

@@ -108,6 +108,25 @@ impl History {
         rec.aborted = true;
     }
 
+    /// [`History::record_abort`] for callers that cannot know whether
+    /// the operation was ever recorded (the threaded runtime's
+    /// fire-and-forget submit path bypasses the history): marks it
+    /// aborted if present and not yet completed, and returns whether the
+    /// id was known.
+    pub fn try_record_abort(&mut self, id: OpId, at: u64) -> bool {
+        match self.index.get(&id) {
+            Some(&i) => {
+                let rec = &mut self.records[i];
+                if rec.completed_at.is_none() {
+                    rec.completed_at = Some(at);
+                    rec.aborted = true;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
     /// All records, in invocation order.
     pub fn records(&self) -> &[OpRecord] {
         &self.records
@@ -143,6 +162,38 @@ impl History {
             .records
             .iter()
             .filter(|r| r.invoked_at >= t)
+            .cloned()
+            .collect();
+        let index = records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        History { records, index }
+    }
+
+    /// [`History::suffix_from`] for post-reset judgment: snapshots are
+    /// restricted to those invoked at or after `t`, but every *write*
+    /// is kept — §5's reset preserves register values, so a post-reset
+    /// snapshot legitimately observes pre-reset writes, and dropping
+    /// them would orphan the value bindings the checker resolves
+    /// against.
+    pub fn suffix_keeping_writes(&self, t: u64) -> History {
+        let records: Vec<OpRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.invoked_at >= t || matches!(r.op, SnapshotOp::Write(_)))
+            .cloned()
+            .collect();
+        let index = records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        History { records, index }
+    }
+
+    /// Restricts the history to operations invoked at nodes `keep`
+    /// selects (the Byzantine-aware oracle judges linearizability on the
+    /// honest sub-history only — a liar's client boundary proves
+    /// nothing).
+    pub fn filter_nodes(&self, mut keep: impl FnMut(NodeId) -> bool) -> History {
+        let records: Vec<OpRecord> = self
+            .records
+            .iter()
+            .filter(|r| keep(r.node))
             .cloned()
             .collect();
         let index = records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
@@ -235,6 +286,25 @@ mod tests {
         let h = sample();
         assert_eq!(h.suffix_from(15).len(), 1);
         assert_eq!(h.suffix_from(0).len(), 2);
+    }
+
+    #[test]
+    fn suffix_keeping_writes_drops_only_old_snapshots() {
+        let mut h = sample(); // write@0 (node 0), snapshot@20 (node 1)
+        h.record_invoke(NodeId(0), OpId(2), SnapshotOp::Snapshot, 40);
+        let cut = h.suffix_keeping_writes(30);
+        assert_eq!(cut.len(), 2, "pre-cut write kept, pre-cut snapshot dropped");
+        assert!(matches!(cut.records()[0].op, SnapshotOp::Write(_)));
+        assert_eq!(cut.records()[1].id, OpId(2));
+    }
+
+    #[test]
+    fn filter_nodes_keeps_only_selected_invokers() {
+        let h = sample();
+        let honest = h.filter_nodes(|node| node != NodeId(0));
+        assert_eq!(honest.len(), 1);
+        assert_eq!(honest.records()[0].node, NodeId(1));
+        assert_eq!(h.filter_nodes(|_| true).len(), 2);
     }
 
     #[test]

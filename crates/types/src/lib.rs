@@ -60,7 +60,8 @@ pub use op::{OpClass, OpId, OpResponse, SnapshotOp, SnapshotView};
 pub use outbox::Outbox;
 pub use payload::{clone_stats, Payload, SharedReg};
 pub use protocol::{
-    cell_bits, reg_array_bits, ArbitraryMsg, Effects, MsgKind, ProtoMsg, Protocol, ProtocolStats,
+    cell_bits, reg_array_bits, ArbitraryMsg, ByzBehavior, Effects, MsgKind, ProtoMsg, Protocol,
+    ProtocolStats, INFLATED_INDEX,
 };
 pub use reg::RegArray;
 pub use value::{Tagged, Value, BOTTOM};

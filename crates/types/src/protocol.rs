@@ -104,6 +104,77 @@ impl MsgKind {
     }
 }
 
+/// A Byzantine node's scripted misbehaviour, as injected by the fault
+/// plane's `FaultEvent::Byzantine { node, behavior }`.
+///
+/// The behaviours are the three attacks the Byzantine-tolerant-recycling
+/// literature (Georgiou–Raynal–Schiller 2023) identifies against
+/// counter-recycling constructions like the paper's Section 5 global
+/// reset:
+///
+/// * [`Equivocate`](ByzBehavior::Equivocate) — gossip *different* register
+///   values to different peers (each outgoing copy is independently
+///   perturbed, so no two receivers can agree on what the liar said);
+/// * [`ReplayStale`](ByzBehavior::ReplayStale) — capture own outgoing
+///   messages and re-inject old ones later, i.e. replay pre-reset
+///   (`epoch e`) traffic across an epoch boundary into epoch `e+1`;
+/// * [`InflateIndex`](ByzBehavior::InflateIndex) — stamp outgoing indices
+///   near MAXINT, forcing honest nodes over the overflow threshold and
+///   triggering global resets on demand.
+///
+/// `Honest` restores normal behaviour (used by the chaos strategies'
+/// quiesce suffix so stabilization stays judgeable).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ByzBehavior {
+    /// Send per-destination perturbed variants of each message.
+    Equivocate,
+    /// Capture outgoing messages and probabilistically substitute stale
+    /// captures for fresh traffic.
+    ReplayStale,
+    /// Rewrite outgoing indices to values near MAXINT.
+    InflateIndex,
+    /// Behave correctly again (clears any Byzantine mode).
+    Honest,
+}
+
+impl ByzBehavior {
+    /// Stable lowercase name (used in fault-plan JSON and trace labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            ByzBehavior::Equivocate => "equivocate",
+            ByzBehavior::ReplayStale => "replay-stale",
+            ByzBehavior::InflateIndex => "inflate-index",
+            ByzBehavior::Honest => "honest",
+        }
+    }
+
+    /// Parses [`ByzBehavior::name`] output.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "equivocate" => ByzBehavior::Equivocate,
+            "replay-stale" => ByzBehavior::ReplayStale,
+            "inflate-index" => ByzBehavior::InflateIndex,
+            "honest" => ByzBehavior::Honest,
+            _ => return None,
+        })
+    }
+
+    /// Every behaviour, in declaration order.
+    pub const ALL: [ByzBehavior; 4] = [
+        ByzBehavior::Equivocate,
+        ByzBehavior::ReplayStale,
+        ByzBehavior::InflateIndex,
+        ByzBehavior::Honest,
+    ];
+}
+
+/// The index value an [`InflateIndex`](ByzBehavior::InflateIndex) attacker
+/// stamps into outgoing messages: the bounded-counter wrapper's default
+/// `MAXINT` (`BoundedConfig::default().max_int`), so one inflated message
+/// merged by an honest node immediately trips the overflow check and
+/// forces a global reset.
+pub const INFLATED_INDEX: u64 = 1 << 62;
+
 /// Behaviour every protocol message type must provide so the harness can
 /// count and size traffic the way the paper does.
 pub trait ProtoMsg: Clone + fmt::Debug + Send + 'static {
@@ -135,6 +206,28 @@ pub trait ProtoMsg: Clone + fmt::Debug + Send + 'static {
     /// causally meaningful traffic.
     fn try_coalesce(&mut self, _later: &Self) -> bool {
         false
+    }
+
+    /// Produces a *perturbed* variant of this message for one destination,
+    /// so a Byzantine sender can equivocate — tell different peers
+    /// different things about the same logical update. Returning `None`
+    /// (the default) means this message kind carries nothing worth lying
+    /// about and is forwarded unchanged.
+    ///
+    /// Implementations must keep the message structurally valid (same
+    /// kind, same shape) and only perturb the *content* — e.g. a gossip
+    /// cell's value — so honest receivers process it through the normal
+    /// handlers rather than discarding it as garbage.
+    fn equivocate(&self, _rng: &mut dyn RngCore) -> Option<Self> {
+        None
+    }
+
+    /// Produces a variant of this message with its indices inflated to at
+    /// least `floor` (an [`InflateIndex`](ByzBehavior::InflateIndex)
+    /// attacker uses [`INFLATED_INDEX`]). Returning `None` (the default)
+    /// means this message kind carries no index to inflate.
+    fn inflate_index(&self, _floor: u64) -> Option<Self> {
+        None
     }
 }
 
@@ -269,6 +362,10 @@ pub struct ProtocolStats {
     pub write_index: u64,
     /// Current snapshot-operation index (`ssn`, or `sns` for Algorithm 3).
     pub snapshot_index: u64,
+    /// Messages discarded because they carried a stale (or foreign) epoch
+    /// tag — the bounded-counter wrapper's envelope rejecting pre-reset
+    /// replays. Zero for protocols without an epoch envelope.
+    pub stale_epoch_dropped: u64,
 }
 
 /// A snapshot-object protocol instance running at one node.
@@ -331,6 +428,20 @@ pub trait Protocol: Send {
     /// Coarse counters for experiments.
     fn stats(&self) -> ProtocolStats {
         ProtocolStats::default()
+    }
+
+    /// The node's current global-reset epoch, if this protocol maintains
+    /// one (only the Section 5 bounded-counter wrapper does). Drivers
+    /// probe this after every step to emit `EpochChange` trace events,
+    /// which the chaos oracle folds into its invariant-survival verdict.
+    fn epoch_probe(&self) -> Option<u64> {
+        None
+    }
+
+    /// Whether the node is currently inside a global-reset (wrapping)
+    /// period. Always `false` for protocols without bounded counters.
+    fn wrapping_probe(&self) -> bool {
+        false
     }
 }
 
